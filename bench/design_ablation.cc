@@ -1,0 +1,80 @@
+// Design-choice ablations beyond the paper's tables (DESIGN.md §7):
+//   (a) ADC vs SDC candidate ranking (the §3.1 premise for adopting ADC),
+//   (b) final warm-started codebook refit on/off,
+//   (c) straight-through vs fully-soft Gumbel relaxation,
+//   (d) learned rotation on/off at fixed code budget (isolates adaptive
+//       vector decomposition from the loss shaping).
+// Reported: in-memory Recall@10 at beam 96 and distortion, SIFT-like data.
+#include "bench_common.h"
+#include "quant/adc.h"
+
+namespace rpq::bench {
+namespace {
+
+double Recall(const DatasetBundle& b, const graph::ProximityGraph& graph,
+              const quant::VectorQuantizer& q, core::DistanceMode mode) {
+  auto index = core::MemoryIndex::Build(b.base, graph, q);
+  std::vector<std::vector<Neighbor>> results(b.queries.size());
+  for (size_t i = 0; i < b.queries.size(); ++i) {
+    results[i] = index->Search(b.queries[i], 10, {96, 10}, mode).results;
+  }
+  return eval::MeanRecallAtK(results, b.gt, 10);
+}
+
+}  // namespace
+}  // namespace rpq::bench
+
+int main(int argc, char** argv) {
+  using namespace rpq::bench;
+  auto args = Args::Parse(argc, argv);
+  Profile p = GetProfile("sift", args);
+  p.n_base = std::min(p.n_base, size_t{4000});
+  DatasetBundle b = MakeBundle("sift", p, args.seed);
+  auto graph = rpq::graph::BuildVamana(b.base, p.vamana);
+
+  std::printf("=== Design ablations (SIFT-like, n=%zu, beam=96) ===\n",
+              b.base.size());
+  std::printf("%-34s %10s %12s\n", "variant", "recall@10", "distortion");
+
+  auto report = [&](const char* label, const rpq::quant::PqQuantizer& q,
+                    rpq::core::DistanceMode mode) {
+    std::printf("%-34s %10.3f %12.4g\n", label, Recall(b, graph, q, mode),
+                q.Distortion(b.base));
+  };
+
+  // (d) baseline: no rotation, no learning.
+  auto pq = rpq::quant::PqQuantizer::Train(b.base, p.pq);
+  report("PQ (no rotation)", *pq, rpq::core::DistanceMode::kAdc);
+  // (a) the same codes ranked symmetrically.
+  report("PQ + SDC ranking", *pq, rpq::core::DistanceMode::kSdc);
+
+  // Full RPQ.
+  std::fprintf(stderr, "training RPQ (full)...\n");
+  auto full = rpq::core::TrainRpq(b.base, graph, p.rpq);
+  report("RPQ (full)", *full.quantizer, rpq::core::DistanceMode::kAdc);
+  report("RPQ + SDC ranking", *full.quantizer, rpq::core::DistanceMode::kSdc);
+
+  // (b) no final codebook refit.
+  auto no_refit = p.rpq;
+  no_refit.final_codebook_refit = false;
+  std::fprintf(stderr, "training RPQ (no refit)...\n");
+  auto nr = rpq::core::TrainRpq(b.base, graph, no_refit);
+  report("RPQ w/o final refit", *nr.quantizer, rpq::core::DistanceMode::kAdc);
+
+  // (c) fully-soft relaxation instead of straight-through.
+  auto soft = p.rpq;
+  soft.straight_through = false;
+  std::fprintf(stderr, "training RPQ (soft forward)...\n");
+  auto sf = rpq::core::TrainRpq(b.base, graph, soft);
+  report("RPQ soft (no straight-through)", *sf.quantizer,
+         rpq::core::DistanceMode::kAdc);
+
+  // (d) rotation frozen at identity: loss shaping only.
+  auto no_rot = p.rpq;
+  no_rot.rotation_lr = 0.0f;
+  std::fprintf(stderr, "training RPQ (frozen rotation)...\n");
+  auto nrot = rpq::core::TrainRpq(b.base, graph, no_rot);
+  report("RPQ frozen rotation", *nrot.quantizer,
+         rpq::core::DistanceMode::kAdc);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 5: QPS / Hops / Disk-I/O time vs Recall@10 in the SSD-memory hybrid
+// scenario — DiskANN (Vamana graph on simulated SSD) integrated with PQ, OPQ,
+// Catalyst and RPQ. Prints one trade-off curve per (dataset, method) plus the
+// paper's headline "QPS at Recall@10 = 95%" row.
+#include "bench_common.h"
+
+namespace rpq::bench {
+namespace {
+
+void RunDataset(const std::string& name, const Args& args) {
+  Profile p = GetProfile(name, args);
+  DatasetBundle b = MakeBundle(name, p, args.seed);
+  std::fprintf(stderr, "[%s] building Vamana graph (n=%zu)...\n", name.c_str(),
+               b.base.size());
+  auto graph = graph::BuildVamana(b.base, p.vamana);
+  QuantizerSet qs = TrainAll(b, graph, p);
+
+  struct Method {
+    std::string label;
+    const quant::VectorQuantizer* quantizer;
+  };
+  std::vector<Method> methods = {
+      {"DiskANN-PQ", qs.pq.get()},
+      {"DiskANN-OPQ", qs.opq.get()},
+      {"DiskANN-Catalyst", qs.catalyst.get()},
+      {"DiskANN-RPQ", qs.rpq.quantizer.get()},
+  };
+
+  std::printf("\n=== Figure 5 [%s]  (n=%zu, q=%zu, M=%zu, K=%zu) ===\n",
+              name.c_str(), b.base.size(), b.queries.size(), p.pq.m, p.pq.k);
+  std::vector<std::pair<std::string, double>> at95;
+  for (const auto& m : methods) {
+    auto index = disk::DiskIndex::Build(b.base, graph, *m.quantizer);
+    auto curve = rpq::eval::SweepBeamWidths(MakeDiskSearchFn(*index), b.queries,
+                                       b.gt, 10, DefaultBeams());
+    eval::PrintCurve(m.label, curve);
+    bool reached = false;
+    double qps = rpq::eval::QpsAtRecall(curve, 0.95, &reached);
+    at95.push_back({m.label + (reached ? "" : " (<95%)"), qps});
+  }
+  std::printf("--- QPS @ Recall@10=95%% [%s] ---\n", name.c_str());
+  for (const auto& [label, qps] : at95) {
+    std::printf("%-24s %10.1f\n", label.c_str(), qps);
+  }
+  double base_qps = at95[0].second;
+  if (base_qps > 0) {
+    std::printf("RPQ speedup over PQ: %.2fx\n", at95[3].second / base_qps);
+  }
+}
+
+}  // namespace
+}  // namespace rpq::bench
+
+int main(int argc, char** argv) {
+  auto args = rpq::bench::Args::Parse(argc, argv);
+  for (const char* name : {"bigann", "deep", "sift", "gist", "ukbench"}) {
+    rpq::bench::RunDataset(name, args);
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks of the library's hot kernels: distance
+// computation, ADC table construction and scans, k-means steps, matrix
+// exponential, differentiable-quantizer forward pass, and beam search.
+#include <benchmark/benchmark.h>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "core/diff_quantizer.h"
+#include "data/synthetic.h"
+#include "graph/beam_search.h"
+#include "graph/vamana.h"
+#include "linalg/matexp.h"
+#include "quant/adc.h"
+#include "quant/kmeans.h"
+#include "quant/pq.h"
+
+namespace {
+
+using namespace rpq;
+
+void BM_SquaredL2(benchmark::State& state) {
+  size_t d = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(d), b(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredL2(a.data(), b.data(), d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SquaredL2)->Arg(96)->Arg(128)->Arg(960);
+
+void BM_AdcTableBuild(benchmark::State& state) {
+  Dataset d = synthetic::MakeSiftLike(1500, 3);
+  quant::PqOptions opt;
+  opt.m = 16;
+  opt.k = static_cast<size_t>(state.range(0));
+  opt.kmeans_iters = 4;
+  auto pq = quant::PqQuantizer::Train(d, opt);
+  std::vector<float> table(pq->num_chunks() * pq->num_centroids());
+  size_t qi = 0;
+  for (auto _ : state) {
+    pq->BuildLookupTable(d[qi % d.size()], table.data());
+    ++qi;
+  }
+}
+BENCHMARK(BM_AdcTableBuild)->Arg(64)->Arg(256);
+
+void BM_AdcScan(benchmark::State& state) {
+  Dataset d = synthetic::MakeSiftLike(2000, 5);
+  quant::PqOptions opt;
+  opt.m = 16;
+  opt.k = 256;
+  opt.kmeans_iters = 4;
+  auto pq = quant::PqQuantizer::Train(d, opt);
+  auto codes = pq->EncodeDataset(d);
+  quant::AdcTable table(*pq, d[0]);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Distance(codes.data() + (i % d.size()) * pq->code_size()));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdcScan);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  Dataset d = synthetic::MakeSiftLike(2000, 7);
+  for (auto _ : state) {
+    quant::KMeansOptions opt;
+    opt.k = 64;
+    opt.max_iters = 1;
+    benchmark::DoNotOptimize(RunKMeans(d.data(), d.size(), d.dim(), opt));
+  }
+}
+BENCHMARK(BM_KMeansIteration);
+
+void BM_MatrixExp(benchmark::State& state) {
+  size_t n = state.range(0);
+  Rng rng(9);
+  linalg::Matrix p(n, n);
+  for (size_t i = 0; i < n * n; ++i) p.data()[i] = rng.Gaussian(0, 0.3f);
+  linalg::Matrix a = linalg::SkewPart(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatrixExp(a));
+  }
+}
+BENCHMARK(BM_MatrixExp)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DiffQuantizerForward(benchmark::State& state) {
+  Dataset d = synthetic::MakeSiftLike(500, 11);
+  core::DiffQuantizerOptions opt;
+  opt.m = 16;
+  opt.k = static_cast<size_t>(state.range(0));
+  core::DiffQuantizer dq(d.dim(), opt);
+  dq.InitCodebooks(d);
+  dq.CalibrateTemperatures(d.Slice(0, 128));
+  Rng rng(13);
+  core::ForwardResult f;
+  size_t i = 0;
+  for (auto _ : state) {
+    dq.Forward(d[i % d.size()], &rng, true, &f);
+    ++i;
+  }
+}
+BENCHMARK(BM_DiffQuantizerForward)->Arg(64)->Arg(256);
+
+void BM_BeamSearchAdc(benchmark::State& state) {
+  Dataset base, queries;
+  synthetic::MakeBaseAndQueries("sift", 4000, 50, 15, &base, &queries);
+  graph::VamanaOptions vopt;
+  vopt.degree = 24;
+  vopt.build_beam = 48;
+  auto g = graph::BuildVamana(base, vopt);
+  quant::PqOptions popt;
+  popt.m = 16;
+  popt.k = 64;
+  popt.kmeans_iters = 6;
+  auto pq = quant::PqQuantizer::Train(base, popt);
+  auto codes = pq->EncodeDataset(base);
+  graph::VisitedTable visited(base.size());
+  size_t beam = state.range(0);
+  size_t qi = 0;
+  for (auto _ : state) {
+    quant::AdcTable table(*pq, queries[qi % queries.size()]);
+    auto res = graph::BeamSearch(
+        g, g.entry_point(),
+        [&](uint32_t v) {
+          return table.Distance(codes.data() + v * pq->code_size());
+        },
+        {beam, 10}, &visited);
+    benchmark::DoNotOptimize(res);
+    ++qi;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BeamSearchAdc)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

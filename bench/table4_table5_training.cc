@@ -1,0 +1,48 @@
+// Tables 4 & 5: training time and model size of the two learned quantizers
+// (Catalyst vs RPQ) on all five datasets. The paper reports hours on 8xV100;
+// we report seconds on one CPU core — the comparison BETWEEN the two methods
+// (similar time, RPQ's model ~5-7x smaller) is the reproduced signal.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace rpq::bench;
+  auto args = Args::Parse(argc, argv);
+
+  struct Row {
+    std::string name;
+    double cat_secs, rpq_secs;
+    double cat_mb, rpq_mb;
+  };
+  std::vector<Row> rows;
+
+  for (const char* name : {"bigann", "deep", "sift", "gist", "ukbench"}) {
+    Profile p = GetProfile(name, args);
+    DatasetBundle b = MakeBundle(name, p, args.seed);
+    auto graph = rpq::graph::BuildVamana(b.base, p.vamana);
+    std::fprintf(stderr, "[%s] training Catalyst...\n", name);
+    auto cat = rpq::quant::CatalystQuantizer::Train(b.base, p.cat);
+    std::fprintf(stderr, "[%s] training RPQ...\n", name);
+    auto rpq_res = rpq::core::TrainRpq(b.base, graph, p.rpq);
+    rows.push_back({name, cat->training_seconds(), rpq_res.training_seconds,
+                    cat->ModelSizeBytes() / 1e6,
+                    static_cast<double>(rpq_res.model_size_bytes) / 1e6});
+  }
+
+  std::printf("=== Table 4: training time (seconds, 1 CPU core) ===\n");
+  std::printf("%-10s", "Method");
+  for (const auto& r : rows) std::printf(" %10s", r.name.c_str());
+  std::printf("\n%-10s", "Catalyst");
+  for (const auto& r : rows) std::printf(" %10.2f", r.cat_secs);
+  std::printf("\n%-10s", "RPQ");
+  for (const auto& r : rows) std::printf(" %10.2f", r.rpq_secs);
+
+  std::printf("\n\n=== Table 5: model size (MB) ===\n");
+  std::printf("%-10s", "Method");
+  for (const auto& r : rows) std::printf(" %10s", r.name.c_str());
+  std::printf("\n%-10s", "Catalyst");
+  for (const auto& r : rows) std::printf(" %10.2f", r.cat_mb);
+  std::printf("\n%-10s", "RPQ");
+  for (const auto& r : rows) std::printf(" %10.2f", r.rpq_mb);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Capacity-planning example: how the paper's 3% memory-budget rule
+// (constraint = dataset size / 32) plays out. Shows, for several (M, K)
+// configurations, the RAM footprint of codes+codebook vs the raw vectors and
+// the recall each configuration reaches — the trade-off surface of Figures
+// 9/10.
+//
+//   $ ./memory_budget
+#include <cstdio>
+
+#include "core/rpq.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "graph/vamana.h"
+
+int main() {
+  rpq::Dataset base, queries;
+  rpq::synthetic::MakeBaseAndQueries("deep", 4000, 25, 31, &base, &queries);
+  rpq::graph::VamanaOptions vopt;
+  vopt.degree = 24;
+  vopt.build_beam = 48;
+  auto graph = rpq::graph::BuildVamana(base, vopt);
+  auto gt = rpq::ComputeGroundTruth(base, queries, 10);
+
+  const double raw_mb = base.size() * base.dim() * sizeof(float) / 1e6;
+  const double budget_mb = raw_mb / 32.0;  // the paper's f = 1/32 constraint
+  std::printf("raw vectors: %.2f MB; paper-style memory budget (1/32): %.3f "
+              "MB\n\n",
+              raw_mb, budget_mb);
+  std::printf("%4s %4s %12s %10s %10s %8s\n", "M", "K", "mem (MB)",
+              "in budget", "recall@10", "bytes/vec");
+
+  struct Config {
+    size_t m, k;
+  };
+  for (Config c : {Config{8, 64}, Config{16, 64}, Config{16, 256},
+                   Config{32, 256}}) {
+    rpq::core::RpqTrainOptions topt;
+    topt.m = c.m;
+    topt.k = c.k;
+    topt.epochs = 1;
+    topt.triplets_per_epoch = 192;
+    topt.routing_queries_per_epoch = 12;
+    auto trained = rpq::core::TrainRpq(base, graph, topt);
+    auto index = rpq::core::MemoryIndex::Build(base, graph, *trained.quantizer);
+
+    std::vector<std::vector<rpq::Neighbor>> results(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      results[q] = index->Search(queries[q], 10, {96, 10}).results;
+    }
+    double mem_mb = index->MemoryBytes() / 1e6;
+    std::printf("%4zu %4zu %12.3f %10s %10.3f %8zu\n", c.m, c.k, mem_mb,
+                mem_mb <= budget_mb ? "yes" : "no",
+                rpq::eval::MeanRecallAtK(results, gt, 10),
+                trained.quantizer->code_size());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a proximity graph, train RPQ end-to-end, and run
+// PQ-integrated ANN search — the minimal happy path through the public API.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/rpq.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "graph/vamana.h"
+
+int main() {
+  // 1. Data: 4000 SIFT-like 128-d vectors plus 20 held-out queries.
+  rpq::Dataset base, queries;
+  rpq::synthetic::MakeBaseAndQueries("sift", 4000, 20, /*seed=*/42, &base,
+                                     &queries);
+  std::printf("dataset: %zu vectors, %zu dims\n", base.size(), base.dim());
+
+  // 2. Proximity graph (Vamana — the PG underlying DiskANN).
+  rpq::graph::VamanaOptions vopt;
+  vopt.degree = 24;
+  vopt.build_beam = 48;
+  auto graph = rpq::graph::BuildVamana(base, vopt);
+  auto stats = graph.ComputeDegreeStats();
+  std::printf("graph: avg degree %.1f, entry %u\n", stats.avg_degree,
+              graph.entry_point());
+
+  // 3. Train the routing-guided quantizer (M=16 chunks, K=64 codewords:
+  //    16 bytes per vector instead of 512).
+  rpq::core::RpqTrainOptions topt;
+  topt.m = 16;
+  topt.k = 64;
+  topt.epochs = 2;
+  topt.triplets_per_epoch = 256;
+  topt.routing_queries_per_epoch = 16;
+  auto trained = rpq::core::TrainRpq(base, graph, topt);
+  std::printf("RPQ trained in %.1fs, model %.1f KB, codes %zu B/vec\n",
+              trained.training_seconds,
+              trained.model_size_bytes / 1024.0,
+              trained.quantizer->code_size());
+
+  // 4. Build the in-memory index (graph + compact codes only) and search.
+  auto index = rpq::core::MemoryIndex::Build(base, graph, *trained.quantizer);
+  auto gt = rpq::ComputeGroundTruth(base, queries, 10);
+  std::vector<std::vector<rpq::Neighbor>> results(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto out = index->Search(queries[q], /*k=*/10, {/*beam_width=*/64, 10});
+    results[q] = out.results;
+  }
+  double recall = rpq::eval::MeanRecallAtK(results, gt, 10);
+  std::printf("recall@10 = %.3f with %.0fx memory compression\n", recall,
+              static_cast<double>(base.dim() * sizeof(float)) /
+                  trained.quantizer->code_size());
+  return recall > 0.3 ? 0 : 1;  // sanity gate for CI-style usage
+}

@@ -1,0 +1,41 @@
+// Dense-vector distance kernels. Squared Euclidean distance is the library's
+// canonical metric (Definition 2 of the paper adopts it to avoid sqrt).
+#pragma once
+
+#include <cstddef>
+
+namespace rpq {
+
+/// Squared L2 distance between two D-dim float vectors.
+inline float SquaredL2(const float* a, const float* b, size_t d) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    float d0 = a[i] - b[i];
+    float d1 = a[i + 1] - b[i + 1];
+    float d2 = a[i + 2] - b[i + 2];
+    float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  float acc = acc0 + acc1 + acc2 + acc3;
+  for (; i < d; ++i) {
+    float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Inner product <a, b>.
+inline float Dot(const float* a, const float* b, size_t d) {
+  float acc = 0.f;
+  for (size_t i = 0; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Squared norm ||a||^2.
+inline float SquaredNorm(const float* a, size_t d) { return Dot(a, a, d); }
+
+}  // namespace rpq

@@ -1,0 +1,25 @@
+// Check macros for internal invariants (abort on violation, like Arrow's DCHECK).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rpq::internal {
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "RPQ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace rpq::internal
+
+/// Hard invariant: aborts the process with location info when violated.
+#define RPQ_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::rpq::internal::CheckFail(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define RPQ_CHECK_LT(a, b) RPQ_CHECK((a) < (b))
+#define RPQ_CHECK_LE(a, b) RPQ_CHECK((a) <= (b))
+#define RPQ_CHECK_GT(a, b) RPQ_CHECK((a) > (b))
+#define RPQ_CHECK_GE(a, b) RPQ_CHECK((a) >= (b))
+#define RPQ_CHECK_EQ(a, b) RPQ_CHECK((a) == (b))
+#define RPQ_CHECK_NE(a, b) RPQ_CHECK((a) != (b))

@@ -1,0 +1,45 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpq {
+
+size_t Rng::UniformIndex(size_t n) {
+  RPQ_CHECK_GT(n, 0u);
+  return std::uniform_int_distribution<size_t>(0, n - 1)(gen_);
+}
+
+float Rng::Uniform(float lo, float hi) {
+  return std::uniform_real_distribution<float>(lo, hi)(gen_);
+}
+
+float Rng::Gaussian(float mean, float stddev) {
+  return std::normal_distribution<float>(mean, stddev)(gen_);
+}
+
+float Rng::Gumbel() {
+  // Clamp away from 0 and 1 to keep both logs finite.
+  float u = std::uniform_real_distribution<float>(1e-9f, 1.0f - 1e-9f)(gen_);
+  return -std::log(-std::log(u));
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  RPQ_CHECK_LE(k, n);
+  // Floyd's algorithm: O(k) expected draws, no O(n) permutation buffer.
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = std::uniform_int_distribution<size_t>(0, j)(gen_);
+    if (std::find(out.begin(), out.end(), static_cast<uint32_t>(t)) == out.end()) {
+      out.push_back(static_cast<uint32_t>(t));
+    } else {
+      out.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return out;
+}
+
+}  // namespace rpq

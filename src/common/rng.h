@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation used across the library.
+// A thin wrapper over std::mt19937_64 so every component takes an explicit,
+// seedable generator (reproducible experiments).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rpq {
+
+/// Seedable RNG with convenience draws used by samplers and generators.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform integer in [0, n) — n must be > 0.
+  size_t UniformIndex(size_t n);
+  /// Uniform real in [lo, hi).
+  float Uniform(float lo = 0.0f, float hi = 1.0f);
+  /// Standard normal draw.
+  float Gaussian(float mean = 0.0f, float stddev = 1.0f);
+  /// Sample from the standard Gumbel distribution: -log(-log U).
+  float Gumbel();
+  /// k distinct indices drawn uniformly from [0, n) (k <= n).
+  std::vector<uint32_t> SampleWithoutReplacement(size_t n, size_t k);
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), gen_);
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace rpq

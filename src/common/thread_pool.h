@@ -1,0 +1,49 @@
+// Minimal fixed-size thread pool with a parallel-for helper.
+// On single-core hosts ParallelFor degrades gracefully to a serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rpq {
+
+/// Fixed pool of worker threads executing submitted closures FIFO.
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks must not throw.
+  void Submit(std::function<void()> fn);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs fn(begin, end) on the pool.
+/// When pool is null or has a single thread the loop runs inline.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace rpq

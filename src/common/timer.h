@@ -1,0 +1,24 @@
+// Wall-clock timing helper for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace rpq {
+
+/// Monotonic stopwatch; Elapsed* report time since construction or Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpq

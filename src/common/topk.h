@@ -1,0 +1,60 @@
+// Bounded top-k selection for nearest-neighbor results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rpq {
+
+/// A (distance, id) pair; ordered by distance then id for determinism.
+struct Neighbor {
+  float dist;
+  uint32_t id;
+  bool operator<(const Neighbor& o) const {
+    return dist < o.dist || (dist == o.dist && id < o.id);
+  }
+  bool operator==(const Neighbor& o) const { return dist == o.dist && id == o.id; }
+};
+
+/// Keeps the k smallest-distance neighbors seen so far (max-heap semantics).
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Returns true if the candidate was kept.
+  bool Push(float dist, uint32_t id) {
+    if (heap_.size() < k_) {
+      heap_.push_back({dist, id});
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    if (!(Neighbor{dist, id} < heap_.front())) return false;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = {dist, id};
+    std::push_heap(heap_.begin(), heap_.end());
+    return true;
+  }
+
+  /// Largest kept distance, or +inf when not yet full.
+  float Threshold() const {
+    if (heap_.size() < k_) return std::numeric_limits<float>::infinity();
+    return heap_.front().dist;
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return k_; }
+
+  /// Extracts results sorted ascending by distance; the heap is consumed.
+  std::vector<Neighbor> Take() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace rpq

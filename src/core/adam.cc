@@ -1,0 +1,49 @@
+#include "core/adam.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpq::core {
+
+Adam::Adam(size_t size, const AdamOptions& options)
+    : opt_(options), m_(size, 0.0f), v_(size, 0.0f) {}
+
+void Adam::Step(float* params, const float* grads, float lr_scale) {
+  ++t_;
+  float bc1 = 1.0f - std::pow(opt_.beta1, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(opt_.beta2, static_cast<float>(t_));
+  float lr = opt_.lr * lr_scale;
+  for (size_t i = 0; i < m_.size(); ++i) {
+    float g = grads[i];
+    m_[i] = opt_.beta1 * m_[i] + (1.0f - opt_.beta1) * g;
+    v_[i] = opt_.beta2 * v_[i] + (1.0f - opt_.beta2) * g * g;
+    float mhat = m_[i] / bc1;
+    float vhat = v_[i] / bc2;
+    params[i] -= lr * mhat / (std::sqrt(vhat) + opt_.epsilon);
+  }
+}
+
+OneCycleSchedule::OneCycleSchedule(size_t total_steps, float warmup_frac,
+                                   float final_lr_frac)
+    : total_steps_(std::max<size_t>(total_steps, 1)),
+      warmup_frac_(warmup_frac),
+      final_lr_frac_(final_lr_frac) {
+  RPQ_CHECK(warmup_frac_ > 0.0f && warmup_frac_ < 1.0f);
+}
+
+float OneCycleSchedule::Scale(size_t t) const {
+  t = std::min(t, total_steps_);
+  float frac = static_cast<float>(t) / static_cast<float>(total_steps_);
+  if (frac < warmup_frac_) {
+    // Linear warm-up from 10% to 100% of the peak.
+    return 0.1f + 0.9f * (frac / warmup_frac_);
+  }
+  // Cosine decay from 1 to final_lr_frac_.
+  float p = (frac - warmup_frac_) / (1.0f - warmup_frac_);
+  float cosv = 0.5f * (1.0f + std::cos(p * 3.14159265358979f));
+  return final_lr_frac_ + (1.0f - final_lr_frac_) * cosv;
+}
+
+}  // namespace rpq::core

@@ -1,0 +1,52 @@
+// Adam optimizer [40] over flat parameter arrays, plus the one-cycle learning
+// rate schedule the paper trains RPQ with (§6: LR = 1e-3, decay rate 0.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rpq::core {
+
+/// Adam hyperparameters.
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+/// Stateful Adam for one flat parameter vector.
+class Adam {
+ public:
+  Adam(size_t size, const AdamOptions& options = {});
+
+  /// One update: params -= lr_scale * lr * m_hat / (sqrt(v_hat) + eps).
+  /// `lr_scale` lets a schedule modulate the base learning rate.
+  void Step(float* params, const float* grads, float lr_scale = 1.0f);
+
+  size_t size() const { return m_.size(); }
+  size_t steps() const { return t_; }
+
+ private:
+  AdamOptions opt_;
+  std::vector<float> m_, v_;
+  size_t t_ = 0;
+};
+
+/// One-cycle schedule: linear warm-up to peak over `warmup_frac` of training,
+/// then cosine decay down to `final_lr_frac` of the peak.
+class OneCycleSchedule {
+ public:
+  OneCycleSchedule(size_t total_steps, float warmup_frac = 0.3f,
+                   float final_lr_frac = 0.2f);
+
+  /// Multiplier in (0, 1] for step t (clamped at total_steps).
+  float Scale(size_t t) const;
+
+ private:
+  size_t total_steps_;
+  float warmup_frac_;
+  float final_lr_frac_;
+};
+
+}  // namespace rpq::core

@@ -1,0 +1,117 @@
+#include "core/feature_extractor.h"
+
+#include <algorithm>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "quant/adc.h"
+
+namespace rpq::core {
+
+std::vector<uint32_t> CollectNHopNeighborhood(const graph::ProximityGraph& graph,
+                                              uint32_t v, size_t n_hops) {
+  // Alg. 1 lines 1-10: breadth-limited propagation from v.
+  std::vector<uint32_t> frontier{v};
+  std::vector<uint32_t> result;
+  std::vector<bool> seen(graph.num_vertices(), false);
+  seen[v] = true;
+  for (size_t hop = 0; hop < n_hops; ++hop) {
+    std::vector<uint32_t> next;
+    for (uint32_t u : frontier) {
+      for (uint32_t w : graph.Neighbors(u)) {
+        if (seen[w]) continue;
+        seen[w] = true;
+        result.push_back(w);
+        next.push_back(w);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return result;
+}
+
+std::vector<TripletSample> SampleNeighborhoodTriplets(
+    const graph::ProximityGraph& graph, const Dataset& base, size_t count,
+    const NeighborhoodSamplingOptions& opt, Rng* rng) {
+  RPQ_CHECK_EQ(graph.num_vertices(), base.size());
+  RPQ_CHECK_GE(opt.k_pos, 1u);
+  RPQ_CHECK_GE(opt.k_neg, 1u);
+  std::vector<TripletSample> out;
+  out.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 8 + 64;
+  while (out.size() < count && attempts++ < max_attempts) {
+    uint32_t v = static_cast<uint32_t>(rng->UniformIndex(base.size()));
+    std::vector<uint32_t> hood = CollectNHopNeighborhood(graph, v, opt.n_hops);
+    if (hood.size() < opt.k_pos + 1) continue;
+
+    // Alg. 1 lines 11-12: rank by true distance to v, truncate the scope.
+    std::vector<Neighbor> ranked;
+    ranked.reserve(hood.size());
+    for (uint32_t u : hood) {
+      ranked.push_back({SquaredL2(base[v], base[u], base.dim()), u});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t scope = std::min(ranked.size(), opt.k_pos + opt.k_neg);
+    size_t pos_scope = std::min(opt.k_pos, scope - 1);
+
+    uint32_t v_pos = ranked[rng->UniformIndex(pos_scope)].id;
+    uint32_t v_neg =
+        ranked[pos_scope + rng->UniformIndex(scope - pos_scope)].id;
+    out.push_back({v, v_pos, v_neg});
+  }
+  return out;
+}
+
+std::vector<RoutingSample> SampleRoutingFeatures(
+    const graph::ProximityGraph& graph, const Dataset& base,
+    const quant::VectorQuantizer& quantizer, const std::vector<uint8_t>& codes,
+    const RoutingSamplingOptions& opt, Dataset* queries_out) {
+  RPQ_CHECK_EQ(graph.num_vertices(), base.size());
+  RPQ_CHECK_EQ(codes.size(), base.size() * quantizer.code_size());
+
+  Rng rng(opt.seed);
+  std::vector<uint32_t> query_ids =
+      rng.SampleWithoutReplacement(base.size(), std::min(opt.num_queries,
+                                                         base.size()));
+  *queries_out = base.Gather(query_ids);
+
+  std::vector<RoutingSample> out;
+  graph::VisitedTable visited(base.size());
+  const size_t code_size = quantizer.code_size();
+
+  for (size_t qi = 0; qi < query_ids.size(); ++qi) {
+    const float* query = (*queries_out)[qi];
+    quant::AdcTable table(quantizer, query);
+
+    size_t steps = 0;
+    graph::BeamSearchOptions bopt;
+    bopt.beam_width = opt.beam_width;
+    bopt.k = opt.beam_width;
+    graph::BeamSearch(
+        graph, graph.entry_point(),
+        [&](uint32_t v) { return table.Distance(codes.data() + v * code_size); },
+        bopt, &visited, nullptr,
+        [&](const std::vector<Neighbor>& beam) {
+          if (steps++ >= opt.max_steps_per_query || beam.size() < 2) return;
+          RoutingSample s;
+          s.query_id = static_cast<uint32_t>(qi);
+          s.candidates.reserve(beam.size());
+          for (const Neighbor& nb : beam) s.candidates.push_back(nb.id);
+          // Teacher: exact-distance argmin among the recorded candidates.
+          float best = std::numeric_limits<float>::max();
+          for (size_t c = 0; c < s.candidates.size(); ++c) {
+            float d = SquaredL2(query, base[s.candidates[c]], base.dim());
+            if (d < best) {
+              best = d;
+              s.teacher = c;
+            }
+          }
+          out.push_back(std::move(s));
+        });
+  }
+  return out;
+}
+
+}  // namespace rpq::core

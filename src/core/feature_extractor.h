@@ -1,0 +1,73 @@
+// Sampling-based feature extractor (paper §5).
+//
+//  * Neighborhood features — Alg. 1 "n-propagation sampling": collect the
+//    n-hop neighborhood N_n(v), rank it by true distance to v, take the
+//    k_pos nearest as the positive scope and the next k_neg as the negative
+//    scope, and sample one triplet <v+, v, v->.
+//  * Routing features — Alg. 2: run beam search with the CURRENT quantizer's
+//    ADC distances and record, at every next-hop decision, the ranked global
+//    candidate set b_i (up to h ids). The teacher for the routing loss is the
+//    candidate with the smallest EXACT distance to the query (the "correct
+//    next-hop"; see DESIGN.md on why imitating the quantizer's own argmin
+//    would be circular).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "graph/beam_search.h"
+#include "graph/graph.h"
+#include "quant/quantizer.h"
+
+namespace rpq::core {
+
+/// One contrastive triplet of vertex ids.
+struct TripletSample {
+  uint32_t v;
+  uint32_t v_pos;
+  uint32_t v_neg;
+};
+
+/// One recorded next-hop decision: ranked candidates + teacher index.
+struct RoutingSample {
+  uint32_t query_id = 0;               ///< row in the query sample set
+  std::vector<uint32_t> candidates;    ///< ranked by ADC distance, <= h
+  size_t teacher = 0;                  ///< index into candidates (exact-best)
+};
+
+/// Alg. 1 parameters.
+struct NeighborhoodSamplingOptions {
+  size_t n_hops = 2;
+  size_t k_pos = 10;
+  size_t k_neg = 20;
+};
+
+/// Collects `count` triplets from random vertices (vertices whose n-hop
+/// neighborhood is smaller than k_pos + 1 are skipped).
+std::vector<TripletSample> SampleNeighborhoodTriplets(
+    const graph::ProximityGraph& graph, const Dataset& base, size_t count,
+    const NeighborhoodSamplingOptions& options, Rng* rng);
+
+/// N_n(v): the n-hop neighborhood of v (v excluded). Exposed for tests.
+std::vector<uint32_t> CollectNHopNeighborhood(const graph::ProximityGraph& graph,
+                                              uint32_t v, size_t n_hops);
+
+/// Alg. 2 parameters.
+struct RoutingSamplingOptions {
+  size_t num_queries = 64;       ///< query samples drawn from the base set
+  size_t beam_width = 32;        ///< h, the global candidate budget
+  size_t max_steps_per_query = 24;
+  uint64_t seed = 47;
+};
+
+/// Runs ADC beam search per sampled query and records decision steps.
+/// `codes` are the current hard codes of every base vector (n * code_size).
+/// Returns the samples plus the sampled query vectors through `queries_out`.
+std::vector<RoutingSample> SampleRoutingFeatures(
+    const graph::ProximityGraph& graph, const Dataset& base,
+    const quant::VectorQuantizer& quantizer, const std::vector<uint8_t>& codes,
+    const RoutingSamplingOptions& options, Dataset* queries_out);
+
+}  // namespace rpq::core

@@ -1,0 +1,74 @@
+#include "core/losses.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace rpq::core {
+
+float TripletLoss(const float* q_v, const float* q_pos, const float* q_neg,
+                  size_t dim, float margin, float* grad_v, float* grad_pos,
+                  float* grad_neg) {
+  float d_pos = SquaredL2(q_v, q_pos, dim);
+  float d_neg = SquaredL2(q_v, q_neg, dim);
+  float loss = margin + d_pos - d_neg;
+  if (loss <= 0.0f) return 0.0f;
+  if (grad_v != nullptr) {
+    for (size_t t = 0; t < dim; ++t) {
+      // d(d_pos)/dv = 2(v - p); d(-d_neg)/dv = -2(v - n).
+      grad_v[t] += 2.0f * (q_neg[t] - q_pos[t]);
+      grad_pos[t] += 2.0f * (q_pos[t] - q_v[t]);
+      grad_neg[t] += 2.0f * (q_v[t] - q_neg[t]);
+    }
+  }
+  return loss;
+}
+
+void NextHopProbabilities(const float* distances, size_t h, float tau,
+                          float* probs) {
+  RPQ_CHECK_GT(h, 0u);
+  float inv_tau = 1.0f / tau;
+  float mx = -std::numeric_limits<float>::max();
+  for (size_t i = 0; i < h; ++i) mx = std::max(mx, -distances[i] * inv_tau);
+  float sum = 0;
+  for (size_t i = 0; i < h; ++i) {
+    probs[i] = std::exp(-distances[i] * inv_tau - mx);
+    sum += probs[i];
+  }
+  for (size_t i = 0; i < h; ++i) probs[i] /= sum;
+}
+
+float RoutingStepLoss(const float* candidates, size_t h, size_t dim,
+                      const float* rotated_query, size_t teacher, float tau,
+                      float* grad_candidates, float* grad_query) {
+  RPQ_CHECK_LT(teacher, h);
+  std::vector<float> dist(h), probs(h);
+  for (size_t i = 0; i < h; ++i) {
+    dist[i] = SquaredL2(candidates + i * dim, rotated_query, dim);
+  }
+  NextHopProbabilities(dist.data(), h, tau, probs.data());
+  float loss = -std::log(std::max(probs[teacher], 1e-12f));
+
+  if (grad_candidates != nullptr) {
+    // dL/ddist_i = (y_i - p_i) * (-1/tau)' ... with a_i = -dist_i/tau:
+    // dL/da_i = p_i - y_i  =>  dL/ddist_i = (y_i - p_i) / tau.
+    for (size_t i = 0; i < h; ++i) {
+      float y = (i == teacher) ? 1.0f : 0.0f;
+      float gd = (y - probs[i]) / tau;
+      if (gd == 0.0f) continue;
+      const float* c = candidates + i * dim;
+      float* gc = grad_candidates + i * dim;
+      for (size_t t = 0; t < dim; ++t) {
+        float diff2 = 2.0f * (c[t] - rotated_query[t]);
+        gc[t] += gd * diff2;
+        if (grad_query != nullptr) grad_query[t] -= gd * diff2;
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace rpq::core

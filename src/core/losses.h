@@ -1,0 +1,38 @@
+// Feature-aware losses of the multi-feature joint training module (paper §6):
+//   Eq. 8  — neighborhood triplet loss  max(0, sigma + d(v,v+) - d(v,v-))
+//   Eq. 9/10 — routing loss: negative log-likelihood of the correct next-hop
+//              under a softmax over candidate (negative) ADC distances / tau
+//   Eq. 11 — joint loss  L = L_routing + alpha * L_neighborhood
+// Each function returns the loss value and writes gradients w.r.t. the
+// quantized vectors (and the rotated query for the routing loss), which the
+// caller routes into DiffQuantizer::Backward.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rpq::core {
+
+/// Triplet loss (Eq. 8). Inputs are the three quantized vectors (dim floats).
+/// Gradient buffers may be null when only the value is needed; non-null
+/// buffers are ACCUMULATED into.
+float TripletLoss(const float* q_v, const float* q_pos, const float* q_neg,
+                  size_t dim, float margin, float* grad_v, float* grad_pos,
+                  float* grad_neg);
+
+/// Routing loss for one decision step (Eq. 9/10, sign corrected: nearer
+/// candidates get higher probability).
+///   candidates: h quantized vectors, row-major h x dim
+///   rotated_query: the query in the quantized (rotated) space
+///   teacher: index of the correct next-hop
+/// Writes per-candidate gradients (h x dim, accumulated) and the gradient
+/// w.r.t. the rotated query (accumulated). Returns -log P(teacher).
+float RoutingStepLoss(const float* candidates, size_t h, size_t dim,
+                      const float* rotated_query, size_t teacher, float tau,
+                      float* grad_candidates, float* grad_query);
+
+/// Softmax of -distances/tau, exposed for tests (probabilities sum to 1).
+void NextHopProbabilities(const float* distances, size_t h, float tau,
+                          float* probs);
+
+}  // namespace rpq::core

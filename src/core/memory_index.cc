@@ -1,0 +1,42 @@
+#include "core/memory_index.h"
+
+#include "quant/adc.h"
+
+namespace rpq::core {
+
+std::unique_ptr<MemoryIndex> MemoryIndex::Build(
+    const Dataset& base, const graph::ProximityGraph& graph,
+    const quant::VectorQuantizer& quantizer) {
+  auto index = std::unique_ptr<MemoryIndex>(new MemoryIndex(graph, quantizer));
+  index->codes_ = quantizer.EncodeDataset(base);
+  return index;
+}
+
+MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
+                                       const graph::BeamSearchOptions& opt,
+                                       DistanceMode mode) const {
+  MemorySearchResult out;
+  const size_t code_size = quantizer_.code_size();
+  if (mode == DistanceMode::kSdc) {
+    const auto* pq = dynamic_cast<const quant::PqQuantizer*>(&quantizer_);
+    RPQ_CHECK(pq != nullptr && "SDC requires a PQ-family quantizer");
+    quant::SdcTable table(*pq, query);
+    out.results = graph::BeamSearch(
+        graph_, graph_.entry_point(),
+        [&](uint32_t v) { return table.Distance(codes_.data() + v * code_size); },
+        {opt.beam_width, k}, &visited_, &out.stats);
+    return out;
+  }
+  quant::AdcTable table(quantizer_, query);
+  out.results = graph::BeamSearch(
+      graph_, graph_.entry_point(),
+      [&](uint32_t v) { return table.Distance(codes_.data() + v * code_size); },
+      {opt.beam_width, k}, &visited_, &out.stats);
+  return out;
+}
+
+size_t MemoryIndex::MemoryBytes() const {
+  return codes_.size() + quantizer_.ModelSizeBytes();
+}
+
+}  // namespace rpq::core

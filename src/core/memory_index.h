@@ -1,0 +1,54 @@
+// PQ-integrated in-memory graph index (paper §7, in-memory scenario):
+// memory holds the PG plus compact codes + codebook only — original vectors
+// are NOT consulted at query time; ranking and results both use ADC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/topk.h"
+#include "data/dataset.h"
+#include "graph/beam_search.h"
+#include "graph/graph.h"
+#include "quant/quantizer.h"
+
+namespace rpq::core {
+
+/// Result of one in-memory query.
+struct MemorySearchResult {
+  std::vector<Neighbor> results;  ///< ascending by estimated distance
+  graph::SearchStats stats;
+};
+
+/// Distance estimation mode (§3.1): ADC (default, lower error) or SDC (both
+/// sides quantized; requires a PQ-family quantizer).
+enum class DistanceMode { kAdc, kSdc };
+
+/// Graph + codes index; the graph and quantizer are borrowed.
+class MemoryIndex {
+ public:
+  static std::unique_ptr<MemoryIndex> Build(const Dataset& base,
+                                            const graph::ProximityGraph& graph,
+                                            const quant::VectorQuantizer& quantizer);
+
+  MemorySearchResult Search(const float* query, size_t k,
+                            const graph::BeamSearchOptions& options,
+                            DistanceMode mode = DistanceMode::kAdc) const;
+
+  /// Codes + model bytes (the in-memory footprint the paper constrains).
+  size_t MemoryBytes() const;
+  const std::vector<uint8_t>& codes() const { return codes_; }
+
+ private:
+  MemoryIndex(const graph::ProximityGraph& graph,
+              const quant::VectorQuantizer& quantizer)
+      : graph_(graph), quantizer_(quantizer), visited_(graph.num_vertices()) {}
+
+  const graph::ProximityGraph& graph_;
+  const quant::VectorQuantizer& quantizer_;
+  std::vector<uint8_t> codes_;
+  mutable graph::VisitedTable visited_;
+};
+
+}  // namespace rpq::core

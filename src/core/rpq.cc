@@ -1,0 +1,3 @@
+#include "core/rpq.h"
+
+// Facade header; implementation lives in the per-component TUs.

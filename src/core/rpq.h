@@ -1,0 +1,22 @@
+// Public facade of the RPQ library.
+//
+// Typical use:
+//
+//   rpq::Dataset base = rpq::synthetic::MakeSiftLike(10000);
+//   auto graph = rpq::graph::BuildVamana(base, {});            // or HNSW/NSG
+//   rpq::core::RpqTrainOptions opt;                            // M, K, ...
+//   auto trained = rpq::core::TrainRpq(base, graph, opt);      // end-to-end
+//   auto index = rpq::core::MemoryIndex::Build(base, graph, *trained.quantizer);
+//   auto res = index->Search(query, 10, {.beam_width = 64, .k = 10});
+//
+// Hybrid (DiskANN-style) deployment:
+//
+//   auto disk = rpq::disk::DiskIndex::Build(base, graph, *trained.quantizer);
+//   auto res = disk->Search(query, 10, {.beam_width = 32, .k = 10});
+#pragma once
+
+#include "core/diff_quantizer.h"    // IWYU pragma: export
+#include "core/feature_extractor.h" // IWYU pragma: export
+#include "core/losses.h"            // IWYU pragma: export
+#include "core/memory_index.h"      // IWYU pragma: export
+#include "core/trainer.h"           // IWYU pragma: export

@@ -1,0 +1,276 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/adam.h"
+#include "core/feature_extractor.h"
+#include "core/losses.h"
+#include "quant/kmeans.h"
+
+namespace rpq::core {
+namespace {
+
+// Characteristic squared-distance scale of the graph: mean edge length.
+// The trainer rescales the data so this is ~1, making the margin (Eq. 8),
+// tau (Eq. 9) and the Adam learning rates scale-free across datasets
+// (byte-valued SIFT and unit-norm Deep train with the same hyperparameters).
+double EdgeDistanceScale(const Dataset& base, const graph::ProximityGraph& graph,
+                         Rng* rng) {
+  double acc = 0;
+  size_t count = 0;
+  const size_t kSamples = 1024;
+  for (size_t s = 0; s < kSamples; ++s) {
+    uint32_t v = static_cast<uint32_t>(rng->UniformIndex(base.size()));
+    const auto& nb = graph.Neighbors(v);
+    if (nb.empty()) continue;
+    uint32_t u = nb[rng->UniformIndex(nb.size())];
+    acc += SquaredL2(base[v], base[u], base.dim());
+    ++count;
+  }
+  double mean = count > 0 ? acc / count : 1.0;
+  return std::max(mean, 1e-12);
+}
+
+}  // namespace
+
+RpqTrainResult TrainRpq(const Dataset& base, const graph::ProximityGraph& graph,
+                        const RpqTrainOptions& opt) {
+  RPQ_CHECK_EQ(base.size(), graph.num_vertices());
+  RPQ_CHECK(opt.use_neighborhood || opt.use_routing);
+  Timer timer;
+  Rng rng(opt.seed);
+
+  // --- Normalize the working copy so mean squared edge length == 1. ---
+  double scale2 = EdgeDistanceScale(base, graph, &rng);
+  float unit = static_cast<float>(1.0 / std::sqrt(scale2));
+  Dataset data(base.size(), base.dim());
+  for (size_t i = 0; i < base.size(); ++i) {
+    const float* src = base[i];
+    float* dst = data[i];
+    for (size_t j = 0; j < base.dim(); ++j) dst[j] = src[j] * unit;
+  }
+
+  DiffQuantizerOptions dopt;
+  dopt.m = opt.m;
+  dopt.k = opt.k;
+  dopt.rotation_block = opt.rotation_block;
+  dopt.gumbel_tau = opt.gumbel_tau;
+  dopt.straight_through = opt.straight_through;
+  dopt.seed = opt.seed;
+  DiffQuantizer dq(data.dim(), dopt);
+  dq.InitCodebooks(data);
+  {
+    size_t cal = std::min<size_t>(data.size(), 512);
+    dq.CalibrateTemperatures(data.Slice(0, cal));
+  }
+
+  const float margin = opt.margin_scale;  // in normalized units
+  const float tau = std::max(opt.tau_scale, 1e-9f);
+
+  // Two Adam groups: rotation parameters and codebook floats.
+  std::vector<float> params(dq.NumParams());
+  std::vector<float> flat_grads(dq.NumParams());
+  dq.ExportParams(params.data());
+  const size_t rot_params =
+      dq.num_blocks() * dq.block_size() * dq.block_size();
+  AdamOptions rot_opt;
+  rot_opt.lr = opt.rotation_lr;
+  AdamOptions cb_opt;
+  cb_opt.lr = opt.codebook_lr;
+  Adam adam_rot(rot_params, rot_opt);
+  Adam adam_cb(params.size() - rot_params, cb_opt);
+  GradBuffer grads = dq.MakeGradBuffer();
+
+  size_t steps_per_epoch = 1;
+  if (opt.use_neighborhood) {
+    steps_per_epoch = std::max(steps_per_epoch,
+                               (opt.triplets_per_epoch + opt.batch_size - 1) /
+                                   opt.batch_size);
+  }
+  // One-cycle over the whole run (paper: one-cycle LR, decay rate 0.2).
+  OneCycleSchedule sched(std::max<size_t>(1, opt.epochs * steps_per_epoch),
+                         0.3f, 0.2f);
+
+  RpqTrainResult result;
+  std::vector<RoutingSample> routing;
+  Dataset routing_queries;
+
+  NeighborhoodSamplingOptions nopt;
+  nopt.n_hops = opt.n_hops;
+  nopt.k_pos = opt.k_pos;
+  nopt.k_neg = opt.k_neg;
+
+  const size_t dim = data.dim();
+  ForwardResult fwd_v, fwd_p, fwd_n;
+  std::vector<float> gq_v(dim), gq_p(dim), gq_n(dim);
+
+  size_t global_step = 0;
+  for (size_t epoch = 0; epoch < opt.epochs; ++epoch) {
+    // --- Feature extraction with the CURRENT quantizer (Fig. 2 loop). ---
+    std::vector<TripletSample> triplets;
+    if (opt.use_neighborhood && !opt.l2r_mode) {
+      triplets = SampleNeighborhoodTriplets(graph, data, opt.triplets_per_epoch,
+                                            nopt, &rng);
+    }
+    if (opt.use_routing && (routing.empty() || !opt.l2r_mode)) {
+      auto deployed = dq.Deploy();
+      std::vector<uint8_t> codes = deployed->EncodeDataset(data);
+      RoutingSamplingOptions ropt;
+      ropt.num_queries = opt.routing_queries_per_epoch;
+      ropt.beam_width = opt.routing_beam_width;
+      ropt.max_steps_per_query = opt.max_steps_per_query;
+      ropt.seed = opt.seed + 101 * epoch;
+      routing = SampleRoutingFeatures(graph, data, *deployed, codes, ropt,
+                                      &routing_queries);
+    }
+    if (!triplets.empty()) rng.Shuffle(&triplets);
+
+    size_t rsteps = routing.empty()
+                        ? 0
+                        : (routing.size() + opt.batch_size - 1) / opt.batch_size;
+    size_t tsteps = triplets.empty()
+                        ? 0
+                        : (triplets.size() + opt.batch_size - 1) / opt.batch_size;
+    size_t nsteps = std::max<size_t>(1, std::max(rsteps, tsteps));
+
+    double epoch_loss = 0;
+    size_t epoch_samples = 0;
+
+    for (size_t step = 0; step < nsteps; ++step) {
+      grads.Reset();
+      double batch_loss = 0;
+      size_t batch_samples = 0;
+
+      // Neighborhood feature loss (Eq. 8), weighted by alpha (Eq. 11).
+      if (!triplets.empty()) {
+        for (size_t b = 0; b < opt.batch_size; ++b) {
+          const TripletSample& t =
+              triplets[(step * opt.batch_size + b) % triplets.size()];
+          dq.Forward(data[t.v], &rng, true, &fwd_v);
+          dq.Forward(data[t.v_pos], &rng, true, &fwd_p);
+          dq.Forward(data[t.v_neg], &rng, true, &fwd_n);
+          std::fill(gq_v.begin(), gq_v.end(), 0.0f);
+          std::fill(gq_p.begin(), gq_p.end(), 0.0f);
+          std::fill(gq_n.begin(), gq_n.end(), 0.0f);
+          float l = TripletLoss(fwd_v.quantized.data(), fwd_p.quantized.data(),
+                                fwd_n.quantized.data(), dim, margin, gq_v.data(),
+                                gq_p.data(), gq_n.data());
+          if (l > 0.0f) {
+            for (auto& g : gq_v) g *= opt.alpha;
+            for (auto& g : gq_p) g *= opt.alpha;
+            for (auto& g : gq_n) g *= opt.alpha;
+            dq.Backward(data[t.v], fwd_v, gq_v.data(), &grads);
+            dq.Backward(data[t.v_pos], fwd_p, gq_p.data(), &grads);
+            dq.Backward(data[t.v_neg], fwd_n, gq_n.data(), &grads);
+          }
+          batch_loss += opt.alpha * l;
+          ++batch_samples;
+        }
+      }
+
+      // Routing feature loss (Eq. 9/10).
+      if (!routing.empty()) {
+        std::vector<float> cand_quant;
+        std::vector<float> cand_grads;
+        std::vector<ForwardResult> cand_fwd;
+        std::vector<float> rq(dim), grad_rq(dim);
+        for (size_t b = 0; b < opt.batch_size; ++b) {
+          const RoutingSample& s =
+              routing[(step * opt.batch_size + b) % routing.size()];
+          size_t h = s.candidates.size();
+          if (h < 2) continue;
+          cand_quant.assign(h * dim, 0.0f);
+          cand_grads.assign(h * dim, 0.0f);
+          cand_fwd.resize(h);
+          for (size_t c = 0; c < h; ++c) {
+            dq.Forward(data[s.candidates[c]], &rng, true, &cand_fwd[c]);
+            std::copy(cand_fwd[c].quantized.begin(), cand_fwd[c].quantized.end(),
+                      cand_quant.begin() + c * dim);
+          }
+          const float* query = routing_queries[s.query_id];
+          dq.Rotate(query, rq.data());
+          std::fill(grad_rq.begin(), grad_rq.end(), 0.0f);
+          float l = RoutingStepLoss(cand_quant.data(), h, dim, rq.data(),
+                                    s.teacher, tau, cand_grads.data(),
+                                    grad_rq.data());
+          for (size_t c = 0; c < h; ++c) {
+            dq.Backward(data[s.candidates[c]], cand_fwd[c],
+                        cand_grads.data() + c * dim, &grads);
+          }
+          dq.AccumulateRotationGrad(query, grad_rq.data(), &grads);
+          batch_loss += l;
+          ++batch_samples;
+        }
+      }
+
+      if (batch_samples == 0) continue;
+      dq.FlattenGrads(grads, flat_grads.data());
+      float inv = 1.0f / static_cast<float>(batch_samples);
+      for (auto& g : flat_grads) g *= inv;
+      float lr_scale = sched.Scale(++global_step);
+      adam_rot.Step(params.data(), flat_grads.data(), lr_scale);
+      adam_cb.Step(params.data() + rot_params, flat_grads.data() + rot_params,
+                   lr_scale);
+      dq.ImportParams(params.data());
+
+      epoch_loss += batch_loss;
+      epoch_samples += batch_samples;
+    }
+    result.epoch_loss.push_back(
+        epoch_samples > 0 ? epoch_loss / epoch_samples : 0.0);
+  }
+
+  // --- Final warm-started codebook refit in the learned rotated space. ---
+  // Re-anchors quantization distortion after the loss-driven drift while
+  // keeping the learned rotation and the loss-shaped codeword basins (the
+  // k-means iterations start FROM the trained codewords).
+  if (opt.final_codebook_refit) {
+    std::vector<float> rotated(data.size() * dim);
+    for (size_t i = 0; i < data.size(); ++i) {
+      dq.Rotate(data[i], rotated.data() + i * dim);
+    }
+    std::vector<float> fresh(dq.NumParams());
+    dq.ExportParams(fresh.data());
+    size_t sub = dq.sub_dim();
+    std::vector<float> chunk(data.size() * sub);
+    for (size_t j = 0; j < opt.m; ++j) {
+      for (size_t i = 0; i < data.size(); ++i) {
+        std::memcpy(chunk.data() + i * sub, rotated.data() + i * dim + j * sub,
+                    sub * sizeof(float));
+      }
+      quant::KMeansOptions km;
+      km.k = opt.k;
+      km.max_iters = opt.refit_iters;
+      km.seed = opt.seed + 7 * j;
+      km.warm_start.assign(
+          fresh.begin() + rot_params + j * opt.k * sub,
+          fresh.begin() + rot_params + (j + 1) * opt.k * sub);
+      auto res = quant::RunKMeans(chunk.data(), data.size(), sub, km);
+      std::copy(res.centroids.begin(), res.centroids.end(),
+                fresh.begin() + rot_params + j * opt.k * sub);
+    }
+    dq.ImportParams(fresh.data());
+  }
+
+  // --- Deploy, rescaling codewords back to the original data units. ---
+  result.quantizer = dq.Deploy();
+  {
+    quant::Codebook book = result.quantizer->codebook();
+    float back = static_cast<float>(std::sqrt(scale2));
+    for (size_t i = 0; i < book.num_floats(); ++i) book.data()[i] *= back;
+    linalg::Matrix rotation = result.quantizer->rotation();
+    result.quantizer =
+        std::make_unique<quant::PqQuantizer>(std::move(book), std::move(rotation));
+  }
+  result.training_seconds = timer.ElapsedSeconds();
+  result.model_size_bytes = result.quantizer->ModelSizeBytes();
+  return result;
+}
+
+}  // namespace rpq::core

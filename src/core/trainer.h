@@ -1,0 +1,77 @@
+// Multi-feature joint training (paper §6): optimizes the differentiable
+// quantizer with Adam + one-cycle LR on the joint loss
+//   L = L_routing + alpha * L_neighborhood          (Eq. 11)
+// re-extracting routing features with the CURRENT quantizer every epoch so
+// the decision-making signal tracks the model (end-to-end loop of Fig. 2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/diff_quantizer.h"
+#include "data/dataset.h"
+#include "graph/graph.h"
+#include "quant/pq.h"
+
+namespace rpq::core {
+
+/// Full RPQ training configuration.
+struct RpqTrainOptions {
+  // Quantizer structure.
+  size_t m = 8;
+  size_t k = 256;
+  size_t rotation_block = 0;     ///< 0 = full D x D rotation
+  float gumbel_tau = 1.0f;
+  bool straight_through = true;
+
+  // Feature extraction (paper §5).
+  size_t n_hops = 2;
+  size_t k_pos = 10;
+  size_t k_neg = 20;
+  size_t triplets_per_epoch = 1024;
+  size_t routing_queries_per_epoch = 48;
+  size_t routing_beam_width = 16;      ///< h of Alg. 2
+  size_t max_steps_per_query = 16;
+
+  // Optimization (paper §6: Adam, one-cycle, LR 1e-3, decay 0.2).
+  // The trainer normalizes the data so the mean graph-edge length is 1; the
+  // two parameter groups then get scale-free learning rates (Adam moves each
+  // coordinate ~lr per step regardless of gradient magnitude).
+  size_t epochs = 3;
+  size_t batch_size = 16;              ///< samples (of each kind) per step
+  float rotation_lr = 1e-3f;           ///< lr for the skew parameters P
+  float codebook_lr = 8e-3f;           ///< lr for codewords (unit-scale data)
+  float alpha = 1.0f;                  ///< joint-loss coefficient (Eq. 11)
+  float margin_scale = 0.5f;           ///< sigma, in units of mean edge dist
+  float tau_scale = 1.0f;              ///< tau, in units of mean edge dist
+  /// After gradient training, re-fit the codebooks with a few warm-started
+  /// k-means iterations in the learned rotated space. This anchors the
+  /// distortion (the learned rotation + loss-shaped basins are kept) and is
+  /// the analogue of OPQ's final codebook step.
+  bool final_codebook_refit = true;
+  size_t refit_iters = 6;
+
+  // Ablations (paper Tables 6/7).
+  bool use_neighborhood = true;        ///< "RPQ w/ N" keeps only this
+  bool use_routing = true;             ///< "RPQ w/ R" keeps only this
+  bool l2r_mode = false;               ///< "RPQ w/ L2R": path imitation —
+                                       ///< routing features recorded ONCE with
+                                       ///< exact distances, never resampled,
+                                       ///< and no neighborhood loss
+
+  uint64_t seed = 53;
+};
+
+/// Artifacts of one training run.
+struct RpqTrainResult {
+  std::unique_ptr<quant::PqQuantizer> quantizer;  ///< deployable rotation+PQ
+  double training_seconds = 0.0;                   ///< Table 4 metric
+  size_t model_size_bytes = 0;                     ///< Table 5 metric
+  std::vector<double> epoch_loss;                  ///< joint loss per epoch
+};
+
+/// Trains RPQ end-to-end for the given base set and proximity graph.
+RpqTrainResult TrainRpq(const Dataset& base, const graph::ProximityGraph& graph,
+                        const RpqTrainOptions& options);
+
+}  // namespace rpq::core

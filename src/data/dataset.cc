@@ -1,0 +1,31 @@
+#include "data/dataset.h"
+
+#include <cstring>
+
+namespace rpq {
+
+Dataset Dataset::Slice(size_t begin, size_t end) const {
+  RPQ_CHECK(begin <= end && end <= n_);
+  Dataset out(end - begin, dim_);
+  std::memcpy(out.data(), data_.data() + begin * dim_,
+              (end - begin) * dim_ * sizeof(float));
+  return out;
+}
+
+Dataset Dataset::Gather(const std::vector<uint32_t>& ids) const {
+  Dataset out(ids.size(), dim_);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    RPQ_CHECK_LT(ids[i], n_);
+    std::memcpy(out[i], (*this)[ids[i]], dim_ * sizeof(float));
+  }
+  return out;
+}
+
+void Dataset::Append(const float* vec, size_t dim) {
+  if (n_ == 0 && dim_ == 0) dim_ = dim;
+  RPQ_CHECK_EQ(dim, dim_);
+  data_.insert(data_.end(), vec, vec + dim);
+  ++n_;
+}
+
+}  // namespace rpq

@@ -1,0 +1,42 @@
+// Row-major float vector dataset — the library's fundamental data container.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rpq {
+
+/// N x D row-major collection of float vectors.
+class Dataset {
+ public:
+  Dataset() : n_(0), dim_(0) {}
+  Dataset(size_t n, size_t dim) : n_(n), dim_(dim), data_(n * dim, 0.0f) {}
+  Dataset(size_t n, size_t dim, std::vector<float> data)
+      : n_(n), dim_(dim), data_(std::move(data)) {
+    RPQ_CHECK_EQ(data_.size(), n_ * dim_);
+  }
+
+  size_t size() const { return n_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+  float* operator[](size_t i) { return data_.data() + i * dim_; }
+  const float* operator[](size_t i) const { return data_.data() + i * dim_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Copy of rows [begin, end).
+  Dataset Slice(size_t begin, size_t end) const;
+  /// Copy of the given rows, in order.
+  Dataset Gather(const std::vector<uint32_t>& ids) const;
+  /// Appends one vector (must match dim; first append fixes dim).
+  void Append(const float* vec, size_t dim);
+
+ private:
+  size_t n_, dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace rpq

@@ -1,0 +1,42 @@
+#include "data/ground_truth.h"
+
+#include "common/distance.h"
+
+namespace rpq {
+
+std::vector<std::vector<Neighbor>> ComputeGroundTruth(const Dataset& base,
+                                                      const Dataset& queries,
+                                                      size_t k,
+                                                      ThreadPool* pool) {
+  std::vector<std::vector<Neighbor>> out(queries.size());
+  ParallelFor(pool, queries.size(), [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      TopK top(k);
+      const float* qv = queries[q];
+      for (size_t i = 0; i < base.size(); ++i) {
+        top.Push(SquaredL2(qv, base[i], base.dim()), static_cast<uint32_t>(i));
+      }
+      out[q] = top.Take();
+    }
+  });
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> ComputeSelfKnn(const Dataset& base, size_t k,
+                                                  ThreadPool* pool) {
+  std::vector<std::vector<Neighbor>> out(base.size());
+  ParallelFor(pool, base.size(), [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      TopK top(k);
+      const float* qv = base[q];
+      for (size_t i = 0; i < base.size(); ++i) {
+        if (i == q) continue;
+        top.Push(SquaredL2(qv, base[i], base.dim()), static_cast<uint32_t>(i));
+      }
+      out[q] = top.Take();
+    }
+  });
+  return out;
+}
+
+}  // namespace rpq

@@ -1,0 +1,26 @@
+// Exact k-nearest-neighbor ground truth by (parallel) brute force.
+// Used for recall evaluation and for the generators' LID statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/topk.h"
+#include "data/dataset.h"
+
+namespace rpq {
+
+/// Exact top-k (squared L2) of every query against the base set.
+/// Result shape: [num_queries][k], each row ascending by distance.
+std::vector<std::vector<Neighbor>> ComputeGroundTruth(const Dataset& base,
+                                                      const Dataset& queries,
+                                                      size_t k,
+                                                      ThreadPool* pool = nullptr);
+
+/// Exact top-k neighbors of each base vector against the base set itself,
+/// excluding self-matches (used by graph builders and samplers).
+std::vector<std::vector<Neighbor>> ComputeSelfKnn(const Dataset& base, size_t k,
+                                                  ThreadPool* pool = nullptr);
+
+}  // namespace rpq

@@ -1,0 +1,45 @@
+#include "data/lid.h"
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "common/topk.h"
+
+namespace rpq {
+
+double EstimateLid(const Dataset& data, size_t k, size_t samples, uint64_t seed) {
+  if (data.size() <= k + 1 || k < 2) return 0.0;
+  Rng rng(seed);
+  samples = std::min(samples, data.size());
+  std::vector<uint32_t> ids = rng.SampleWithoutReplacement(data.size(), samples);
+
+  double sum = 0.0;
+  size_t used = 0;
+  for (uint32_t id : ids) {
+    TopK top(k);
+    const float* x = data[id];
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (i == id) continue;
+      top.Push(SquaredL2(x, data[i], data.dim()), static_cast<uint32_t>(i));
+    }
+    std::vector<Neighbor> nn = top.Take();
+    double rk = std::sqrt(static_cast<double>(nn.back().dist));
+    if (rk <= 0) continue;
+    // MLE: lid = -[ (1/(k-1)) * sum_{i<k} log(r_i / r_k) ]^{-1}
+    double acc = 0.0;
+    size_t valid = 0;
+    for (size_t i = 0; i + 1 < nn.size(); ++i) {
+      double ri = std::sqrt(static_cast<double>(nn[i].dist));
+      if (ri <= 0) continue;
+      acc += std::log(ri / rk);
+      ++valid;
+    }
+    if (valid == 0 || acc >= 0) continue;
+    sum += -static_cast<double>(valid) / acc;
+    ++used;
+  }
+  return used > 0 ? sum / static_cast<double>(used) : 0.0;
+}
+
+}  // namespace rpq

@@ -1,0 +1,17 @@
+// Local Intrinsic Dimensionality estimation (maximum-likelihood estimator of
+// Levina & Bickel / Amsaleg et al. [23]), used to validate that the synthetic
+// generators match the LID column of the paper's Table 3.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.h"
+
+namespace rpq {
+
+/// Mean MLE-LID over `samples` random points, each using its k nearest
+/// neighbors within `data`. Returns 0 for degenerate inputs.
+double EstimateLid(const Dataset& data, size_t k = 20, size_t samples = 200,
+                   uint64_t seed = 7);
+
+}  // namespace rpq

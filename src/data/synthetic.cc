@@ -1,0 +1,157 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace rpq::synthetic {
+namespace {
+
+// Per-cluster generative model: center + intrinsic_dim random directions.
+struct Cluster {
+  std::vector<float> center;              // D
+  std::vector<std::vector<float>> basis;  // intrinsic_dim x D, unnormalized
+};
+
+std::vector<Cluster> MakeClusters(const GmmOptions& opt, Rng* rng) {
+  std::vector<Cluster> cs(opt.num_clusters);
+  for (auto& c : cs) {
+    c.center.resize(opt.dim);
+    for (auto& v : c.center) v = rng->Gaussian(0.0f, opt.cluster_spread);
+    c.basis.resize(opt.intrinsic_dim);
+    for (auto& dir : c.basis) {
+      dir.resize(opt.dim);
+      for (auto& v : dir) v = rng->Gaussian();
+      // Normalize so coefficients control the scale directly.
+      float norm = 0;
+      for (float v : dir) norm += v * v;
+      norm = std::sqrt(std::max(norm, 1e-12f));
+      for (auto& v : dir) v /= norm;
+    }
+  }
+  return cs;
+}
+
+}  // namespace
+
+Dataset MakeGmm(size_t n, const GmmOptions& opt, uint64_t seed) {
+  RPQ_CHECK_GT(opt.dim, 0u);
+  RPQ_CHECK_GT(opt.num_clusters, 0u);
+  RPQ_CHECK_LE(opt.intrinsic_dim, opt.dim);
+  Rng rng(seed);
+  std::vector<Cluster> clusters = MakeClusters(opt, &rng);
+
+  // Anisotropy: dimension j is scaled by exp(-anisotropy * j / D) so energy
+  // concentrates in leading dimensions (what OPQ's rotation rebalances).
+  std::vector<float> dim_scale(opt.dim, 1.0f);
+  if (opt.anisotropy > 0) {
+    for (size_t j = 0; j < opt.dim; ++j) {
+      dim_scale[j] = std::exp(-opt.anisotropy * static_cast<float>(j) /
+                              static_cast<float>(opt.dim));
+    }
+  }
+
+  Dataset out(n, opt.dim);
+  std::vector<float> coeff(opt.intrinsic_dim);
+  for (size_t i = 0; i < n; ++i) {
+    const Cluster& c = clusters[rng.UniformIndex(clusters.size())];
+    float* row = out[i];
+    for (size_t j = 0; j < opt.dim; ++j) row[j] = c.center[j];
+    for (size_t t = 0; t < opt.intrinsic_dim; ++t) coeff[t] = rng.Gaussian();
+    for (size_t t = 0; t < opt.intrinsic_dim; ++t) {
+      const float* dir = c.basis[t].data();
+      float w = coeff[t];
+      for (size_t j = 0; j < opt.dim; ++j) row[j] += w * dir[j];
+    }
+    for (size_t j = 0; j < opt.dim; ++j) {
+      row[j] = row[j] * dim_scale[j] + rng.Gaussian(0.0f, opt.noise);
+    }
+    if (opt.normalize) {
+      float norm = 0;
+      for (size_t j = 0; j < opt.dim; ++j) norm += row[j] * row[j];
+      norm = std::sqrt(std::max(norm, 1e-12f));
+      for (size_t j = 0; j < opt.dim; ++j) row[j] /= norm;
+    }
+    if (opt.quantize_u8) {
+      for (size_t j = 0; j < opt.dim; ++j) {
+        // Map roughly-unit Gaussian coordinates into the SIFT byte range.
+        float v = std::round(row[j] * 16.0f + 32.0f);
+        row[j] = std::clamp(v, 0.0f, 255.0f);
+      }
+    }
+  }
+  return out;
+}
+
+Dataset MakeSiftLike(size_t n, uint64_t seed) {
+  GmmOptions o;
+  o.dim = 128;
+  o.num_clusters = 80;
+  o.intrinsic_dim = 16;
+  o.anisotropy = 2.0f;
+  o.quantize_u8 = true;
+  return MakeGmm(n, o, seed);
+}
+
+Dataset MakeBigAnnLike(size_t n, uint64_t seed) {
+  GmmOptions o;
+  o.dim = 128;
+  o.num_clusters = 120;
+  o.intrinsic_dim = 16;
+  o.anisotropy = 1.5f;
+  o.quantize_u8 = true;
+  return MakeGmm(n, o, seed);
+}
+
+Dataset MakeDeepLike(size_t n, uint64_t seed) {
+  GmmOptions o;
+  o.dim = 96;
+  o.num_clusters = 100;
+  o.intrinsic_dim = 18;
+  o.anisotropy = 1.0f;
+  o.normalize = true;
+  o.noise = 0.02f;
+  return MakeGmm(n, o, seed);
+}
+
+Dataset MakeGistLike(size_t n, uint64_t seed) {
+  GmmOptions o;
+  o.dim = 960;
+  o.num_clusters = 60;
+  o.intrinsic_dim = 35;
+  o.anisotropy = 3.0f;
+  o.noise = 0.02f;
+  return MakeGmm(n, o, seed);
+}
+
+Dataset MakeUkbenchLike(size_t n, uint64_t seed) {
+  GmmOptions o;
+  o.dim = 128;
+  o.num_clusters = 200;
+  o.intrinsic_dim = 8;
+  o.anisotropy = 1.0f;
+  o.noise = 0.02f;
+  return MakeGmm(n, o, seed);
+}
+
+Dataset MakeByName(const std::string& name, size_t n, uint64_t seed) {
+  if (name == "sift") return MakeSiftLike(n, seed);
+  if (name == "bigann") return MakeBigAnnLike(n, seed);
+  if (name == "deep") return MakeDeepLike(n, seed);
+  if (name == "gist") return MakeGistLike(n, seed);
+  if (name == "ukbench") return MakeUkbenchLike(n, seed);
+  RPQ_CHECK(false && "unknown synthetic dataset name");
+  return Dataset();
+}
+
+void MakeBaseAndQueries(const std::string& name, size_t n_base, size_t n_query,
+                        uint64_t seed, Dataset* base, Dataset* queries) {
+  Dataset all = MakeByName(name, n_base + n_query, seed);
+  *base = all.Slice(0, n_base);
+  *queries = all.Slice(n_base, n_base + n_query);
+}
+
+}  // namespace rpq::synthetic

@@ -1,0 +1,128 @@
+#include "disk/disk_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "quant/adc.h"
+
+namespace rpq::disk {
+namespace {
+
+// Node block layout: dim floats, then uint32 degree, then degree uint32 ids.
+size_t BlockPayloadBytes(size_t dim, size_t degree) {
+  return dim * sizeof(float) + sizeof(uint32_t) + degree * sizeof(uint32_t);
+}
+
+}  // namespace
+
+std::unique_ptr<DiskIndex> DiskIndex::Build(
+    const Dataset& base, const graph::ProximityGraph& graph,
+    const quant::VectorQuantizer& quantizer, const DiskIndexOptions& options) {
+  RPQ_CHECK_EQ(base.size(), graph.num_vertices());
+  auto index = std::unique_ptr<DiskIndex>(new DiskIndex(quantizer));
+  index->num_vertices_ = base.size();
+  index->dim_ = base.dim();
+  index->entry_ = graph.entry_point();
+
+  size_t max_degree = 0;
+  for (uint32_t v = 0; v < base.size(); ++v) {
+    max_degree = std::max(max_degree, graph.Neighbors(v).size());
+  }
+  index->max_degree_ = max_degree;
+
+  index->ssd_ = std::make_unique<SsdSimulator>(
+      base.size(), BlockPayloadBytes(base.dim(), max_degree), options.ssd);
+
+  std::vector<uint8_t> block(index->ssd_->block_bytes(), 0);
+  for (uint32_t v = 0; v < base.size(); ++v) {
+    uint8_t* p = block.data();
+    std::memcpy(p, base[v], base.dim() * sizeof(float));
+    p += base.dim() * sizeof(float);
+    const auto& nb = graph.Neighbors(v);
+    uint32_t deg = static_cast<uint32_t>(nb.size());
+    std::memcpy(p, &deg, sizeof(deg));
+    p += sizeof(deg);
+    if (deg > 0) std::memcpy(p, nb.data(), deg * sizeof(uint32_t));
+    index->ssd_->WriteBlock(v, block.data(),
+                            BlockPayloadBytes(base.dim(), deg));
+  }
+
+  index->codes_ = quantizer.EncodeDataset(base);
+  index->visited_ = graph::VisitedTable(base.size());
+  return index;
+}
+
+DiskSearchResult DiskIndex::Search(const float* query, size_t k,
+                                   const graph::BeamSearchOptions& options) const {
+  DiskSearchResult out;
+  const size_t beam_width = std::max(options.beam_width, k);
+  quant::AdcTable table(quantizer_, query);
+  const size_t code_size = quantizer_.code_size();
+
+  auto adc = [&](uint32_t v) {
+    ++out.stats.dist_comps;
+    return table.Distance(codes_.data() + v * code_size);
+  };
+
+  visited_.NextEpoch();
+  std::vector<Neighbor> beam;       // ascending by ADC distance
+  std::vector<bool> expanded;
+  TopK rerank(k);                   // exact distances from fetched vectors
+
+  beam.push_back({adc(entry_), entry_});
+  expanded.push_back(false);
+  visited_.MarkVisited(entry_);
+
+  std::vector<uint8_t> block(ssd_->block_bytes());
+  for (;;) {
+    size_t next = beam.size();
+    for (size_t i = 0; i < beam.size(); ++i) {
+      if (!expanded[i]) {
+        next = i;
+        break;
+      }
+    }
+    if (next == beam.size()) break;
+    expanded[next] = true;
+    uint32_t v = beam[next].id;
+    ++out.stats.hops;
+
+    // One SSD read delivers v's full vector and adjacency.
+    ssd_->ReadBlock(v, block.data(), ssd_->block_bytes(), &out.io);
+    const float* vec = reinterpret_cast<const float*>(block.data());
+    uint32_t deg = 0;
+    std::memcpy(&deg, block.data() + dim_ * sizeof(float), sizeof(deg));
+    const uint32_t* nbrs = reinterpret_cast<const uint32_t*>(
+        block.data() + dim_ * sizeof(float) + sizeof(uint32_t));
+
+    rerank.Push(SquaredL2(query, vec, dim_), v);
+
+    for (uint32_t idx = 0; idx < deg; ++idx) {
+      uint32_t u = nbrs[idx];
+      if (visited_.Visited(u)) continue;
+      visited_.MarkVisited(u);
+      float d = adc(u);
+      Neighbor cand{d, u};
+      if (beam.size() >= beam_width && !(cand < beam.back())) continue;
+      auto it = std::lower_bound(beam.begin(), beam.end(), cand);
+      size_t pos = static_cast<size_t>(it - beam.begin());
+      beam.insert(it, cand);
+      expanded.insert(expanded.begin() + pos, false);
+      if (beam.size() > beam_width) {
+        beam.pop_back();
+        expanded.pop_back();
+      }
+    }
+  }
+
+  out.results = rerank.Take();
+  return out;
+}
+
+size_t DiskIndex::MemoryBytes() const {
+  return codes_.size() + quantizer_.ModelSizeBytes();
+}
+
+}  // namespace rpq::disk

@@ -1,0 +1,67 @@
+// DiskANN-style hybrid index (paper §7, "integration of RPQ for hybrid
+// scenario"): compact codes + codebook stay in memory for ADC navigation;
+// full vectors and adjacency live in (simulated) SSD blocks, one node per
+// block. Each next-hop expansion costs one block read; exact distances from
+// the fetched vectors re-rank the final answer, exactly as DiskANN does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/topk.h"
+#include "data/dataset.h"
+#include "disk/ssd_simulator.h"
+#include "graph/beam_search.h"
+#include "graph/graph.h"
+#include "quant/quantizer.h"
+
+namespace rpq::disk {
+
+/// Hybrid index construction knobs.
+struct DiskIndexOptions {
+  SsdOptions ssd;
+};
+
+/// Result of one hybrid query.
+struct DiskSearchResult {
+  std::vector<Neighbor> results;  ///< ascending by EXACT distance (reranked)
+  graph::SearchStats stats;       ///< hops == block reads
+  IoStats io;                     ///< simulated device accounting
+};
+
+/// PQ-navigated, disk-resident graph index.
+class DiskIndex {
+ public:
+  /// Lays out one block per node: [vector | degree | neighbor ids].
+  /// `quantizer` is borrowed and must outlive the index.
+  static std::unique_ptr<DiskIndex> Build(const Dataset& base,
+                                          const graph::ProximityGraph& graph,
+                                          const quant::VectorQuantizer& quantizer,
+                                          const DiskIndexOptions& options = {});
+
+  /// Beam search with ADC navigation + full-precision rerank.
+  DiskSearchResult Search(const float* query, size_t k,
+                          const graph::BeamSearchOptions& options) const;
+
+  /// Bytes resident in memory: codes + codebook/transform model.
+  size_t MemoryBytes() const;
+  /// Bytes on the simulated device.
+  size_t DeviceBytes() const { return ssd_->DeviceBytes(); }
+  size_t num_vertices() const { return num_vertices_; }
+  uint32_t entry_point() const { return entry_; }
+
+ private:
+  DiskIndex(const quant::VectorQuantizer& quantizer) : quantizer_(quantizer) {}
+
+  const quant::VectorQuantizer& quantizer_;
+  std::unique_ptr<SsdSimulator> ssd_;
+  std::vector<uint8_t> codes_;  // in-memory compact codes, n * code_size
+  size_t num_vertices_ = 0;
+  size_t dim_ = 0;
+  size_t max_degree_ = 0;
+  uint32_t entry_ = 0;
+  mutable graph::VisitedTable visited_{0};
+};
+
+}  // namespace rpq::disk

@@ -1,0 +1,36 @@
+#include "disk/ssd_simulator.h"
+
+namespace rpq::disk {
+
+SsdSimulator::SsdSimulator(size_t num_blocks, size_t block_bytes,
+                           const SsdOptions& options)
+    : num_blocks_(num_blocks), opt_(options) {
+  RPQ_CHECK_GT(options.sector_bytes, 0u);
+  sectors_per_block_ =
+      (block_bytes + options.sector_bytes - 1) / options.sector_bytes;
+  if (sectors_per_block_ == 0) sectors_per_block_ = 1;
+  block_bytes_ = sectors_per_block_ * options.sector_bytes;
+  arena_.assign(num_blocks_ * block_bytes_, 0);
+}
+
+void SsdSimulator::WriteBlock(size_t block_id, const void* data, size_t size) {
+  RPQ_CHECK_LT(block_id, num_blocks_);
+  RPQ_CHECK_LE(size, block_bytes_);
+  std::memcpy(arena_.data() + block_id * block_bytes_, data, size);
+}
+
+void SsdSimulator::ReadBlock(size_t block_id, void* out, size_t size,
+                             IoStats* stats) const {
+  RPQ_CHECK_LT(block_id, num_blocks_);
+  RPQ_CHECK_LE(size, block_bytes_);
+  std::memcpy(out, arena_.data() + block_id * block_bytes_, size);
+  if (stats != nullptr) {
+    ++stats->reads;
+    stats->bytes += block_bytes_;
+    stats->simulated_seconds +=
+        opt_.read_latency_seconds +
+        static_cast<double>(block_bytes_) / opt_.bandwidth_bytes_per_s;
+  }
+}
+
+}  // namespace rpq::disk

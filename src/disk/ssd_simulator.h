@@ -1,0 +1,63 @@
+// Simulated SSD backing store.
+//
+// The paper's hybrid scenario (DiskANN [36]) keeps the PG and full vectors on
+// an NVMe drive and pays one 4 KiB-sector read per visited node. This offline
+// build has no dedicated NVMe device, so we substitute a deterministic block
+// store: node blocks live in a flat byte arena, every read is counted, and a
+// configurable per-read latency (default 100 us, typical of NVMe random
+// reads) is added to the query's simulated clock. QPS and "Disk I/O time"
+// reported by the benches therefore reproduce the structural trade-off
+// (reads x latency) that drives Figure 5. See DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rpq::disk {
+
+/// I/O accounting for one query or one experiment.
+struct IoStats {
+  size_t reads = 0;              ///< block reads issued
+  size_t bytes = 0;              ///< bytes transferred
+  double simulated_seconds = 0;  ///< reads * per-read latency (+ bandwidth)
+};
+
+/// Configuration of the simulated device.
+struct SsdOptions {
+  size_t sector_bytes = 4096;        ///< read granularity
+  double read_latency_seconds = 1e-4;///< fixed cost per random read (100 us)
+  double bandwidth_bytes_per_s = 2e9;///< sequential throughput component
+};
+
+/// Flat block device: fixed-size node blocks, counted sector reads.
+class SsdSimulator {
+ public:
+  /// `block_bytes` is rounded up to whole sectors (DiskANN packs one node —
+  /// vector + adjacency — per sector when it fits).
+  SsdSimulator(size_t num_blocks, size_t block_bytes, const SsdOptions& options);
+
+  size_t num_blocks() const { return num_blocks_; }
+  size_t block_bytes() const { return block_bytes_; }
+  size_t sectors_per_block() const { return sectors_per_block_; }
+
+  /// Writes a full block (construction time, not counted as query I/O).
+  void WriteBlock(size_t block_id, const void* data, size_t size);
+
+  /// Reads a full block, charging latency and bandwidth to `stats`.
+  void ReadBlock(size_t block_id, void* out, size_t size, IoStats* stats) const;
+
+  /// Total bytes the simulated device occupies.
+  size_t DeviceBytes() const { return arena_.size(); }
+
+ private:
+  size_t num_blocks_;
+  size_t block_bytes_;   // rounded to sector multiple
+  size_t sectors_per_block_;
+  SsdOptions opt_;
+  std::vector<uint8_t> arena_;
+};
+
+}  // namespace rpq::disk

@@ -1,0 +1,54 @@
+// Shared experiment harness for the per-figure/table benchmark binaries:
+// beam-width sweeps producing (recall, QPS, hops, I/O) operating points and
+// interpolation of QPS at a target recall (how the paper reports
+// "QPS at the same Recall@10 of 95%").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/topk.h"
+#include "data/dataset.h"
+
+namespace rpq::eval {
+
+/// What one query returned, plus its per-query costs.
+struct SearchOutcome {
+  std::vector<Neighbor> results;
+  size_t hops = 0;
+  double simulated_io_seconds = 0.0;  ///< 0 for in-memory methods
+};
+
+/// Callable evaluated by the sweep: (query ptr, k, beam width) -> outcome.
+using SearchFn =
+    std::function<SearchOutcome(const float* query, size_t k, size_t beam)>;
+
+/// One point of a QPS/recall trade-off curve.
+struct OperatingPoint {
+  size_t beam = 0;
+  double recall = 0.0;
+  double qps = 0.0;           ///< includes simulated I/O time if any
+  double mean_hops = 0.0;
+  double mean_io_ms = 0.0;    ///< simulated disk time per query (ms)
+};
+
+/// Runs every query at every beam width; recall measured against `gt`.
+std::vector<OperatingPoint> SweepBeamWidths(
+    const SearchFn& search, const Dataset& queries,
+    const std::vector<std::vector<Neighbor>>& gt, size_t k,
+    const std::vector<size_t>& beams);
+
+/// Linear interpolation of QPS at `target_recall` along the curve. When the
+/// curve never reaches the target, returns the QPS of the highest-recall
+/// point (and sets *reached=false if provided).
+double QpsAtRecall(const std::vector<OperatingPoint>& curve, double target_recall,
+                   bool* reached = nullptr);
+
+/// Same interpolation for mean hops at a target recall.
+double HopsAtRecall(const std::vector<OperatingPoint>& curve, double target_recall);
+
+/// Prints a curve as aligned columns (method name as the row prefix).
+void PrintCurve(const std::string& method, const std::vector<OperatingPoint>& curve);
+
+}  // namespace rpq::eval

@@ -1,0 +1,38 @@
+#include "eval/recall.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpq::eval {
+
+double RecallAtK(const std::vector<Neighbor>& results,
+                 const std::vector<Neighbor>& ground_truth, size_t k) {
+  RPQ_CHECK_GT(k, 0u);
+  size_t hits = 0;
+  size_t gt_n = std::min(k, ground_truth.size());
+  size_t res_n = std::min(k, results.size());
+  for (size_t g = 0; g < gt_n; ++g) {
+    for (size_t r = 0; r < res_n; ++r) {
+      if (results[r].id == ground_truth[g].id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<Neighbor>>& ground_truth,
+                     size_t k) {
+  RPQ_CHECK_EQ(results.size(), ground_truth.size());
+  if (results.empty()) return 0.0;
+  double acc = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    acc += RecallAtK(results[i], ground_truth[i], k);
+  }
+  return acc / static_cast<double>(results.size());
+}
+
+}  // namespace rpq::eval

@@ -1,0 +1,19 @@
+// Recall@k (Eq. 1 of the paper) against exact ground truth.
+#pragma once
+
+#include <vector>
+
+#include "common/topk.h"
+
+namespace rpq::eval {
+
+/// |R ∩ R~| / k for one query.
+double RecallAtK(const std::vector<Neighbor>& results,
+                 const std::vector<Neighbor>& ground_truth, size_t k);
+
+/// Mean recall@k over a query batch (result/gt lists are parallel).
+double MeanRecallAtK(const std::vector<std::vector<Neighbor>>& results,
+                     const std::vector<std::vector<Neighbor>>& ground_truth,
+                     size_t k);
+
+}  // namespace rpq::eval

@@ -1,0 +1,20 @@
+#include "graph/beam_search.h"
+
+#include "common/distance.h"
+#include "data/dataset.h"
+
+namespace rpq::graph {
+
+// Non-template convenience used by examples and tests: exact-distance search.
+std::vector<Neighbor> ExactBeamSearch(const ProximityGraph& g,
+                                      const Dataset& base, const float* query,
+                                      const BeamSearchOptions& opt,
+                                      VisitedTable* visited,
+                                      SearchStats* stats) {
+  return BeamSearch(
+      g, g.entry_point(),
+      [&](uint32_t v) { return SquaredL2(query, base[v], base.dim()); }, opt,
+      visited, stats);
+}
+
+}  // namespace rpq::graph

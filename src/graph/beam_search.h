@@ -1,0 +1,116 @@
+// Generic best-first beam search over a proximity graph (paper §3.1).
+// The distance oracle is a template parameter so the same routine serves
+// exact search, in-memory ADC search, and the hybrid DiskANN-style search.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/topk.h"
+#include "graph/graph.h"
+
+namespace rpq::graph {
+
+/// Instrumentation collected per query (the paper reports Hops).
+struct SearchStats {
+  size_t hops = 0;        ///< next-hop selections (expanded vertices)
+  size_t dist_comps = 0;  ///< distance-oracle invocations
+};
+
+/// Beam-search knobs; beam_width is `h` in the paper.
+struct BeamSearchOptions {
+  size_t beam_width = 32;
+  size_t k = 10;
+};
+
+/// Optional per-step observer: receives the ranked global candidate set
+/// (ascending estimated distance, <= beam_width entries) right before each
+/// expansion. Used by the routing-feature extractor (Alg. 2).
+using StepObserver = std::function<void(const std::vector<Neighbor>& beam)>;
+
+/// Runs beam search from `entry`; `dist(v)` returns the (estimated) distance
+/// of vertex v to the query. Returns up to k results ascending by distance.
+template <typename DistFn>
+std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
+                                 DistFn&& dist, const BeamSearchOptions& opt,
+                                 VisitedTable* visited, SearchStats* stats = nullptr,
+                                 const StepObserver& observer = nullptr) {
+  const size_t beam_width = std::max(opt.beam_width, opt.k);
+  visited->NextEpoch();
+
+  // `beam` holds the best beam_width candidates seen so far, sorted ascending.
+  std::vector<Neighbor> beam;
+  beam.reserve(beam_width + 1);
+  std::vector<bool> expanded_flag;  // parallel to beam
+
+  float d0 = dist(entry);
+  if (stats != nullptr) ++stats->dist_comps;
+  beam.push_back({d0, entry});
+  expanded_flag.push_back(false);
+  visited->MarkVisited(entry);
+
+  auto insert_candidate = [&](float d, uint32_t id) {
+    if (beam.size() >= beam_width && !(Neighbor{d, id} < beam.back())) return;
+    Neighbor cand{d, id};
+    auto it = std::lower_bound(beam.begin(), beam.end(), cand);
+    size_t pos = static_cast<size_t>(it - beam.begin());
+    beam.insert(it, cand);
+    expanded_flag.insert(expanded_flag.begin() + pos, false);
+    if (beam.size() > beam_width) {
+      beam.pop_back();
+      expanded_flag.pop_back();
+    }
+  };
+
+  for (;;) {
+    // Closest unexpanded candidate in the beam.
+    size_t next = beam.size();
+    for (size_t i = 0; i < beam.size(); ++i) {
+      if (!expanded_flag[i]) {
+        next = i;
+        break;
+      }
+    }
+    if (next == beam.size()) break;  // all candidates expanded: converged
+
+    if (observer) observer(beam);
+    expanded_flag[next] = true;
+    uint32_t v = beam[next].id;
+    if (stats != nullptr) ++stats->hops;
+
+    for (uint32_t u : g.Neighbors(v)) {
+      if (visited->Visited(u)) continue;
+      visited->MarkVisited(u);
+      float d = dist(u);
+      if (stats != nullptr) ++stats->dist_comps;
+      insert_candidate(d, u);
+    }
+  }
+
+  if (beam.size() > opt.k) beam.resize(opt.k);
+  return beam;
+}
+
+/// Greedy 1-best descent (used to locate entry points during construction).
+template <typename DistFn>
+uint32_t GreedyDescent(const ProximityGraph& g, uint32_t entry, DistFn&& dist) {
+  uint32_t cur = entry;
+  float cur_d = dist(cur);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t u : g.Neighbors(cur)) {
+      float d = dist(u);
+      if (d < cur_d) {
+        cur_d = d;
+        cur = u;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace rpq::graph

@@ -1,0 +1,58 @@
+// FreshVamana: incremental (streaming) Vamana maintenance in the spirit of
+// FreshDiskANN [61], which the paper names as an RPQ integration target
+// (§7). Supports online Insert, lazy Delete (tombstones), and Consolidate —
+// the edge-repair pass that routes around removed vertices by splicing each
+// deleted vertex's out-neighbors into its in-neighbors' lists under
+// RobustPrune.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/topk.h"
+#include "data/dataset.h"
+#include "graph/graph.h"
+#include "graph/vamana.h"
+
+namespace rpq::graph {
+
+/// Streaming Vamana index owning a growing copy of the vectors.
+class FreshVamanaIndex {
+ public:
+  explicit FreshVamanaIndex(size_t dim, const VamanaOptions& options = {});
+
+  /// Inserts one vector; returns its id. Ids are stable across deletes.
+  uint32_t Insert(const float* vec);
+
+  /// Tombstones a vertex: excluded from results immediately, still traversed
+  /// until the next Consolidate() (FreshDiskANN's lazy-delete semantics).
+  void Delete(uint32_t id);
+
+  /// Repairs the graph around tombstoned vertices and drops their edges.
+  void Consolidate();
+
+  /// Beam search; tombstoned vertices are traversed but never returned.
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               size_t beam_width) const;
+
+  size_t size() const { return live_count_; }          ///< live vertices
+  size_t total_slots() const { return data_.size(); }  ///< incl. tombstones
+  bool IsDeleted(uint32_t id) const { return deleted_[id]; }
+  const ProximityGraph& graph() const { return graph_; }
+  const Dataset& data() const { return data_; }
+
+ private:
+  /// Greedy pool collection from the entry (Vamana's insert search).
+  std::vector<Neighbor> CollectCandidates(const float* vec) const;
+  void PruneInto(uint32_t v, std::vector<Neighbor> pool);
+
+  size_t dim_;
+  VamanaOptions opt_;
+  Dataset data_;
+  ProximityGraph graph_;
+  std::vector<bool> deleted_;
+  size_t live_count_ = 0;
+  mutable VisitedTable visited_{0};
+};
+
+}  // namespace rpq::graph

@@ -1,0 +1,96 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace rpq::graph {
+
+DegreeStats ProximityGraph::ComputeDegreeStats() const {
+  DegreeStats s;
+  if (adj_.empty()) return s;
+  s.min_degree = adj_[0].size();
+  for (const auto& nb : adj_) {
+    s.min_degree = std::min(s.min_degree, nb.size());
+    s.max_degree = std::max(s.max_degree, nb.size());
+    s.num_edges += nb.size();
+  }
+  s.avg_degree = static_cast<double>(s.num_edges) / adj_.size();
+  return s;
+}
+
+double ProximityGraph::ReachableFraction() const {
+  if (adj_.empty()) return 0.0;
+  std::vector<bool> seen(adj_.size(), false);
+  std::vector<uint32_t> stack{entry_};
+  seen[entry_] = true;
+  size_t count = 0;
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (uint32_t u : adj_[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  return static_cast<double>(count) / adj_.size();
+}
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+Status ProximityGraph::Save(const std::string& path) const {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  uint64_t n = adj_.size();
+  uint32_t entry = entry_;
+  if (std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fwrite(&entry, sizeof(entry), 1, f.get()) != 1) {
+    return Status::IOError("short write");
+  }
+  for (const auto& nb : adj_) {
+    uint32_t deg = static_cast<uint32_t>(nb.size());
+    if (std::fwrite(&deg, sizeof(deg), 1, f.get()) != 1) {
+      return Status::IOError("short write");
+    }
+    if (deg > 0 && std::fwrite(nb.data(), sizeof(uint32_t), deg, f.get()) != deg) {
+      return Status::IOError("short write");
+    }
+  }
+  return Status::OK();
+}
+
+Result<ProximityGraph> ProximityGraph::Load(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  uint64_t n = 0;
+  uint32_t entry = 0;
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fread(&entry, sizeof(entry), 1, f.get()) != 1) {
+    return Status::IOError("truncated header");
+  }
+  ProximityGraph g(n);
+  g.set_entry_point(entry);
+  for (uint64_t v = 0; v < n; ++v) {
+    uint32_t deg = 0;
+    if (std::fread(&deg, sizeof(deg), 1, f.get()) != 1) {
+      return Status::IOError("truncated adjacency");
+    }
+    auto& nb = g.Neighbors(static_cast<uint32_t>(v));
+    nb.resize(deg);
+    if (deg > 0 && std::fread(nb.data(), sizeof(uint32_t), deg, f.get()) != deg) {
+      return Status::IOError("truncated adjacency");
+    }
+  }
+  return g;
+}
+
+}  // namespace rpq::graph

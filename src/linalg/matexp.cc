@@ -1,0 +1,114 @@
+#include "linalg/matexp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpq::linalg {
+namespace {
+
+// 1-norm (max column sum) used to pick the scaling exponent.
+float OneNorm(const Matrix& a) {
+  float best = 0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    float s = 0;
+    for (size_t i = 0; i < a.rows(); ++i) s += std::fabs(a.At(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+// Taylor expansion of exp(A) assuming ||A|| <= 0.5; 13 terms reach fp32
+// round-off at that radius.
+Matrix ExpTaylor(const Matrix& a) {
+  constexpr int kTerms = 13;
+  size_t n = a.rows();
+  Matrix result = Matrix::Identity(n);
+  Matrix term = Matrix::Identity(n);
+  for (int k = 1; k <= kTerms; ++k) {
+    term = MatMul(term, a);
+    term *= 1.0f / static_cast<float>(k);
+    result += term;
+  }
+  return result;
+}
+
+}  // namespace
+
+Matrix MatrixExp(const Matrix& a) {
+  RPQ_CHECK_EQ(a.rows(), a.cols());
+  // Scale so the Taylor radius holds, square back s times.
+  float norm = OneNorm(a);
+  int s = 0;
+  while (norm > 0.5f) {
+    norm *= 0.5f;
+    ++s;
+  }
+  Matrix scaled = a;
+  scaled *= std::ldexp(1.0f, -s);
+  Matrix e = ExpTaylor(scaled);
+  for (int i = 0; i < s; ++i) e = MatMul(e, e);
+  return e;
+}
+
+Matrix MatrixExpFrechet(const Matrix& a, const Matrix& e) {
+  RPQ_CHECK(a.rows() == a.cols() && e.rows() == e.cols());
+  RPQ_CHECK_EQ(a.rows(), e.rows());
+  size_t n = a.rows();
+  // Coupled scaling-and-squaring. With As = A/2^s inside the Taylor radius,
+  // differentiate the truncated series term by term:
+  //   L = sum_k (1/k!) * sum_{j<k} As^j Es As^{k-1-j},
+  // built incrementally via M_k = M_{k-1} As + As^{k-1} Es (M_k is the
+  // derivative of As^k). Then square back with the product rule:
+  //   exp(2X) = exp(X)^2   =>   L_{2X} = L F + F L.
+  // This works on n x n matrices throughout — ~8x cheaper than the classic
+  // [[A,E],[0,A]] block-matrix trick that needs exp of a 2n x 2n matrix,
+  // and it is exactly the derivative of the truncated exp used in MatrixExp.
+  float norm = OneNorm(a);
+  int s = 0;
+  while (norm > 0.5f) {
+    norm *= 0.5f;
+    ++s;
+  }
+  float scale = std::ldexp(1.0f, -s);
+  Matrix as = a;
+  as *= scale;
+  Matrix es = e;
+  es *= scale;
+
+  constexpr int kTerms = 13;
+  Matrix f = Matrix::Identity(n);   // running exp(As) series
+  Matrix l(n, n);                   // running Fréchet series
+  Matrix pow_prev = Matrix::Identity(n);  // As^{k-1}
+  Matrix m_prev(n, n);                    // M_{k-1}
+  Matrix term = Matrix::Identity(n);      // As^k / k!
+  double inv_fact = 1.0;
+  for (int k = 1; k <= kTerms; ++k) {
+    // M_k = M_{k-1} * As + As^{k-1} * Es.
+    Matrix m_k = MatMul(m_prev, as);
+    m_k += MatMul(pow_prev, es);
+    inv_fact /= k;
+    Matrix contrib = m_k;
+    contrib *= static_cast<float>(inv_fact);
+    l += contrib;
+    // Advance As^{k-1} -> As^k and the exp series.
+    pow_prev = MatMul(pow_prev, as);
+    Matrix fterm = pow_prev;
+    fterm *= static_cast<float>(inv_fact);
+    f += fterm;
+    m_prev = std::move(m_k);
+  }
+  for (int i = 0; i < s; ++i) {
+    Matrix lf = MatMul(l, f);
+    lf += MatMul(f, l);
+    l = std::move(lf);
+    f = MatMul(f, f);
+  }
+  return l;
+}
+
+Matrix MatrixExpGrad(const Matrix& a, const Matrix& grad_exp) {
+  return MatrixExpFrechet(a.Transposed(), grad_exp);
+}
+
+}  // namespace rpq::linalg

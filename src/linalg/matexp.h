@@ -1,0 +1,31 @@
+// Matrix exponential and its exact adjoint gradient.
+//
+// RPQ's adaptive vector decomposition (paper §4) parameterizes the learned
+// rotation as R = exp(A) with A skew-symmetric. Training needs both the
+// forward map and dL/dA given dL/dR. The forward uses scaling-and-squaring
+// with a truncated Taylor series; the gradient uses the Fréchet-derivative
+// adjoint identity realized with the 2D x 2D block-matrix trick:
+//
+//   exp([[X, E], [0, X]]) = [[exp(X), L_exp(X)[E]], [0, exp(X)]]
+//
+// and  grad_A <G, exp(A)> = L_exp(A^T)[G],
+//
+// which is exact for the truncated series used (verified by finite
+// differences in tests/linalg_test.cc).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace rpq::linalg {
+
+/// exp(A) for square A via scaling-and-squaring + Taylor series.
+Matrix MatrixExp(const Matrix& a);
+
+/// Fréchet derivative L_exp(A)[E]: directional derivative of exp at A along E.
+Matrix MatrixExpFrechet(const Matrix& a, const Matrix& e);
+
+/// Gradient of the scalar loss wrt A, given grad_exp = dL/d(exp(A)).
+/// Equals L_exp(A^T)[grad_exp].
+Matrix MatrixExpGrad(const Matrix& a, const Matrix& grad_exp);
+
+}  // namespace rpq::linalg

@@ -1,0 +1,84 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace rpq::linalg {
+
+SvdResult JacobiSvd(const Matrix& a, int max_sweeps, float tol) {
+  RPQ_CHECK_EQ(a.rows(), a.cols());
+  size_t n = a.rows();
+  // Work on W = A; V accumulates the right rotations so that A = W_final V^T
+  // with W_final having orthogonal columns.
+  Matrix w = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0, beta = 0, gamma = 0;
+        for (size_t i = 0; i < n; ++i) {
+          double wp = w.At(i, p), wq = w.At(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta) + 1e-30) continue;
+        converged = false;
+        double zeta = (beta - alpha) / (2.0 * gamma);
+        double t = ((zeta >= 0) ? 1.0 : -1.0) /
+                   (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = c * t;
+        for (size_t i = 0; i < n; ++i) {
+          double wp = w.At(i, p), wq = w.At(i, q);
+          w.At(i, p) = static_cast<float>(c * wp - s * wq);
+          w.At(i, q) = static_cast<float>(s * wp + c * wq);
+          double vp = v.At(i, p), vq = v.At(i, q);
+          v.At(i, p) = static_cast<float>(c * vp - s * vq);
+          v.At(i, q) = static_cast<float>(s * vp + c * vq);
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms are the singular values; normalize columns of W to get U.
+  SvdResult res{Matrix(n, n), std::vector<float>(n), Matrix(n, n)};
+  std::vector<size_t> order(n);
+  std::vector<float> norms(n);
+  for (size_t j = 0; j < n; ++j) {
+    double s = 0;
+    for (size_t i = 0; i < n; ++i) s += static_cast<double>(w.At(i, j)) * w.At(i, j);
+    norms[j] = static_cast<float>(std::sqrt(s));
+  }
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return norms[x] > norms[y]; });
+
+  for (size_t jj = 0; jj < n; ++jj) {
+    size_t j = order[jj];
+    float sv = norms[j];
+    res.sigma[jj] = sv;
+    float inv = sv > 1e-12f ? 1.0f / sv : 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+      res.u.At(i, jj) = w.At(i, j) * inv;
+      res.v.At(i, jj) = v.At(i, j);
+    }
+    if (sv <= 1e-12f) res.u.At(jj % n, jj) = 1.0f;  // arbitrary unit fill-in
+  }
+  return res;
+}
+
+Matrix ProcrustesRotation(const Matrix& a, const Matrix& b) {
+  // minimize ||R A - B||_F  =>  R = U V^T with B A^T = U S V^T.
+  Matrix cross = MatMulTransB(b, a);  // B * A^T
+  SvdResult svd = JacobiSvd(cross);
+  return MatMulTransB(svd.u, svd.v);  // U * V^T
+}
+
+}  // namespace rpq::linalg

@@ -1,0 +1,27 @@
+// One-sided Jacobi SVD for small dense square matrices.
+// Needed by OPQ's orthogonal-Procrustes step (R = U V^T of the data/codeword
+// cross-correlation) and by tests validating rotation properties.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rpq::linalg {
+
+/// Thin SVD A = U * diag(sigma) * V^T for a square matrix A (n x n).
+struct SvdResult {
+  Matrix u;                    ///< n x n, orthonormal columns
+  std::vector<float> sigma;    ///< n singular values, descending
+  Matrix v;                    ///< n x n, orthonormal columns
+};
+
+/// Computes the SVD by one-sided Jacobi rotations (robust for the small
+/// D x D problems this library solves; D <= ~1000).
+SvdResult JacobiSvd(const Matrix& a, int max_sweeps = 30, float tol = 1e-7f);
+
+/// Orthogonal Procrustes: the orthonormal R minimizing ||R*A - B||_F,
+/// i.e. R = U V^T where B A^T = U S V^T.
+Matrix ProcrustesRotation(const Matrix& a, const Matrix& b);
+
+}  // namespace rpq::linalg

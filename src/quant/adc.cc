@@ -1,0 +1,38 @@
+#include "quant/adc.h"
+
+#include "common/distance.h"
+
+namespace rpq::quant {
+
+std::vector<uint8_t> VectorQuantizer::EncodeDataset(const Dataset& data) const {
+  std::vector<uint8_t> codes(data.size() * code_size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    Encode(data[i], codes.data() + i * code_size());
+  }
+  return codes;
+}
+
+float SymmetricDistance(const VectorQuantizer& quantizer, const uint8_t* code_a,
+                        const uint8_t* code_b) {
+  std::vector<float> a(quantizer.decoded_dim()), b(quantizer.decoded_dim());
+  quantizer.Decode(code_a, a.data());
+  quantizer.Decode(code_b, b.data());
+  return SquaredL2(a.data(), b.data(), a.size());
+}
+
+SdcTable::SdcTable(const PqQuantizer& quantizer, const float* query)
+    : m_(quantizer.num_chunks()), k_(quantizer.num_centroids()),
+      table_(m_ * k_) {
+  std::vector<uint8_t> qcode(quantizer.code_size());
+  quantizer.Encode(query, qcode.data());
+  const Codebook& book = quantizer.codebook();
+  size_t sub = book.sub_dim();
+  for (size_t j = 0; j < m_; ++j) {
+    const float* qword = book.Word(j, qcode[j]);
+    for (size_t k = 0; k < k_; ++k) {
+      table_[j * k_ + k] = SquaredL2(qword, book.Word(j, k), sub);
+    }
+  }
+}
+
+}  // namespace rpq::quant

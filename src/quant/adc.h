@@ -1,0 +1,69 @@
+// Asymmetric Distance Computation (ADC) helpers [37]: the query builds one
+// lookup table of sub-distances; any database code's distance is then M table
+// reads + adds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/pq.h"
+#include "quant/quantizer.h"
+
+namespace rpq::quant {
+
+/// Query-time ADC state: table[j*K + k] = delta(query chunk j, codeword k).
+class AdcTable {
+ public:
+  AdcTable(const VectorQuantizer& quantizer, const float* query)
+      : m_(quantizer.num_chunks()),
+        k_(quantizer.num_centroids()),
+        table_(m_ * k_) {
+    quantizer.BuildLookupTable(query, table_.data());
+  }
+
+  /// Estimated squared distance of one code to the query.
+  float Distance(const uint8_t* code) const {
+    float acc = 0;
+    const float* t = table_.data();
+    for (size_t j = 0; j < m_; ++j, t += k_) acc += t[code[j]];
+    return acc;
+  }
+
+  size_t num_chunks() const { return m_; }
+  size_t num_centroids() const { return k_; }
+  const float* data() const { return table_.data(); }
+
+ private:
+  size_t m_, k_;
+  std::vector<float> table_;
+};
+
+/// Symmetric distance (SDC): both sides quantized; provided for completeness
+/// and tests (the paper, like DiskANN, uses ADC in all experiments).
+float SymmetricDistance(const VectorQuantizer& quantizer, const uint8_t* code_a,
+                        const uint8_t* code_b);
+
+/// Query-time SDC state: the query is quantized first, then distances are
+/// codeword-to-codeword lookups within each sub-codebook (computed in the
+/// rotated space, where the per-chunk decomposition is exact). Higher
+/// distance error than ADC — the trade-off §3.1 of the paper discusses; the
+/// design-ablation bench quantifies it.
+class SdcTable {
+ public:
+  /// Works for the whole PQ family (plain PQ, OPQ, deployed RPQ).
+  SdcTable(const PqQuantizer& quantizer, const float* query);
+
+  /// Estimated squared distance of one database code to the quantized query.
+  float Distance(const uint8_t* code) const {
+    float acc = 0;
+    const float* t = table_.data();
+    for (size_t j = 0; j < m_; ++j, t += k_) acc += t[code[j]];
+    return acc;
+  }
+
+ private:
+  size_t m_, k_;
+  std::vector<float> table_;  // table[j*K+k] = d(word(j, qcode_j), word(j, k))
+};
+
+}  // namespace rpq::quant

@@ -1,0 +1,250 @@
+#include "quant/catalyst.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/adam.h"
+#include "data/ground_truth.h"
+
+namespace rpq::quant {
+namespace {
+
+// Forward pass activations kept for back-prop.
+struct Activations {
+  std::vector<float> h_pre, h, y, out;
+  float norm = 1.0f;
+};
+
+struct Net {
+  size_t d_in, hidden, d_out;
+  float* w1;
+  float* b1;
+  float* w2;
+  float* b2;
+
+  void Forward(const float* x, Activations* act) const {
+    act->h_pre.resize(hidden);
+    act->h.resize(hidden);
+    act->y.resize(d_out);
+    act->out.resize(d_out);
+    for (size_t i = 0; i < hidden; ++i) {
+      act->h_pre[i] = b1[i] + Dot(w1 + i * d_in, x, d_in);
+      act->h[i] = std::tanh(act->h_pre[i]);
+    }
+    for (size_t o = 0; o < d_out; ++o) {
+      act->y[o] = b2[o] + Dot(w2 + o * hidden, act->h.data(), hidden);
+    }
+    act->norm = std::sqrt(std::max(SquaredNorm(act->y.data(), d_out), 1e-12f));
+    for (size_t o = 0; o < d_out; ++o) act->out[o] = act->y[o] / act->norm;
+  }
+
+  // Accumulates parameter gradients for one sample given dL/d(out).
+  void Backward(const float* x, const Activations& act, const float* grad_out,
+                float* gw1, float* gb1, float* gw2, float* gb2) const {
+    // Through the L2 normalization: dy = (g - out * <g, out>) / norm.
+    float g_dot_out = Dot(grad_out, act.out.data(), d_out);
+    std::vector<float> gy(d_out);
+    for (size_t o = 0; o < d_out; ++o) {
+      gy[o] = (grad_out[o] - act.out[o] * g_dot_out) / act.norm;
+    }
+    std::vector<float> gh(hidden, 0.0f);
+    for (size_t o = 0; o < d_out; ++o) {
+      float g = gy[o];
+      if (g == 0.0f) continue;
+      float* gw2row = gw2 + o * hidden;
+      const float* w2row = w2 + o * hidden;
+      for (size_t i = 0; i < hidden; ++i) {
+        gw2row[i] += g * act.h[i];
+        gh[i] += g * w2row[i];
+      }
+      gb2[o] += g;
+    }
+    for (size_t i = 0; i < hidden; ++i) {
+      float g = gh[i] * (1.0f - act.h[i] * act.h[i]);
+      if (g == 0.0f) continue;
+      float* gw1row = gw1 + i * d_in;
+      for (size_t j = 0; j < d_in; ++j) gw1row[j] += g * x[j];
+      gb1[i] += g;
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CatalystQuantizer> CatalystQuantizer::Train(
+    const Dataset& train, const CatalystOptions& options) {
+  RPQ_CHECK(!train.empty());
+  Timer timer;
+  auto q = std::unique_ptr<CatalystQuantizer>(new CatalystQuantizer());
+  q->d_in_ = train.dim();
+  q->hidden_ = options.hidden;
+  q->d_out_ = options.d_out;
+
+  Rng rng(options.seed);
+  auto init = [&](std::vector<float>* w, size_t rows, size_t cols) {
+    w->resize(rows * cols);
+    float scale = std::sqrt(2.0f / static_cast<float>(cols));
+    for (auto& v : *w) v = rng.Gaussian(0.0f, scale);
+  };
+  init(&q->w1_, q->hidden_, q->d_in_);
+  q->b1_.assign(q->hidden_, 0.0f);
+  init(&q->w2_, q->d_out_, q->hidden_);
+  q->b2_.assign(q->d_out_, 0.0f);
+
+  Net net{q->d_in_, q->hidden_, q->d_out_,
+          q->w1_.data(), q->b1_.data(), q->w2_.data(), q->b2_.data()};
+
+  // Exact positives once (the paper trains Catalyst from exact neighbors).
+  auto knn = ComputeSelfKnn(train, options.knn_positives);
+
+  size_t n_params = q->w1_.size() + q->b1_.size() + q->w2_.size() + q->b2_.size();
+  core::AdamOptions aopt;
+  aopt.lr = options.lr;
+  core::Adam adam(n_params, aopt);
+  std::vector<float> grads(n_params, 0.0f);
+  float* gw1 = grads.data();
+  float* gb1 = gw1 + q->w1_.size();
+  float* gw2 = gb1 + q->b1_.size();
+  float* gb2 = gw2 + q->w2_.size();
+
+  size_t steps_per_epoch =
+      std::max<size_t>(1, train.size() / options.batch_size);
+  core::OneCycleSchedule sched(options.epochs * steps_per_epoch);
+
+  std::vector<float> params_view;  // flattened on demand for Adam
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t step = 0; step < steps_per_epoch; ++step) {
+      std::fill(grads.begin(), grads.end(), 0.0f);
+      std::vector<Activations> acts(options.batch_size);
+      std::vector<uint32_t> anchors(options.batch_size);
+
+      // Triplet + spreading gradients accumulated over the batch.
+      for (size_t b = 0; b < options.batch_size; ++b) {
+        uint32_t a_id = static_cast<uint32_t>(rng.UniformIndex(train.size()));
+        anchors[b] = a_id;
+        const auto& nn = knn[a_id];
+        uint32_t p_id = nn[rng.UniformIndex(nn.size())].id;
+        uint32_t n_id = static_cast<uint32_t>(rng.UniformIndex(train.size()));
+        if (n_id == a_id) n_id = (n_id + 1) % train.size();
+
+        Activations aa, ap, an;
+        net.Forward(train[a_id], &aa);
+        net.Forward(train[p_id], &ap);
+        net.Forward(train[n_id], &an);
+        acts[b] = aa;  // kept for KoLeo
+
+        float dp = SquaredL2(aa.out.data(), ap.out.data(), q->d_out_);
+        float dn = SquaredL2(aa.out.data(), an.out.data(), q->d_out_);
+        if (options.margin + dp - dn > 0.0f) {
+          std::vector<float> ga(q->d_out_), gp(q->d_out_), gn(q->d_out_);
+          for (size_t o = 0; o < q->d_out_; ++o) {
+            ga[o] = 2.0f * (an.out[o] - ap.out[o]);
+            gp[o] = -2.0f * (aa.out[o] - ap.out[o]);
+            gn[o] = 2.0f * (aa.out[o] - an.out[o]);
+          }
+          net.Backward(train[a_id], aa, ga.data(), gw1, gb1, gw2, gb2);
+          net.Backward(train[p_id], ap, gp.data(), gw1, gb1, gw2, gb2);
+          net.Backward(train[n_id], an, gn.data(), gw1, gb1, gw2, gb2);
+        }
+      }
+
+      // KoLeo spreading regularizer over batch anchors:
+      //   L = -(1/B) sum_i log(min_{j!=i} ||o_i - o_j|| + eps)
+      constexpr float kEps = 1e-6f;
+      for (size_t i = 0; i < options.batch_size; ++i) {
+        size_t jbest = i;
+        float best = std::numeric_limits<float>::max();
+        for (size_t j = 0; j < options.batch_size; ++j) {
+          if (j == i) continue;
+          float d = SquaredL2(acts[i].out.data(), acts[j].out.data(), q->d_out_);
+          if (d < best) {
+            best = d;
+            jbest = j;
+          }
+        }
+        if (jbest == i) continue;
+        float dist = std::sqrt(std::max(best, 1e-12f));
+        float coef = -options.lambda /
+                     (static_cast<float>(options.batch_size) * dist * (dist + kEps));
+        std::vector<float> gi(q->d_out_), gj(q->d_out_);
+        for (size_t o = 0; o < q->d_out_; ++o) {
+          float diff = (acts[i].out[o] - acts[jbest].out[o]) / dist;
+          gi[o] = coef * diff;
+          gj[o] = -coef * diff;
+        }
+        net.Backward(train[anchors[i]], acts[i], gi.data(), gw1, gb1, gw2, gb2);
+        net.Backward(train[anchors[jbest]], acts[jbest], gj.data(), gw1, gb1, gw2,
+                     gb2);
+      }
+
+      // Flatten params, step, scatter back.
+      params_view.clear();
+      params_view.insert(params_view.end(), q->w1_.begin(), q->w1_.end());
+      params_view.insert(params_view.end(), q->b1_.begin(), q->b1_.end());
+      params_view.insert(params_view.end(), q->w2_.begin(), q->w2_.end());
+      params_view.insert(params_view.end(), q->b2_.begin(), q->b2_.end());
+      adam.Step(params_view.data(), grads.data(),
+                sched.Scale(adam.steps() + 1));
+      size_t off = 0;
+      std::memcpy(q->w1_.data(), params_view.data() + off,
+                  q->w1_.size() * sizeof(float));
+      off += q->w1_.size();
+      std::memcpy(q->b1_.data(), params_view.data() + off,
+                  q->b1_.size() * sizeof(float));
+      off += q->b1_.size();
+      std::memcpy(q->w2_.data(), params_view.data() + off,
+                  q->w2_.size() * sizeof(float));
+      off += q->w2_.size();
+      std::memcpy(q->b2_.data(), params_view.data() + off,
+                  q->b2_.size() * sizeof(float));
+    }
+  }
+
+  // PQ in the learned output space.
+  Dataset transformed(train.size(), q->d_out_);
+  for (size_t i = 0; i < train.size(); ++i) {
+    q->Transform(train[i], transformed[i]);
+  }
+  PqOptions pq = options.pq;
+  RPQ_CHECK_EQ(q->d_out_ % pq.m, 0u);
+  q->pq_ = PqQuantizer::Train(transformed, pq);
+  q->training_seconds_ = timer.ElapsedSeconds();
+  return q;
+}
+
+void CatalystQuantizer::Transform(const float* vec, float* out) const {
+  Activations act;
+  Net net{d_in_, hidden_, d_out_,
+          const_cast<float*>(w1_.data()), const_cast<float*>(b1_.data()),
+          const_cast<float*>(w2_.data()), const_cast<float*>(b2_.data())};
+  net.Forward(vec, &act);
+  std::memcpy(out, act.out.data(), d_out_ * sizeof(float));
+}
+
+void CatalystQuantizer::Encode(const float* vec, uint8_t* code) const {
+  std::vector<float> t(d_out_);
+  Transform(vec, t.data());
+  pq_->Encode(t.data(), code);
+}
+
+void CatalystQuantizer::Decode(const uint8_t* code, float* out) const {
+  pq_->Decode(code, out);
+}
+
+void CatalystQuantizer::BuildLookupTable(const float* query, float* table) const {
+  std::vector<float> t(d_out_);
+  Transform(query, t.data());
+  pq_->BuildLookupTable(t.data(), table);
+}
+
+size_t CatalystQuantizer::ModelSizeBytes() const {
+  return (w1_.size() + b1_.size() + w2_.size() + b2_.size()) * sizeof(float) +
+         pq_->ModelSizeBytes();
+}
+
+}  // namespace rpq::quant

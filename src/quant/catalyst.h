@@ -1,0 +1,64 @@
+// Catalyst baseline [57] ("Spreading vectors for similarity search"):
+// a small neural network f: R^D -> S^{d_out-1} trained so that (a) ranking of
+// neighbors is preserved (triplet loss on exact kNN) and (b) outputs spread
+// uniformly over the sphere (KoLeo differential-entropy regularizer, weight
+// lambda). The learned space is then product-quantized; queries are mapped
+// through f before ADC. The paper configures d_out = 40, lambda = 0.005.
+#pragma once
+
+#include <memory>
+
+#include "quant/pq.h"
+#include "quant/quantizer.h"
+
+namespace rpq::quant {
+
+/// Catalyst training configuration.
+struct CatalystOptions {
+  size_t d_out = 40;       ///< output dimensionality (paper: 40)
+  size_t hidden = 128;     ///< hidden layer width
+  float lambda = 0.005f;   ///< KoLeo regularizer weight (paper: 0.005)
+  float margin = 0.05f;    ///< triplet margin in the output space
+  size_t epochs = 4;
+  size_t batch_size = 64;
+  float lr = 1e-3f;
+  size_t knn_positives = 10;  ///< positives drawn from this many exact NNs
+  PqOptions pq;               ///< quantizer trained on the output space
+  uint64_t seed = 17;
+};
+
+/// Two-layer MLP (tanh) with L2-normalized output, + PQ on the output space.
+class CatalystQuantizer : public VectorQuantizer {
+ public:
+  /// Trains the network on `train` then fits PQ codebooks on f(train).
+  static std::unique_ptr<CatalystQuantizer> Train(const Dataset& train,
+                                                  const CatalystOptions& options);
+
+  size_t dim() const override { return d_in_; }
+  size_t decoded_dim() const override { return d_out_; }
+  size_t num_chunks() const override { return pq_->num_chunks(); }
+  size_t num_centroids() const override { return pq_->num_centroids(); }
+
+  void Encode(const float* vec, uint8_t* code) const override;
+  void Decode(const uint8_t* code, float* out) const override;
+  void BuildLookupTable(const float* query, float* table) const override;
+  size_t ModelSizeBytes() const override;
+
+  /// Applies the learned map f (d_out floats out).
+  void Transform(const float* vec, float* out) const;
+
+  /// Training wall-clock, reported in the paper's Table 4.
+  double training_seconds() const { return training_seconds_; }
+
+ private:
+  CatalystQuantizer() = default;
+
+  size_t d_in_ = 0, hidden_ = 0, d_out_ = 0;
+  // Row-major weights: w1 (hidden x d_in), b1 (hidden),
+  //                    w2 (d_out x hidden), b2 (d_out).
+  std::vector<float> w1_, b1_, w2_, b2_;
+  std::unique_ptr<PqQuantizer> pq_;  // trained in the output space
+  double training_seconds_ = 0.0;
+};
+
+}  // namespace rpq::quant

@@ -1,0 +1,4 @@
+#include "quant/codebook.h"
+
+// Codebook is header-only today; this TU anchors the target and keeps room
+// for serialization helpers.

@@ -1,0 +1,46 @@
+// Product-quantization codebook: M sub-codebooks of K codewords each
+// (Definition 3 of the paper). Shared by PQ, OPQ and the learned RPQ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rpq::quant {
+
+/// Flat storage of M x K codewords, each of sub_dim floats.
+class Codebook {
+ public:
+  Codebook() : m_(0), k_(0), sub_dim_(0) {}
+  Codebook(size_t m, size_t k, size_t sub_dim)
+      : m_(m), k_(k), sub_dim_(sub_dim), words_(m * k * sub_dim, 0.0f) {}
+
+  size_t num_chunks() const { return m_; }     ///< M
+  size_t num_centroids() const { return k_; }  ///< K
+  size_t sub_dim() const { return sub_dim_; }  ///< D / M
+  size_t dim() const { return m_ * sub_dim_; } ///< D (rotated space)
+
+  /// Codeword k of sub-codebook j.
+  float* Word(size_t j, size_t k) {
+    RPQ_CHECK(j < m_ && k < k_);
+    return words_.data() + (j * k_ + k) * sub_dim_;
+  }
+  const float* Word(size_t j, size_t k) const {
+    RPQ_CHECK(j < m_ && k < k_);
+    return words_.data() + (j * k_ + k) * sub_dim_;
+  }
+  /// Start of sub-codebook j (K x sub_dim contiguous floats).
+  float* Chunk(size_t j) { return words_.data() + j * k_ * sub_dim_; }
+  const float* Chunk(size_t j) const { return words_.data() + j * k_ * sub_dim_; }
+
+  float* data() { return words_.data(); }
+  const float* data() const { return words_.data(); }
+  size_t num_floats() const { return words_.size(); }
+
+ private:
+  size_t m_, k_, sub_dim_;
+  std::vector<float> words_;
+};
+
+}  // namespace rpq::quant

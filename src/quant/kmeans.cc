@@ -1,0 +1,139 @@
+#include "quant/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/distance.h"
+#include "common/logging.h"
+
+namespace rpq::quant {
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to D^2.
+std::vector<float> SeedPlusPlus(const float* data, size_t n, size_t dim, size_t k,
+                                Rng* rng) {
+  std::vector<float> centroids(k * dim);
+  std::vector<float> min_d2(n, std::numeric_limits<float>::max());
+
+  size_t first = rng->UniformIndex(n);
+  std::memcpy(centroids.data(), data + first * dim, dim * sizeof(float));
+
+  for (size_t c = 1; c < k; ++c) {
+    const float* prev = centroids.data() + (c - 1) * dim;
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      float d = SquaredL2(data + i * dim, prev, dim);
+      min_d2[i] = std::min(min_d2[i], d);
+      total += min_d2[i];
+    }
+    size_t chosen = 0;
+    if (total > 0) {
+      double r = rng->Uniform(0.0f, 1.0f) * total;
+      double acc = 0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_d2[i];
+        if (acc >= r) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformIndex(n);
+    }
+    std::memcpy(centroids.data() + c * dim, data + chosen * dim,
+                dim * sizeof(float));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+uint32_t NearestCentroid(const float* vec, const float* centroids, size_t k,
+                         size_t dim) {
+  uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < k; ++c) {
+    float d = SquaredL2(vec, centroids + c * dim, dim);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult RunKMeans(const float* data, size_t n, size_t dim,
+                       const KMeansOptions& options) {
+  RPQ_CHECK_GT(n, 0u);
+  RPQ_CHECK_GT(dim, 0u);
+  size_t k = std::min(options.k, n);  // cannot have more clusters than points
+  Rng rng(options.seed);
+
+  KMeansResult res;
+  if (!options.warm_start.empty()) {
+    RPQ_CHECK_EQ(options.warm_start.size(), options.k * dim);
+    res.centroids.assign(options.warm_start.begin(),
+                         options.warm_start.begin() + k * dim);
+  } else {
+    res.centroids = SeedPlusPlus(data, n, dim, k, &rng);
+  }
+  res.assignment.assign(n, 0);
+
+  std::vector<size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    // Assignment step.
+    double inertia = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t c = NearestCentroid(data + i * dim, res.centroids.data(), k, dim);
+      res.assignment[i] = c;
+      inertia += SquaredL2(data + i * dim, res.centroids.data() + c * dim, dim);
+    }
+    res.inertia = inertia;
+    res.iterations = iter + 1;
+
+    // Update step.
+    std::fill(res.centroids.begin(), res.centroids.end(), 0.0f);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t c = res.assignment[i];
+      float* ctr = res.centroids.data() + c * dim;
+      const float* row = data + i * dim;
+      for (size_t j = 0; j < dim; ++j) ctr[j] += row[j];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from a random point.
+        size_t pick = rng.UniformIndex(n);
+        std::memcpy(res.centroids.data() + c * dim, data + pick * dim,
+                    dim * sizeof(float));
+        continue;
+      }
+      float inv = 1.0f / static_cast<float>(counts[c]);
+      float* ctr = res.centroids.data() + c * dim;
+      for (size_t j = 0; j < dim; ++j) ctr[j] *= inv;
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max() &&
+        prev_inertia - inertia <= options.epsilon * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+
+  // Pad centroids when n < options.k so callers always see options.k rows.
+  if (k < options.k) {
+    res.centroids.resize(options.k * dim);
+    for (size_t c = k; c < options.k; ++c) {
+      std::memcpy(res.centroids.data() + c * dim,
+                  res.centroids.data() + (c % k) * dim, dim * sizeof(float));
+    }
+  }
+  return res;
+}
+
+}  // namespace rpq::quant

@@ -1,0 +1,41 @@
+// Lloyd's k-means with k-means++ seeding — the clustering core used to train
+// every sub-codebook (PQ, OPQ, Catalyst output space, RPQ initialization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rpq::quant {
+
+/// Configuration for one k-means run.
+struct KMeansOptions {
+  size_t k = 256;
+  size_t max_iters = 25;
+  float epsilon = 1e-4f;  ///< stop when relative inertia improvement < epsilon
+  uint64_t seed = 13;
+  /// Optional warm start: k * dim floats used instead of k-means++ seeding
+  /// (RPQ's final codebook refit starts from the gradient-trained codewords).
+  std::vector<float> warm_start;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<float> centroids;     ///< k x dim, row-major
+  std::vector<uint32_t> assignment; ///< n labels
+  double inertia = 0.0;             ///< sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+/// Clusters n points of dimension dim (row-major `data`, n*dim floats).
+/// Handles n < k by duplicating points; empty clusters are re-seeded from the
+/// farthest members of the largest cluster.
+KMeansResult RunKMeans(const float* data, size_t n, size_t dim,
+                       const KMeansOptions& options);
+
+/// Index of the closest centroid to `vec` among `k` centroids of `dim` dims.
+uint32_t NearestCentroid(const float* vec, const float* centroids, size_t k,
+                         size_t dim);
+
+}  // namespace rpq::quant

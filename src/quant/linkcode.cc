@@ -1,0 +1,124 @@
+#include "quant/linkcode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distance.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace rpq::quant {
+namespace {
+
+// Solves the small SPD system A x = b in place by Gaussian elimination with
+// partial pivoting (num_links <= ~16, numerically benign).
+std::vector<float> SolveDense(std::vector<double> a, std::vector<double> b,
+                              size_t n) {
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) continue;  // leave x[col] = 0
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a[r * n + col] / a[col * n + col];
+      for (size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<float> x(n, 0.0f);
+  for (size_t r = n; r-- > 0;) {
+    double acc = b[r];
+    for (size_t c = r + 1; c < n; ++c) acc -= a[r * n + c] * x[c];
+    x[r] = std::fabs(a[r * n + r]) < 1e-12
+               ? 0.0f
+               : static_cast<float>(acc / a[r * n + r]);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::unique_ptr<LinkCodeIndex> LinkCodeIndex::Build(
+    const Dataset& base, const graph::ProximityGraph& graph,
+    const LinkCodeOptions& opt) {
+  RPQ_CHECK_EQ(base.size(), graph.num_vertices());
+  auto index =
+      std::unique_ptr<LinkCodeIndex>(new LinkCodeIndex(base, graph));
+  index->pq_ = PqQuantizer::Train(base, opt.pq);
+  index->codes_ = index->pq_->EncodeDataset(base);
+
+  size_t d = base.dim();
+  size_t links = opt.num_links;
+
+  // Least-squares fit of beta over a sample: residual ~ sum beta_r * edge_r.
+  Rng rng(opt.pq.seed);
+  size_t sample = std::min(opt.train_sample, base.size());
+  auto ids = rng.SampleWithoutReplacement(base.size(), sample);
+
+  std::vector<double> ata(links * links, 0.0);
+  std::vector<double> atb(links, 0.0);
+  std::vector<float> dec_v(d), dec_n(d);
+  std::vector<std::vector<float>> edges(links, std::vector<float>(d));
+
+  for (uint32_t v : ids) {
+    index->pq_->Decode(index->codes_.data() + v * index->pq_->code_size(),
+                       dec_v.data());
+    const auto& nb = graph.Neighbors(v);
+    size_t use = std::min(links, nb.size());
+    if (use == 0) continue;
+    for (size_t r = 0; r < use; ++r) {
+      index->pq_->Decode(index->codes_.data() + nb[r] * index->pq_->code_size(),
+                         dec_n.data());
+      for (size_t j = 0; j < d; ++j) edges[r][j] = dec_n[j] - dec_v[j];
+    }
+    for (size_t r = use; r < links; ++r) {
+      std::fill(edges[r].begin(), edges[r].end(), 0.0f);
+    }
+    for (size_t r = 0; r < links; ++r) {
+      for (size_t s = r; s < links; ++s) {
+        double dot = Dot(edges[r].data(), edges[s].data(), d);
+        ata[r * links + s] += dot;
+        if (s != r) ata[s * links + r] += dot;
+      }
+      double rb = 0;
+      for (size_t j = 0; j < d; ++j) {
+        rb += static_cast<double>(base[v][j] - dec_v[j]) * edges[r][j];
+      }
+      atb[r] += rb;
+    }
+  }
+  // Ridge term keeps the system well-posed when neighbors are collinear.
+  for (size_t r = 0; r < links; ++r) ata[r * links + r] += 1e-3;
+  index->beta_ = SolveDense(std::move(ata), std::move(atb), links);
+  return index;
+}
+
+void LinkCodeIndex::RefinedDecode(uint32_t v, float* out) const {
+  size_t d = base_.dim();
+  std::vector<float> dec_v(d);
+  pq_->Decode(codes_.data() + v * pq_->code_size(), dec_v.data());
+  std::copy(dec_v.begin(), dec_v.end(), out);
+  const auto& nb = graph_.Neighbors(v);
+  size_t use = std::min(beta_.size(), nb.size());
+  std::vector<float> dec_n(d);
+  for (size_t r = 0; r < use; ++r) {
+    if (beta_[r] == 0.0f) continue;
+    pq_->Decode(codes_.data() + nb[r] * pq_->code_size(), dec_n.data());
+    float w = beta_[r];
+    // Edges are measured against the UNREFINED decode, matching the fit.
+    for (size_t j = 0; j < d; ++j) out[j] += w * (dec_n[j] - dec_v[j]);
+  }
+}
+
+float LinkCodeIndex::RefinedDistance(const float* query, uint32_t v) const {
+  std::vector<float> rec(base_.dim());
+  RefinedDecode(v, rec.data());
+  return SquaredL2(query, rec.data(), base_.dim());
+}
+
+}  // namespace rpq::quant

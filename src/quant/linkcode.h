@@ -1,0 +1,56 @@
+// Simplified Link&Code baseline [21]: PQ codes plus a learned first-order
+// refinement from graph neighbors. The decoded vector of v is improved as
+//   x_hat(v) = dec(v) + sum_r beta_r * (dec(n_r) - dec(v))
+// over v's first `num_links` graph neighbors, with the rank-dependent scalar
+// weights beta fit globally by least squares — capturing L&C's core idea
+// (graph-assisted regression codebooks) at matched code budget.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "quant/pq.h"
+
+namespace rpq::quant {
+
+/// L&C configuration (paper §8 uses L=8 links, one scalar sub-codebook).
+struct LinkCodeOptions {
+  PqOptions pq;
+  size_t num_links = 8;   ///< neighbors participating in the refinement
+  size_t train_sample = 2000;
+};
+
+/// PQ + neighbor-regression refinement bound to one base set and graph.
+class LinkCodeIndex {
+ public:
+  static std::unique_ptr<LinkCodeIndex> Build(const Dataset& base,
+                                              const graph::ProximityGraph& graph,
+                                              const LinkCodeOptions& options);
+
+  const PqQuantizer& pq() const { return *pq_; }
+  const std::vector<uint8_t>& codes() const { return codes_; }
+  const std::vector<float>& beta() const { return beta_; }
+
+  /// Refined reconstruction of base vector v (dim floats).
+  void RefinedDecode(uint32_t v, float* out) const;
+
+  /// Exact distance of `query` to the refined reconstruction of v.
+  float RefinedDistance(const float* query, uint32_t v) const;
+
+  size_t ModelSizeBytes() const {
+    return pq_->ModelSizeBytes() + beta_.size() * sizeof(float);
+  }
+
+ private:
+  LinkCodeIndex(const Dataset& base, const graph::ProximityGraph& graph)
+      : base_(base), graph_(graph) {}
+
+  const Dataset& base_;
+  const graph::ProximityGraph& graph_;
+  std::unique_ptr<PqQuantizer> pq_;
+  std::vector<uint8_t> codes_;
+  std::vector<float> beta_;  // num_links weights
+};
+
+}  // namespace rpq::quant

@@ -1,0 +1,22 @@
+// Optimized Product Quantization [27]: alternating minimization of
+//   ||R X - decode(encode(R X))||_F  over orthonormal R and codebooks.
+// The R-step is an orthogonal Procrustes problem solved with our Jacobi SVD.
+#pragma once
+
+#include <memory>
+
+#include "quant/pq.h"
+
+namespace rpq::quant {
+
+/// OPQ training knobs (extends PQ options with outer iterations).
+struct OpqOptions {
+  PqOptions pq;
+  size_t outer_iters = 8;  ///< alternations between R-step and codebook-step
+};
+
+/// Trains OPQ and returns it as a rotation-equipped PqQuantizer.
+std::unique_ptr<PqQuantizer> TrainOpq(const Dataset& train,
+                                      const OpqOptions& options);
+
+}  // namespace rpq::quant

@@ -1,0 +1,65 @@
+// Classic Product Quantization [37] with an optional orthonormal pre-rotation
+// (identity for plain PQ). OPQ and the deployed RPQ are both "rotation + PQ",
+// so they reuse this class for query-time work.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "quant/codebook.h"
+#include "quant/quantizer.h"
+
+namespace rpq::quant {
+
+/// Training knobs shared by PQ-family quantizers.
+struct PqOptions {
+  size_t m = 8;            ///< number of chunks M (must divide dim)
+  size_t k = 256;          ///< codewords per sub-codebook (<= 256)
+  size_t kmeans_iters = 25;
+  uint64_t seed = 13;
+};
+
+/// Rotation + per-chunk nearest-codeword quantizer.
+class PqQuantizer : public VectorQuantizer {
+ public:
+  /// Trains plain PQ (identity rotation) on `train`.
+  static std::unique_ptr<PqQuantizer> Train(const Dataset& train,
+                                            const PqOptions& options);
+
+  /// Builds a quantizer from existing parts (used by OPQ and RPQ deployment).
+  /// `rotation` maps original vectors into the quantized space: y = R x.
+  PqQuantizer(Codebook codebook, std::optional<linalg::Matrix> rotation);
+
+  size_t dim() const override { return dim_; }
+  size_t decoded_dim() const override { return dim_; }
+  size_t num_chunks() const override { return codebook_.num_chunks(); }
+  size_t num_centroids() const override { return codebook_.num_centroids(); }
+
+  void Encode(const float* vec, uint8_t* code) const override;
+  /// Decodes back to the ORIGINAL space (applies R^T after codeword lookup).
+  void Decode(const uint8_t* code, float* out) const override;
+  void BuildLookupTable(const float* query, float* table) const override;
+  size_t ModelSizeBytes() const override;
+
+  const Codebook& codebook() const { return codebook_; }
+  bool has_rotation() const { return rotation_.has_value(); }
+  const linalg::Matrix& rotation() const { return *rotation_; }
+
+  /// Mean squared reconstruction error over a dataset (distortion metric).
+  double Distortion(const Dataset& data) const;
+
+ private:
+  void Rotate(const float* vec, float* out) const;
+
+  size_t dim_;
+  Codebook codebook_;
+  std::optional<linalg::Matrix> rotation_;  // D x D orthonormal
+};
+
+/// Trains the M sub-codebooks by running k-means on each chunk of `rotated`
+/// (an n x dim row-major buffer already in the quantized space).
+Codebook TrainCodebooks(const float* rotated, size_t n, size_t dim,
+                        const PqOptions& options);
+
+}  // namespace rpq::quant

@@ -1,0 +1,47 @@
+// Abstract interface every quantization method implements, so graph and disk
+// indexes are quantizer-agnostic (paper §7 plugs PQ/OPQ/Catalyst/RPQ into the
+// same search machinery).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rpq::quant {
+
+/// Maps vectors to compact byte codes and supports ADC distance lookup.
+///
+/// Code layout: one byte per chunk (K <= 256), code_size() == num_chunks().
+/// A query-time ADC lookup table has num_chunks() * num_centroids() floats;
+/// the estimated distance of a code is the sum of table entries selected by
+/// its bytes (see adc.h).
+class VectorQuantizer {
+ public:
+  virtual ~VectorQuantizer() = default;
+
+  /// Input (original-space) dimensionality D.
+  virtual size_t dim() const = 0;
+  /// Dimensionality of decoded vectors (== dim() except for Catalyst, which
+  /// quantizes in a learned d_out-dimensional space).
+  virtual size_t decoded_dim() const = 0;
+  virtual size_t num_chunks() const = 0;     ///< M
+  virtual size_t num_centroids() const = 0;  ///< K
+  size_t code_size() const { return num_chunks(); }
+
+  /// Quantizes one original-space vector into code_size() bytes.
+  virtual void Encode(const float* vec, uint8_t* code) const = 0;
+  /// Reconstructs the quantized vector (decoded_dim() floats).
+  virtual void Decode(const uint8_t* code, float* out) const = 0;
+  /// Fills the ADC lookup table (num_chunks() * num_centroids() floats) for
+  /// one original-space query.
+  virtual void BuildLookupTable(const float* query, float* table) const = 0;
+  /// Bytes needed to persist the model (codebooks + transforms), excluding
+  /// the per-vector codes. Reported in the paper's Table 5.
+  virtual size_t ModelSizeBytes() const = 0;
+
+  /// Encodes a whole dataset; returns n * code_size() bytes.
+  std::vector<uint8_t> EncodeDataset(const Dataset& data) const;
+};
+
+}  // namespace rpq::quant

@@ -1,0 +1,126 @@
+#include "quant/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace rpq::quant {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'P', 'Q', 'Q'};
+constexpr char kCodesMagic[4] = {'R', 'P', 'Q', 'C'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadAll(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+Status SaveQuantizer(const PqQuantizer& q, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  uint32_t dim = static_cast<uint32_t>(q.dim());
+  uint32_t m = static_cast<uint32_t>(q.num_chunks());
+  uint32_t k = static_cast<uint32_t>(q.num_centroids());
+  uint8_t has_rot = q.has_rotation() ? 1 : 0;
+  if (!WriteAll(f.get(), kMagic, 4) || !WriteAll(f.get(), &kVersion, 4) ||
+      !WriteAll(f.get(), &dim, 4) || !WriteAll(f.get(), &m, 4) ||
+      !WriteAll(f.get(), &k, 4) || !WriteAll(f.get(), &has_rot, 1)) {
+    return Status::IOError(path + ": header write failed");
+  }
+  const Codebook& book = q.codebook();
+  if (!WriteAll(f.get(), book.data(), book.num_floats() * sizeof(float))) {
+    return Status::IOError(path + ": codebook write failed");
+  }
+  if (has_rot != 0) {
+    const auto& r = q.rotation();
+    if (!WriteAll(f.get(), r.data(), dim * size_t{dim} * sizeof(float))) {
+      return Status::IOError(path + ": rotation write failed");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PqQuantizer>> LoadQuantizer(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint32_t version = 0, dim = 0, m = 0, k = 0;
+  uint8_t has_rot = 0;
+  if (!ReadAll(f.get(), magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IOError(path + ": not an RPQ quantizer file");
+  }
+  if (!ReadAll(f.get(), &version, 4) || version != kVersion) {
+    return Status::IOError(path + ": unsupported version");
+  }
+  if (!ReadAll(f.get(), &dim, 4) || !ReadAll(f.get(), &m, 4) ||
+      !ReadAll(f.get(), &k, 4) || !ReadAll(f.get(), &has_rot, 1)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (dim == 0 || m == 0 || k == 0 || k > 256 || dim % m != 0) {
+    return Status::IOError(path + ": invalid model shape");
+  }
+  Codebook book(m, k, dim / m);
+  if (!ReadAll(f.get(), book.data(), book.num_floats() * sizeof(float))) {
+    return Status::IOError(path + ": truncated codebook");
+  }
+  std::optional<linalg::Matrix> rotation;
+  if (has_rot != 0) {
+    linalg::Matrix r(dim, dim);
+    if (!ReadAll(f.get(), r.data(), dim * size_t{dim} * sizeof(float))) {
+      return Status::IOError(path + ": truncated rotation");
+    }
+    rotation = std::move(r);
+  }
+  return std::make_unique<PqQuantizer>(std::move(book), std::move(rotation));
+}
+
+Status SaveCodes(const std::vector<uint8_t>& codes, size_t code_size,
+                 const std::string& path) {
+  if (code_size == 0 || codes.size() % code_size != 0) {
+    return Status::InvalidArgument("codes size not a multiple of code_size");
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  uint64_t n = codes.size() / code_size;
+  uint32_t cs = static_cast<uint32_t>(code_size);
+  if (!WriteAll(f.get(), kCodesMagic, 4) || !WriteAll(f.get(), &n, 8) ||
+      !WriteAll(f.get(), &cs, 4) ||
+      !WriteAll(f.get(), codes.data(), codes.size())) {
+    return Status::IOError(path + ": write failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> LoadCodes(const std::string& path,
+                                       size_t* code_size) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint64_t n = 0;
+  uint32_t cs = 0;
+  if (!ReadAll(f.get(), magic, 4) || std::memcmp(magic, kCodesMagic, 4) != 0 ||
+      !ReadAll(f.get(), &n, 8) || !ReadAll(f.get(), &cs, 4) || cs == 0) {
+    return Status::IOError(path + ": bad codes header");
+  }
+  std::vector<uint8_t> codes(n * cs);
+  if (!ReadAll(f.get(), codes.data(), codes.size())) {
+    return Status::IOError(path + ": truncated codes");
+  }
+  if (code_size != nullptr) *code_size = cs;
+  return codes;
+}
+
+}  // namespace rpq::quant

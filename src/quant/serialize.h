@@ -1,0 +1,33 @@
+// Binary (de)serialization for quantizer models and code arrays, so trained
+// RPQ/OPQ/PQ models can be shipped separately from the data they compress —
+// what a production deployment does (train offline on a GPU box, serve the
+// frozen model on memory-constrained searchers).
+//
+// Format (little-endian):
+//   magic "RPQQ" | u32 version | u32 dim | u32 M | u32 K | u8 has_rotation
+//   | codebook floats (M*K*(dim/M)) | rotation floats (dim*dim, if present)
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "quant/pq.h"
+
+namespace rpq::quant {
+
+/// Persists a (rotation +) PQ model. RPQ deploys as PqQuantizer, so this
+/// covers PQ, OPQ and trained RPQ alike.
+Status SaveQuantizer(const PqQuantizer& quantizer, const std::string& path);
+
+/// Loads a model written by SaveQuantizer.
+Result<std::unique_ptr<PqQuantizer>> LoadQuantizer(const std::string& path);
+
+/// Persists a code array (n x code_size bytes) with its shape.
+Status SaveCodes(const std::vector<uint8_t>& codes, size_t code_size,
+                 const std::string& path);
+
+/// Loads codes; returns the flat byte vector and writes the code size.
+Result<std::vector<uint8_t>> LoadCodes(const std::string& path,
+                                       size_t* code_size);
+
+}  // namespace rpq::quant

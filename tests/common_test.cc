@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/distance.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/topk.h"
+
+namespace rpq {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad M");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad M"), std::string::npos);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err(Status::NotFound("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, UniformIndexInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    size_t v = rng.UniformIndex(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformIndex(1000), b.UniformIndex(1000));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  auto s = rng.SampleWithoutReplacement(100, 40);
+  std::set<uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 40u);
+  for (uint32_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(5);
+  auto s = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, GumbelFinite) {
+  Rng rng(3);
+  double mean = 0;
+  for (int i = 0; i < 10000; ++i) {
+    float g = rng.Gumbel();
+    ASSERT_TRUE(std::isfinite(g));
+    mean += g;
+  }
+  mean /= 10000;
+  // Standard Gumbel mean is the Euler-Mascheroni constant ~0.5772.
+  EXPECT_NEAR(mean, 0.5772, 0.05);
+}
+
+TEST(TopKTest, KeepsSmallest) {
+  TopK top(3);
+  for (float d : {5.f, 1.f, 4.f, 2.f, 3.f}) {
+    top.Push(d, static_cast<uint32_t>(d));
+  }
+  auto out = top.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_FLOAT_EQ(out[0].dist, 1.f);
+  EXPECT_FLOAT_EQ(out[1].dist, 2.f);
+  EXPECT_FLOAT_EQ(out[2].dist, 3.f);
+}
+
+TEST(TopKTest, ThresholdInfUntilFull) {
+  TopK top(2);
+  EXPECT_TRUE(std::isinf(top.Threshold()));
+  top.Push(1.f, 0);
+  EXPECT_TRUE(std::isinf(top.Threshold()));
+  top.Push(2.f, 1);
+  EXPECT_FLOAT_EQ(top.Threshold(), 2.f);
+}
+
+TEST(TopKTest, RejectsWorseWhenFull) {
+  TopK top(2);
+  top.Push(1.f, 0);
+  top.Push(2.f, 1);
+  EXPECT_FALSE(top.Push(3.f, 2));
+  EXPECT_TRUE(top.Push(0.5f, 3));
+}
+
+TEST(DistanceTest, SquaredL2MatchesNaive) {
+  Rng rng(7);
+  for (size_t d : {1u, 3u, 4u, 7u, 16u, 33u, 128u}) {
+    std::vector<float> a(d), b(d);
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+    }
+    float naive = 0;
+    for (size_t i = 0; i < d; ++i) naive += (a[i] - b[i]) * (a[i] - b[i]);
+    EXPECT_NEAR(SquaredL2(a.data(), b.data(), d), naive, 1e-4f * (1 + naive));
+  }
+}
+
+TEST(DistanceTest, DotAndNorm) {
+  std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a.data(), b.data(), 3), 32.f);
+  EXPECT_FLOAT_EQ(SquaredNorm(a.data(), 3), 14.f);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 1000, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialFallback) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, 100, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace rpq

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "core/diff_quantizer.h"
+#include "data/synthetic.h"
+
+namespace rpq::core {
+namespace {
+
+Dataset SmallData(size_t n = 300, size_t dim = 16, uint64_t seed = 3) {
+  synthetic::GmmOptions opt;
+  opt.dim = dim;
+  opt.num_clusters = 4;
+  opt.intrinsic_dim = dim / 2;
+  opt.cluster_spread = 2.0f;
+  return synthetic::MakeGmm(n, opt, seed);
+}
+
+DiffQuantizer MakeSmall(const Dataset& d, size_t m = 4, size_t k = 8,
+                        bool straight_through = false) {
+  DiffQuantizerOptions opt;
+  opt.m = m;
+  opt.k = k;
+  opt.straight_through = straight_through;
+  DiffQuantizer dq(d.dim(), opt);
+  dq.InitCodebooks(d);
+  dq.CalibrateTemperatures(d.Slice(0, std::min<size_t>(d.size(), 128)));
+  return dq;
+}
+
+TEST(DiffQuantizerTest, SoftAssignmentsSumToOne) {
+  Dataset d = SmallData();
+  DiffQuantizer dq = MakeSmall(d);
+  ForwardResult f;
+  dq.Forward(d[0], nullptr, false, &f);
+  for (size_t j = 0; j < dq.num_chunks(); ++j) {
+    float sum = 0;
+    for (size_t k = 0; k < dq.num_centroids(); ++k) {
+      float s = f.soft[j * dq.num_centroids() + k];
+      EXPECT_GE(s, 0.0f);
+      sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST(DiffQuantizerTest, HardCodeIsNearestCodeword) {
+  Dataset d = SmallData();
+  DiffQuantizer dq = MakeSmall(d);
+  ForwardResult f;
+  for (size_t i = 0; i < 20; ++i) {
+    dq.Forward(d[i], nullptr, false, &f);
+    for (size_t j = 0; j < dq.num_chunks(); ++j) {
+      const float* y = f.rotated.data() + j * dq.sub_dim();
+      float best = std::numeric_limits<float>::max();
+      size_t best_k = 0;
+      for (size_t k = 0; k < dq.num_centroids(); ++k) {
+        float dd = SquaredL2(y, dq.codebook().Word(j, k), dq.sub_dim());
+        if (dd < best) {
+          best = dd;
+          best_k = k;
+        }
+      }
+      EXPECT_EQ(f.hard_code[j], best_k);
+    }
+  }
+}
+
+TEST(DiffQuantizerTest, LowGumbelTauApproachesOneHot) {
+  Dataset d = SmallData();
+  DiffQuantizerOptions opt;
+  opt.m = 4;
+  opt.k = 8;
+  opt.gumbel_tau = 0.05f;  // sharp relaxation
+  opt.straight_through = false;
+  DiffQuantizer dq(d.dim(), opt);
+  dq.InitCodebooks(d);
+  dq.CalibrateTemperatures(d.Slice(0, 128));
+  ForwardResult f;
+  dq.Forward(d[0], nullptr, false, &f);
+  for (size_t j = 0; j < dq.num_chunks(); ++j) {
+    float mx = 0;
+    for (size_t k = 0; k < dq.num_centroids(); ++k) {
+      mx = std::max(mx, f.soft[j * dq.num_centroids() + k]);
+    }
+    EXPECT_GT(mx, 0.95f);
+  }
+}
+
+TEST(DiffQuantizerTest, RotationStaysOrthonormalAfterImport) {
+  Dataset d = SmallData();
+  DiffQuantizer dq = MakeSmall(d);
+  std::vector<float> params(dq.NumParams());
+  dq.ExportParams(params.data());
+  // Perturb the rotation parameters arbitrarily.
+  Rng rng(7);
+  for (size_t i = 0; i < dq.block_size() * dq.block_size(); ++i) {
+    params[i] += rng.Gaussian(0, 0.3f);
+  }
+  dq.ImportParams(params.data());
+  // Distance preservation <=> orthonormality.
+  std::vector<float> ra(d.dim()), rb(d.dim());
+  dq.Rotate(d[0], ra.data());
+  dq.Rotate(d[1], rb.data());
+  float orig = SquaredL2(d[0], d[1], d.dim());
+  float rot = SquaredL2(ra.data(), rb.data(), d.dim());
+  EXPECT_NEAR(rot, orig, 1e-2f * (1 + orig));
+}
+
+TEST(DiffQuantizerTest, DeployMatchesHardCodes) {
+  Dataset d = SmallData();
+  DiffQuantizer dq = MakeSmall(d);
+  auto deployed = dq.Deploy();
+  ForwardResult f;
+  std::vector<uint8_t> code(deployed->code_size());
+  for (size_t i = 0; i < 30; ++i) {
+    dq.Forward(d[i], nullptr, false, &f);
+    deployed->Encode(d[i], code.data());
+    for (size_t j = 0; j < dq.num_chunks(); ++j) {
+      EXPECT_EQ(code[j], f.hard_code[j]) << "vec " << i << " chunk " << j;
+    }
+  }
+}
+
+TEST(DiffQuantizerTest, BlockRotationCoversAllDims) {
+  Dataset d = SmallData(200, 16);
+  DiffQuantizerOptions opt;
+  opt.m = 4;
+  opt.k = 8;
+  opt.rotation_block = 8;  // two blocks
+  DiffQuantizer dq(d.dim(), opt);
+  EXPECT_EQ(dq.num_blocks(), 2u);
+  dq.InitCodebooks(d);
+  std::vector<float> params(dq.NumParams());
+  dq.ExportParams(params.data());
+  Rng rng(9);
+  for (size_t i = 0; i < 2 * 8 * 8; ++i) params[i] += rng.Gaussian(0, 0.2f);
+  dq.ImportParams(params.data());
+  std::vector<float> ra(d.dim()), rb(d.dim());
+  dq.Rotate(d[0], ra.data());
+  dq.Rotate(d[1], rb.data());
+  EXPECT_NEAR(SquaredL2(ra.data(), rb.data(), d.dim()),
+              SquaredL2(d[0], d[1], d.dim()),
+              1e-2f * (1 + SquaredL2(d[0], d[1], d.dim())));
+}
+
+// The central correctness test: analytic gradients (including the rotation
+// path through the matrix exponential) must match finite differences of a
+// scalar loss L = <w, quantized(x)> in the DETERMINISTIC soft mode.
+TEST(DiffQuantizerGradTest, MatchesFiniteDifferences) {
+  Dataset d = SmallData(200, 8, 5);
+  DiffQuantizerOptions opt;
+  opt.m = 2;
+  opt.k = 4;
+  opt.straight_through = false;  // exact differentiability
+  DiffQuantizer dq(d.dim(), opt);
+  dq.InitCodebooks(d);
+  dq.CalibrateTemperatures(d.Slice(0, 64));
+
+  Rng rng(11);
+  std::vector<float> w(d.dim());
+  for (auto& v : w) v = rng.Gaussian();
+  const float* x = d[0];
+
+  std::vector<float> params(dq.NumParams());
+  dq.ExportParams(params.data());
+
+  auto loss = [&](const std::vector<float>& p) -> double {
+    dq.ImportParams(p.data());
+    ForwardResult f;
+    dq.Forward(x, nullptr, false, &f);
+    double acc = 0;
+    for (size_t t = 0; t < w.size(); ++t) acc += w[t] * f.quantized[t];
+    return acc;
+  };
+
+  // Analytic gradient.
+  dq.ImportParams(params.data());
+  ForwardResult f;
+  dq.Forward(x, nullptr, false, &f);
+  GradBuffer g = dq.MakeGradBuffer();
+  dq.Backward(x, f, w.data(), &g);
+  std::vector<float> analytic(dq.NumParams());
+  dq.FlattenGrads(g, analytic.data());
+
+  // Spot-check a spread of parameters (all rotation params + 40 codebook).
+  const double h = 1e-3;
+  size_t rot_params = dq.block_size() * dq.block_size();
+  std::vector<size_t> idxs;
+  for (size_t i = 0; i < rot_params; i += 7) idxs.push_back(i);
+  for (size_t i = rot_params; i < dq.NumParams(); i += 5) idxs.push_back(i);
+
+  for (size_t idx : idxs) {
+    std::vector<float> pp = params, pm = params;
+    pp[idx] += h;
+    pm[idx] -= h;
+    double fd = (loss(pp) - loss(pm)) / (2 * h);
+    EXPECT_NEAR(analytic[idx], fd, 2e-2 * (1.0 + std::fabs(fd)))
+        << "param " << idx << (idx < rot_params ? " (rotation)" : " (codebook)");
+  }
+}
+
+TEST(DiffQuantizerGradTest, QueryRotationPathMatchesFiniteDifferences) {
+  // L = <w, R x> exercises AccumulateRotationGrad + the exp adjoint alone.
+  Dataset d = SmallData(100, 8, 7);
+  DiffQuantizerOptions opt;
+  opt.m = 2;
+  opt.k = 4;
+  DiffQuantizer dq(d.dim(), opt);
+  dq.InitCodebooks(d);
+
+  Rng rng(13);
+  std::vector<float> w(d.dim());
+  for (auto& v : w) v = rng.Gaussian();
+  const float* x = d[0];
+
+  std::vector<float> params(dq.NumParams());
+  dq.ExportParams(params.data());
+  // Move off the P=0 point so the exp jacobian is non-trivial.
+  for (size_t i = 0; i < dq.block_size() * dq.block_size(); ++i) {
+    params[i] += rng.Gaussian(0, 0.2f);
+  }
+  dq.ImportParams(params.data());
+
+  GradBuffer g = dq.MakeGradBuffer();
+  dq.AccumulateRotationGrad(x, w.data(), &g);
+  std::vector<float> analytic(dq.NumParams());
+  dq.FlattenGrads(g, analytic.data());
+
+  auto loss = [&](const std::vector<float>& p) -> double {
+    dq.ImportParams(p.data());
+    std::vector<float> rx(d.dim());
+    dq.Rotate(x, rx.data());
+    double acc = 0;
+    for (size_t t = 0; t < w.size(); ++t) acc += w[t] * rx[t];
+    return acc;
+  };
+
+  const double h = 1e-3;
+  for (size_t idx = 0; idx < dq.block_size() * dq.block_size(); idx += 3) {
+    std::vector<float> pp = params, pm = params;
+    pp[idx] += h;
+    pm[idx] -= h;
+    double fd = (loss(pp) - loss(pm)) / (2 * h);
+    EXPECT_NEAR(analytic[idx], fd, 1e-2 * (1.0 + std::fabs(fd))) << idx;
+  }
+}
+
+}  // namespace
+}  // namespace rpq::core

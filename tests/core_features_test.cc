@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/distance.h"
+#include "core/feature_extractor.h"
+#include "data/synthetic.h"
+#include "graph/vamana.h"
+#include "quant/pq.h"
+
+namespace rpq::core {
+namespace {
+
+class FeatureExtractorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = synthetic::MakeUkbenchLike(800, 19);
+    graph::VamanaOptions vopt;
+    vopt.degree = 12;
+    vopt.build_beam = 24;
+    graph_ = graph::BuildVamana(base_, vopt);
+  }
+  Dataset base_;
+  graph::ProximityGraph graph_;
+};
+
+TEST_F(FeatureExtractorTest, NHopNeighborhoodGrowsWithHops) {
+  auto h1 = CollectNHopNeighborhood(graph_, 0, 1);
+  auto h2 = CollectNHopNeighborhood(graph_, 0, 2);
+  EXPECT_EQ(h1.size(), graph_.Neighbors(0).size());
+  EXPECT_GT(h2.size(), h1.size());
+  // 1-hop set is a subset of the 2-hop set.
+  std::set<uint32_t> s2(h2.begin(), h2.end());
+  for (uint32_t v : h1) EXPECT_TRUE(s2.count(v)) << v;
+  // v itself is excluded.
+  EXPECT_FALSE(s2.count(0));
+}
+
+TEST_F(FeatureExtractorTest, TripletsRespectScopes) {
+  NeighborhoodSamplingOptions opt;
+  opt.n_hops = 2;
+  opt.k_pos = 5;
+  opt.k_neg = 10;
+  Rng rng(3);
+  auto triplets = SampleNeighborhoodTriplets(graph_, base_, 100, opt, &rng);
+  ASSERT_GT(triplets.size(), 50u);
+  for (const auto& t : triplets) {
+    ASSERT_NE(t.v, t.v_pos);
+    ASSERT_NE(t.v, t.v_neg);
+    ASSERT_NE(t.v_pos, t.v_neg);
+    // Verify ranks: v_pos must be within the k_pos nearest of the n-hop
+    // neighborhood, v_neg outside the positive scope.
+    auto hood = CollectNHopNeighborhood(graph_, t.v, opt.n_hops);
+    std::vector<Neighbor> ranked;
+    for (uint32_t u : hood) {
+      ranked.push_back({SquaredL2(base_[t.v], base_[u], base_.dim()), u});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t pos_rank = ranked.size(), neg_rank = ranked.size();
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      if (ranked[i].id == t.v_pos) pos_rank = i;
+      if (ranked[i].id == t.v_neg) neg_rank = i;
+    }
+    EXPECT_LT(pos_rank, opt.k_pos);
+    EXPECT_GE(neg_rank, std::min(opt.k_pos, ranked.size() - 1));
+    EXPECT_LT(neg_rank, opt.k_pos + opt.k_neg);
+  }
+}
+
+TEST_F(FeatureExtractorTest, PositiveCloserThanNegativeOnAverage) {
+  NeighborhoodSamplingOptions opt;
+  Rng rng(5);
+  auto triplets = SampleNeighborhoodTriplets(graph_, base_, 200, opt, &rng);
+  double d_pos = 0, d_neg = 0;
+  for (const auto& t : triplets) {
+    d_pos += SquaredL2(base_[t.v], base_[t.v_pos], base_.dim());
+    d_neg += SquaredL2(base_[t.v], base_[t.v_neg], base_.dim());
+  }
+  EXPECT_LT(d_pos, d_neg);
+}
+
+TEST_F(FeatureExtractorTest, RoutingSamplesAreWellFormed) {
+  quant::PqOptions popt;
+  popt.m = 8;
+  popt.k = 16;
+  auto pq = quant::PqQuantizer::Train(base_, popt);
+  auto codes = pq->EncodeDataset(base_);
+
+  RoutingSamplingOptions ropt;
+  ropt.num_queries = 10;
+  ropt.beam_width = 8;
+  ropt.max_steps_per_query = 12;
+  Dataset queries;
+  auto samples =
+      SampleRoutingFeatures(graph_, base_, *pq, codes, ropt, &queries);
+  EXPECT_EQ(queries.size(), 10u);
+  ASSERT_GT(samples.size(), 10u);
+  for (const auto& s : samples) {
+    EXPECT_LT(s.query_id, queries.size());
+    EXPECT_GE(s.candidates.size(), 2u);
+    EXPECT_LE(s.candidates.size(), ropt.beam_width);
+    EXPECT_LT(s.teacher, s.candidates.size());
+    // Teacher really is the exact-distance argmin among candidates.
+    float best = std::numeric_limits<float>::max();
+    size_t best_i = 0;
+    for (size_t i = 0; i < s.candidates.size(); ++i) {
+      float d = SquaredL2(queries[s.query_id], base_[s.candidates[i]],
+                          base_.dim());
+      if (d < best) {
+        best = d;
+        best_i = i;
+      }
+    }
+    EXPECT_EQ(s.teacher, best_i);
+  }
+}
+
+TEST_F(FeatureExtractorTest, StepsPerQueryBounded) {
+  quant::PqOptions popt;
+  popt.m = 8;
+  popt.k = 16;
+  auto pq = quant::PqQuantizer::Train(base_, popt);
+  auto codes = pq->EncodeDataset(base_);
+  RoutingSamplingOptions ropt;
+  ropt.num_queries = 5;
+  ropt.beam_width = 8;
+  ropt.max_steps_per_query = 3;
+  Dataset queries;
+  auto samples =
+      SampleRoutingFeatures(graph_, base_, *pq, codes, ropt, &queries);
+  EXPECT_LE(samples.size(), 5u * 3u);
+}
+
+}  // namespace
+}  // namespace rpq::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/adam.h"
+#include "core/losses.h"
+
+namespace rpq::core {
+namespace {
+
+TEST(TripletLossTest, ZeroWhenMarginSatisfied) {
+  float v[2] = {0, 0}, pos[2] = {0.1f, 0}, neg[2] = {5, 5};
+  float l = TripletLoss(v, pos, neg, 2, 1.0f, nullptr, nullptr, nullptr);
+  EXPECT_FLOAT_EQ(l, 0.0f);
+}
+
+TEST(TripletLossTest, PositiveWhenViolated) {
+  float v[2] = {0, 0}, pos[2] = {2, 0}, neg[2] = {1, 0};
+  // d_pos = 4, d_neg = 1, margin 0.5 -> loss = 3.5
+  float l = TripletLoss(v, pos, neg, 2, 0.5f, nullptr, nullptr, nullptr);
+  EXPECT_FLOAT_EQ(l, 3.5f);
+}
+
+TEST(TripletLossTest, GradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  const size_t dim = 6;
+  std::vector<float> v(dim), p(dim), n(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    v[i] = rng.Gaussian();
+    p[i] = rng.Gaussian();
+    n[i] = rng.Gaussian();
+  }
+  const float margin = 5.0f;  // large margin keeps the hinge active
+  std::vector<float> gv(dim, 0), gp(dim, 0), gn(dim, 0);
+  float l0 = TripletLoss(v.data(), p.data(), n.data(), dim, margin, gv.data(),
+                         gp.data(), gn.data());
+  ASSERT_GT(l0, 0.0f);
+  const float h = 1e-3f;
+  for (size_t i = 0; i < dim; ++i) {
+    auto fd = [&](std::vector<float>& vec, float* g) {
+      vec[i] += h;
+      float lp = TripletLoss(v.data(), p.data(), n.data(), dim, margin, nullptr,
+                             nullptr, nullptr);
+      vec[i] -= 2 * h;
+      float lm = TripletLoss(v.data(), p.data(), n.data(), dim, margin, nullptr,
+                             nullptr, nullptr);
+      vec[i] += h;
+      EXPECT_NEAR(g[i], (lp - lm) / (2 * h), 2e-2f);
+    };
+    fd(v, gv.data());
+    fd(p, gp.data());
+    fd(n, gn.data());
+  }
+}
+
+TEST(NextHopProbTest, SumToOneAndOrdered) {
+  float dist[4] = {1.0f, 2.0f, 0.5f, 4.0f};
+  float probs[4];
+  NextHopProbabilities(dist, 4, 1.0f, probs);
+  float sum = 0;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  // Smaller distance -> larger probability (corrected Eq. 6/9 semantics).
+  EXPECT_GT(probs[2], probs[0]);
+  EXPECT_GT(probs[0], probs[1]);
+  EXPECT_GT(probs[1], probs[3]);
+}
+
+TEST(NextHopProbTest, TemperatureControlsSharpness) {
+  float dist[3] = {1.0f, 2.0f, 3.0f};
+  float sharp[3], flat[3];
+  NextHopProbabilities(dist, 3, 0.1f, sharp);
+  NextHopProbabilities(dist, 3, 10.0f, flat);
+  EXPECT_GT(sharp[0], flat[0]);
+  EXPECT_LT(sharp[2], flat[2]);
+}
+
+TEST(RoutingStepLossTest, LowerWhenTeacherIsNearest) {
+  const size_t h = 3, dim = 2;
+  float query[2] = {0, 0};
+  float cand[6] = {0.1f, 0.0f,   // candidate 0 (nearest)
+                   1.0f, 1.0f,   // candidate 1
+                   2.0f, 2.0f};  // candidate 2
+  float l_good = RoutingStepLoss(cand, h, dim, query, 0, 1.0f, nullptr, nullptr);
+  float l_bad = RoutingStepLoss(cand, h, dim, query, 2, 1.0f, nullptr, nullptr);
+  EXPECT_LT(l_good, l_bad);
+}
+
+TEST(RoutingStepLossTest, GradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  const size_t h = 4, dim = 3;
+  std::vector<float> cand(h * dim), query(dim);
+  for (auto& v : cand) v = rng.Gaussian();
+  for (auto& v : query) v = rng.Gaussian();
+  const size_t teacher = 2;
+  const float tau = 0.7f;
+
+  std::vector<float> gc(h * dim, 0), gq(dim, 0);
+  RoutingStepLoss(cand.data(), h, dim, query.data(), teacher, tau, gc.data(),
+                  gq.data());
+  const float step = 1e-3f;
+  for (size_t i = 0; i < h * dim; ++i) {
+    cand[i] += step;
+    float lp = RoutingStepLoss(cand.data(), h, dim, query.data(), teacher, tau,
+                               nullptr, nullptr);
+    cand[i] -= 2 * step;
+    float lm = RoutingStepLoss(cand.data(), h, dim, query.data(), teacher, tau,
+                               nullptr, nullptr);
+    cand[i] += step;
+    EXPECT_NEAR(gc[i], (lp - lm) / (2 * step), 2e-2f) << "cand " << i;
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    query[i] += step;
+    float lp = RoutingStepLoss(cand.data(), h, dim, query.data(), teacher, tau,
+                               nullptr, nullptr);
+    query[i] -= 2 * step;
+    float lm = RoutingStepLoss(cand.data(), h, dim, query.data(), teacher, tau,
+                               nullptr, nullptr);
+    query[i] += step;
+    EXPECT_NEAR(gq[i], (lp - lm) / (2 * step), 2e-2f) << "query " << i;
+  }
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // minimize ||x - t||^2 for a fixed target t.
+  const size_t n = 8;
+  Rng rng(7);
+  std::vector<float> x(n, 0.0f), t(n), g(n);
+  for (auto& v : t) v = rng.Gaussian();
+  AdamOptions opt;
+  opt.lr = 0.05f;
+  Adam adam(n, opt);
+  for (int step = 0; step < 800; ++step) {
+    for (size_t i = 0; i < n; ++i) g[i] = 2.0f * (x[i] - t[i]);
+    adam.Step(x.data(), g.data());
+  }
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], t[i], 1e-2f);
+}
+
+TEST(OneCycleTest, WarmsUpThenDecays) {
+  OneCycleSchedule sched(100, 0.3f, 0.2f);
+  EXPECT_LT(sched.Scale(0), sched.Scale(15));
+  EXPECT_NEAR(sched.Scale(30), 1.0f, 1e-5f);   // peak at warmup end
+  EXPECT_GT(sched.Scale(30), sched.Scale(70));
+  EXPECT_NEAR(sched.Scale(100), 0.2f, 1e-5f);  // final = decay rate
+}
+
+}  // namespace
+}  // namespace rpq::core

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distance.h"
+#include "core/memory_index.h"
+#include "core/trainer.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "graph/vamana.h"
+#include "quant/pq.h"
+
+namespace rpq::core {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    synthetic::MakeBaseAndQueries("ukbench", 1000, 25, 71, &base_, &queries_);
+    graph::VamanaOptions vopt;
+    vopt.degree = 12;
+    vopt.build_beam = 24;
+    graph_ = graph::BuildVamana(base_, vopt);
+    gt_ = ComputeGroundTruth(base_, queries_, 10);
+  }
+
+  RpqTrainOptions FastOptions() const {
+    RpqTrainOptions opt;
+    opt.m = 8;
+    opt.k = 16;
+    opt.epochs = 2;
+    opt.batch_size = 8;
+    opt.triplets_per_epoch = 128;
+    opt.routing_queries_per_epoch = 8;
+    opt.routing_beam_width = 8;
+    opt.max_steps_per_query = 6;
+    return opt;
+  }
+
+  double InMemoryRecall(const quant::VectorQuantizer& q, size_t beam) const {
+    auto index = MemoryIndex::Build(base_, graph_, q);
+    std::vector<std::vector<Neighbor>> results(queries_.size());
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      results[i] = index->Search(queries_[i], 10, {beam, 10}).results;
+    }
+    return eval::MeanRecallAtK(results, gt_, 10);
+  }
+
+  Dataset base_, queries_;
+  graph::ProximityGraph graph_;
+  std::vector<std::vector<Neighbor>> gt_;
+};
+
+TEST_F(TrainerTest, ProducesDeployableQuantizer) {
+  auto result = TrainRpq(base_, graph_, FastOptions());
+  ASSERT_NE(result.quantizer, nullptr);
+  EXPECT_GT(result.training_seconds, 0.0);
+  EXPECT_EQ(result.model_size_bytes, result.quantizer->ModelSizeBytes());
+  ASSERT_EQ(result.epoch_loss.size(), 2u);
+  for (double l : result.epoch_loss) EXPECT_TRUE(std::isfinite(l));
+  // Deployed rotation must be orthonormal (distance-preserving encode space).
+  ASSERT_TRUE(result.quantizer->has_rotation());
+  const auto& r = result.quantizer->rotation();
+  EXPECT_LT(linalg::MaxAbsDiff(linalg::MatMulTransA(r, r),
+                               linalg::Matrix::Identity(base_.dim())),
+            5e-3f);
+}
+
+TEST_F(TrainerTest, RpqBeatsOrMatchesPlainPqRecall) {
+  quant::PqOptions popt;
+  popt.m = 8;
+  popt.k = 16;
+  auto pq = quant::PqQuantizer::Train(base_, popt);
+  auto rpq = TrainRpq(base_, graph_, FastOptions());
+  double r_pq = InMemoryRecall(*pq, 32);
+  double r_rpq = InMemoryRecall(*rpq.quantizer, 32);
+  // Same code budget; the learned quantizer should not be materially worse
+  // and is usually better. Allow small noise margin.
+  EXPECT_GE(r_rpq, r_pq - 0.05);
+}
+
+TEST_F(TrainerTest, AblationVariantsRun) {
+  auto opt_n = FastOptions();
+  opt_n.use_routing = false;
+  opt_n.epochs = 1;
+  auto res_n = TrainRpq(base_, graph_, opt_n);
+  EXPECT_NE(res_n.quantizer, nullptr);
+
+  auto opt_r = FastOptions();
+  opt_r.use_neighborhood = false;
+  opt_r.epochs = 1;
+  auto res_r = TrainRpq(base_, graph_, opt_r);
+  EXPECT_NE(res_r.quantizer, nullptr);
+
+  auto opt_l2r = FastOptions();
+  opt_l2r.l2r_mode = true;
+  opt_l2r.use_neighborhood = false;
+  opt_l2r.epochs = 1;
+  auto res_l2r = TrainRpq(base_, graph_, opt_l2r);
+  EXPECT_NE(res_l2r.quantizer, nullptr);
+}
+
+TEST_F(TrainerTest, BlockRotationOptionWorks) {
+  auto opt = FastOptions();
+  opt.rotation_block = 64;  // two 64-dim blocks over the 128-dim data
+  opt.epochs = 1;
+  auto res = TrainRpq(base_, graph_, opt);
+  ASSERT_NE(res.quantizer, nullptr);
+  // Rotation still orthonormal when block-diagonal.
+  const auto& r = res.quantizer->rotation();
+  EXPECT_LT(linalg::MaxAbsDiff(linalg::MatMulTransA(r, r),
+                               linalg::Matrix::Identity(base_.dim())),
+            5e-3f);
+}
+
+TEST_F(TrainerTest, MemoryIndexSearchUsesAdcOnly) {
+  auto res = TrainRpq(base_, graph_, FastOptions());
+  auto index = MemoryIndex::Build(base_, graph_, *res.quantizer);
+  auto out = index->Search(queries_[0], 10, {32, 10});
+  ASSERT_EQ(out.results.size(), 10u);
+  EXPECT_GT(out.stats.hops, 0u);
+  // Result distances are estimates, not exact: allow them to differ from the
+  // true distances but require the ranking to be ascending.
+  for (size_t i = 1; i < out.results.size(); ++i) {
+    EXPECT_LE(out.results[i - 1].dist, out.results[i].dist);
+  }
+  EXPECT_EQ(index->MemoryBytes(),
+            base_.size() * res.quantizer->code_size() +
+                res.quantizer->ModelSizeBytes());
+}
+
+TEST(TrainerSmokeTest, WorksOnNormalizedData) {
+  Dataset base, queries;
+  synthetic::MakeBaseAndQueries("deep", 600, 10, 77, &base, &queries);
+  graph::VamanaOptions vopt;
+  vopt.degree = 10;
+  vopt.build_beam = 20;
+  auto graph = graph::BuildVamana(base, vopt);
+  RpqTrainOptions opt;
+  opt.m = 8;
+  opt.k = 16;
+  opt.epochs = 1;
+  opt.triplets_per_epoch = 64;
+  opt.routing_queries_per_epoch = 4;
+  opt.routing_beam_width = 8;
+  opt.max_steps_per_query = 4;
+  opt.batch_size = 8;
+  auto res = TrainRpq(base, graph, opt);
+  ASSERT_NE(res.quantizer, nullptr);
+  for (double l : res.epoch_loss) EXPECT_TRUE(std::isfinite(l));
+}
+
+}  // namespace
+}  // namespace rpq::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "disk/disk_index.h"
+#include "disk/ssd_simulator.h"
+#include "eval/recall.h"
+#include "graph/vamana.h"
+#include "quant/pq.h"
+
+namespace rpq::disk {
+namespace {
+
+TEST(SsdSimulatorTest, RoundsBlockToSectors) {
+  SsdOptions opt;
+  opt.sector_bytes = 512;
+  SsdSimulator ssd(4, 600, opt);
+  EXPECT_EQ(ssd.block_bytes(), 1024u);
+  EXPECT_EQ(ssd.sectors_per_block(), 2u);
+  EXPECT_EQ(ssd.DeviceBytes(), 4096u);
+}
+
+TEST(SsdSimulatorTest, ReadBackWhatWasWritten) {
+  SsdSimulator ssd(2, 100, {});
+  std::vector<uint8_t> in(100);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<uint8_t>(i);
+  ssd.WriteBlock(1, in.data(), in.size());
+  std::vector<uint8_t> out(100, 0);
+  IoStats stats;
+  ssd.ReadBlock(1, out.data(), out.size(), &stats);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.bytes, ssd.block_bytes());
+}
+
+TEST(SsdSimulatorTest, LatencyAccountingIsDeterministic) {
+  SsdOptions opt;
+  opt.read_latency_seconds = 1e-4;
+  opt.bandwidth_bytes_per_s = 1e9;
+  SsdSimulator ssd(8, 4096, opt);
+  IoStats stats;
+  std::vector<uint8_t> buf(ssd.block_bytes());
+  for (int i = 0; i < 10; ++i) ssd.ReadBlock(0, buf.data(), buf.size(), &stats);
+  EXPECT_EQ(stats.reads, 10u);
+  double expected = 10 * (1e-4 + ssd.block_bytes() / 1e9);
+  EXPECT_NEAR(stats.simulated_seconds, expected, 1e-9);
+}
+
+class DiskIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    synthetic::MakeBaseAndQueries("sift", 1500, 30, 61, &base_, &queries_);
+    graph::VamanaOptions vopt;
+    vopt.degree = 16;
+    vopt.build_beam = 32;
+    graph_ = graph::BuildVamana(base_, vopt);
+    quant::PqOptions popt;
+    popt.m = 16;
+    popt.k = 64;
+    pq_ = quant::PqQuantizer::Train(base_, popt);
+    index_ = DiskIndex::Build(base_, graph_, *pq_);
+    gt_ = ComputeGroundTruth(base_, queries_, 10);
+  }
+
+  Dataset base_, queries_;
+  graph::ProximityGraph graph_;
+  std::unique_ptr<quant::PqQuantizer> pq_;
+  std::unique_ptr<DiskIndex> index_;
+  std::vector<std::vector<Neighbor>> gt_;
+};
+
+TEST_F(DiskIndexTest, HopsEqualBlockReads) {
+  auto res = index_->Search(queries_[0], 10, {32, 10});
+  EXPECT_EQ(res.stats.hops, res.io.reads);
+  EXPECT_GT(res.stats.hops, 0u);
+  EXPECT_GT(res.io.simulated_seconds, 0.0);
+}
+
+TEST_F(DiskIndexTest, ResultsAreExactDistancesAscending) {
+  auto res = index_->Search(queries_[1], 10, {48, 10});
+  ASSERT_EQ(res.results.size(), 10u);
+  for (size_t i = 0; i < res.results.size(); ++i) {
+    float exact =
+        SquaredL2(queries_[1], base_[res.results[i].id], base_.dim());
+    EXPECT_FLOAT_EQ(res.results[i].dist, exact);
+    if (i > 0) EXPECT_LE(res.results[i - 1].dist, res.results[i].dist);
+  }
+}
+
+TEST_F(DiskIndexTest, RerankingReachesHighRecall) {
+  std::vector<std::vector<Neighbor>> results(queries_.size());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    results[q] = index_->Search(queries_[q], 10, {64, 10}).results;
+  }
+  // Full-precision rerank should lift recall well above the raw PQ level.
+  EXPECT_GT(eval::MeanRecallAtK(results, gt_, 10), 0.8);
+}
+
+TEST_F(DiskIndexTest, MemoryFootprintIsCodesPlusModel) {
+  EXPECT_EQ(index_->MemoryBytes(),
+            base_.size() * pq_->code_size() + pq_->ModelSizeBytes());
+  // The memory side must be far smaller than raw vectors (the whole point).
+  EXPECT_LT(index_->MemoryBytes(),
+            base_.size() * base_.dim() * sizeof(float) / 4);
+}
+
+TEST_F(DiskIndexTest, WiderBeamMoreIo) {
+  auto narrow = index_->Search(queries_[2], 10, {16, 10});
+  auto wide = index_->Search(queries_[2], 10, {128, 10});
+  EXPECT_GT(wide.io.reads, narrow.io.reads);
+}
+
+}  // namespace
+}  // namespace rpq::disk

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "eval/recall.h"
+
+namespace rpq::eval {
+namespace {
+
+TEST(RecallTest, ExactMatchIsOne) {
+  std::vector<Neighbor> res{{0.1f, 1}, {0.2f, 2}, {0.3f, 3}};
+  std::vector<Neighbor> gt{{0.1f, 1}, {0.2f, 2}, {0.3f, 3}};
+  EXPECT_DOUBLE_EQ(RecallAtK(res, gt, 3), 1.0);
+}
+
+TEST(RecallTest, PartialOverlap) {
+  std::vector<Neighbor> res{{0.1f, 1}, {0.2f, 9}, {0.3f, 3}};
+  std::vector<Neighbor> gt{{0.1f, 1}, {0.2f, 2}, {0.3f, 3}};
+  EXPECT_NEAR(RecallAtK(res, gt, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RecallTest, OrderDoesNotMatter) {
+  std::vector<Neighbor> res{{0.3f, 3}, {0.1f, 1}};
+  std::vector<Neighbor> gt{{0.1f, 1}, {0.3f, 3}};
+  EXPECT_DOUBLE_EQ(RecallAtK(res, gt, 2), 1.0);
+}
+
+TEST(RecallTest, EmptyResultsZero) {
+  std::vector<Neighbor> res;
+  std::vector<Neighbor> gt{{0.1f, 1}};
+  EXPECT_DOUBLE_EQ(RecallAtK(res, gt, 1), 0.0);
+}
+
+TEST(QpsAtRecallTest, InterpolatesBetweenPoints) {
+  std::vector<OperatingPoint> curve;
+  curve.push_back({8, 0.80, 1000.0, 10, 0});
+  curve.push_back({16, 0.90, 500.0, 20, 0});
+  bool reached = false;
+  double qps = QpsAtRecall(curve, 0.85, &reached);
+  EXPECT_TRUE(reached);
+  EXPECT_NEAR(qps, 750.0, 1e-9);
+}
+
+TEST(QpsAtRecallTest, BelowCurveUsesFirstPoint) {
+  std::vector<OperatingPoint> curve;
+  curve.push_back({8, 0.80, 1000.0, 10, 0});
+  curve.push_back({16, 0.90, 500.0, 20, 0});
+  bool reached = false;
+  EXPECT_DOUBLE_EQ(QpsAtRecall(curve, 0.5, &reached), 1000.0);
+  EXPECT_TRUE(reached);
+}
+
+TEST(QpsAtRecallTest, UnreachedTargetFlagged) {
+  std::vector<OperatingPoint> curve;
+  curve.push_back({8, 0.80, 1000.0, 10, 0});
+  bool reached = true;
+  double qps = QpsAtRecall(curve, 0.95, &reached);
+  EXPECT_FALSE(reached);
+  EXPECT_DOUBLE_EQ(qps, 1000.0);  // best-effort value
+}
+
+TEST(HopsAtRecallTest, Interpolates) {
+  std::vector<OperatingPoint> curve;
+  curve.push_back({8, 0.80, 1000.0, 10, 0});
+  curve.push_back({16, 0.90, 500.0, 30, 0});
+  EXPECT_NEAR(HopsAtRecall(curve, 0.85), 20.0, 1e-9);
+}
+
+TEST(SweepTest, RunsSearchFnForEveryBeamAndQuery) {
+  Dataset queries(3, 2);
+  std::vector<std::vector<Neighbor>> gt(3, {{0.0f, 0}});
+  size_t calls = 0;
+  auto curve = SweepBeamWidths(
+      [&](const float*, size_t k, size_t beam) {
+        ++calls;
+        SearchOutcome out;
+        out.results = {{0.0f, beam >= 16 ? 0u : 9u}};
+        out.hops = beam;
+        (void)k;
+        return out;
+      },
+      queries, gt, 1, {8, 16});
+  EXPECT_EQ(calls, 6u);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.0);  // wrong id at beam 8
+  EXPECT_DOUBLE_EQ(curve[1].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].mean_hops, 8.0);
+}
+
+TEST(SweepTest, SimulatedIoLowersQps) {
+  Dataset queries(4, 2);
+  std::vector<std::vector<Neighbor>> gt(4, {{0.0f, 0}});
+  auto make = [&](double io) {
+    return SweepBeamWidths(
+        [io](const float*, size_t, size_t) {
+          SearchOutcome out;
+          out.results = {{0.0f, 0}};
+          out.simulated_io_seconds = io;
+          return out;
+        },
+        queries, gt, 1, {8});
+  };
+  auto fast = make(0.0);
+  auto slow = make(0.01);
+  EXPECT_GT(fast[0].qps, slow[0].qps);
+  EXPECT_NEAR(slow[0].mean_io_ms, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rpq::eval

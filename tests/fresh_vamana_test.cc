@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/distance.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "graph/fresh_vamana.h"
+
+namespace rpq::graph {
+namespace {
+
+Dataset SmallData(size_t n = 600, uint64_t seed = 5) {
+  synthetic::GmmOptions opt;
+  opt.dim = 24;
+  opt.num_clusters = 8;
+  opt.intrinsic_dim = 6;
+  return synthetic::MakeGmm(n, opt, seed);
+}
+
+VamanaOptions SmallOptions() {
+  VamanaOptions opt;
+  opt.degree = 12;
+  opt.build_beam = 24;
+  return opt;
+}
+
+TEST(FreshVamanaTest, InsertAssignsSequentialIds) {
+  Dataset d = SmallData(20);
+  FreshVamanaIndex index(d.dim(), SmallOptions());
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(index.Insert(d[i]), i);
+  }
+  EXPECT_EQ(index.size(), d.size());
+}
+
+TEST(FreshVamanaTest, StreamingBuildReachesGoodRecall) {
+  Dataset base, queries;
+  synthetic::MakeBaseAndQueries("ukbench", 800, 20, 9, &base, &queries);
+  FreshVamanaIndex index(base.dim(), SmallOptions());
+  for (size_t i = 0; i < base.size(); ++i) index.Insert(base[i]);
+
+  auto gt = ComputeGroundTruth(base, queries, 10);
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    results[q] = index.Search(queries[q], 10, 64);
+  }
+  EXPECT_GT(eval::MeanRecallAtK(results, gt, 10), 0.85);
+}
+
+TEST(FreshVamanaTest, DeletedVerticesNeverReturned) {
+  Dataset d = SmallData(300);
+  FreshVamanaIndex index(d.dim(), SmallOptions());
+  for (size_t i = 0; i < d.size(); ++i) index.Insert(d[i]);
+  // Delete the exact nearest neighbor of query d[0] (which is itself).
+  index.Delete(0);
+  auto res = index.Search(d[0], 10, 32);
+  for (const auto& nb : res) EXPECT_NE(nb.id, 0u);
+  EXPECT_EQ(index.size(), d.size() - 1);
+}
+
+TEST(FreshVamanaTest, DeleteIsIdempotent) {
+  Dataset d = SmallData(100);
+  FreshVamanaIndex index(d.dim(), SmallOptions());
+  for (size_t i = 0; i < d.size(); ++i) index.Insert(d[i]);
+  index.Delete(5);
+  index.Delete(5);
+  EXPECT_EQ(index.size(), d.size() - 1);
+}
+
+TEST(FreshVamanaTest, ConsolidateRemovesTombstoneEdges) {
+  Dataset d = SmallData(300);
+  FreshVamanaIndex index(d.dim(), SmallOptions());
+  for (size_t i = 0; i < d.size(); ++i) index.Insert(d[i]);
+  for (uint32_t v = 0; v < 50; ++v) index.Delete(v);
+  index.Consolidate();
+  // No live vertex may point at a tombstone; tombstones have no edges.
+  for (uint32_t v = 0; v < index.total_slots(); ++v) {
+    if (index.IsDeleted(v)) {
+      EXPECT_TRUE(index.graph().Neighbors(v).empty());
+      continue;
+    }
+    for (uint32_t u : index.graph().Neighbors(v)) {
+      EXPECT_FALSE(index.IsDeleted(u)) << v << " -> " << u;
+    }
+  }
+}
+
+TEST(FreshVamanaTest, RecallSurvivesDeleteConsolidateCycle) {
+  Dataset base, queries;
+  synthetic::MakeBaseAndQueries("ukbench", 900, 20, 13, &base, &queries);
+  FreshVamanaIndex index(base.dim(), SmallOptions());
+  for (size_t i = 0; i < base.size(); ++i) index.Insert(base[i]);
+  // Remove a random third of the base, repair, and verify search quality
+  // against ground truth restricted to the survivors.
+  for (uint32_t v = 0; v < base.size(); v += 3) index.Delete(v);
+  index.Consolidate();
+
+  std::vector<std::vector<Neighbor>> results(queries.size()), gt(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    results[q] = index.Search(queries[q], 10, 64);
+    TopK top(10);
+    for (uint32_t v = 0; v < base.size(); ++v) {
+      if (index.IsDeleted(v)) continue;
+      top.Push(SquaredL2(queries[q], base[v], base.dim()), v);
+    }
+    gt[q] = top.Take();
+  }
+  EXPECT_GT(eval::MeanRecallAtK(results, gt, 10), 0.8);
+}
+
+TEST(FreshVamanaTest, EntryPointMovesOffDeletedVertex) {
+  Dataset d = SmallData(200);
+  FreshVamanaIndex index(d.dim(), SmallOptions());
+  for (size_t i = 0; i < d.size(); ++i) index.Insert(d[i]);
+  uint32_t entry = index.graph().entry_point();
+  index.Delete(entry);
+  EXPECT_NE(index.graph().entry_point(), entry);
+  EXPECT_FALSE(index.IsDeleted(index.graph().entry_point()));
+}
+
+TEST(FreshVamanaTest, EmptyIndexSearchIsEmpty) {
+  FreshVamanaIndex index(16, SmallOptions());
+  EXPECT_TRUE(index.Search(std::vector<float>(16, 0.f).data(), 5, 16).empty());
+}
+
+}  // namespace
+}  // namespace rpq::graph

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/matexp.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+
+namespace rpq::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t r, size_t c, float scale, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) m.At(i, j) = rng.Gaussian(0, scale);
+  }
+  return m;
+}
+
+TEST(MatrixTest, IdentityAndMul) {
+  Matrix i = Matrix::Identity(4);
+  Matrix a = RandomMatrix(4, 4, 1.0f, 1);
+  EXPECT_LT(MaxAbsDiff(MatMul(i, a), a), 1e-6f);
+  EXPECT_LT(MaxAbsDiff(MatMul(a, i), a), 1e-6f);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = RandomMatrix(3, 5, 1.0f, 2);
+  EXPECT_LT(MaxAbsDiff(a.Transposed().Transposed(), a), 1e-7f);
+}
+
+TEST(MatrixTest, MatMulTransVariantsAgree) {
+  Matrix a = RandomMatrix(4, 6, 1.0f, 3);
+  Matrix b = RandomMatrix(4, 5, 1.0f, 4);
+  // A^T B computed two ways.
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), MatMul(a.Transposed(), b)), 1e-4f);
+  Matrix c = RandomMatrix(5, 6, 1.0f, 5);
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(a, c), MatMul(a, c.Transposed())), 1e-4f);
+}
+
+TEST(MatrixTest, MatVecAgreesWithMatMul) {
+  Matrix a = RandomMatrix(5, 7, 1.0f, 6);
+  Matrix x = RandomMatrix(7, 1, 1.0f, 7);
+  std::vector<float> y(5);
+  MatVec(a, x.data(), y.data());
+  Matrix expect = MatMul(a, x);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(y[i], expect.At(i, 0), 1e-4f);
+}
+
+TEST(MatrixTest, SkewPartIsSkew) {
+  Matrix p = RandomMatrix(6, 6, 1.0f, 8);
+  Matrix a = SkewPart(p);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(a.At(i, j), -a.At(j, i), 1e-6f);
+    }
+  }
+}
+
+TEST(MatExpTest, ExpOfZeroIsIdentity) {
+  Matrix z(5, 5);
+  EXPECT_LT(MaxAbsDiff(MatrixExp(z), Matrix::Identity(5)), 1e-6f);
+}
+
+TEST(MatExpTest, ExpDiagonal) {
+  Matrix d(3, 3);
+  d.At(0, 0) = 1.0f;
+  d.At(1, 1) = -0.5f;
+  d.At(2, 2) = 2.0f;
+  Matrix e = MatrixExp(d);
+  EXPECT_NEAR(e.At(0, 0), std::exp(1.0f), 1e-4f);
+  EXPECT_NEAR(e.At(1, 1), std::exp(-0.5f), 1e-5f);
+  EXPECT_NEAR(e.At(2, 2), std::exp(2.0f), 1e-3f);
+  EXPECT_NEAR(e.At(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(MatExpTest, InverseProperty) {
+  Matrix a = RandomMatrix(6, 6, 0.4f, 9);
+  Matrix na = a;
+  na *= -1.0f;
+  Matrix prod = MatMul(MatrixExp(a), MatrixExp(na));
+  EXPECT_LT(MaxAbsDiff(prod, Matrix::Identity(6)), 1e-3f);
+}
+
+// The load-bearing property for RPQ: exp of a skew matrix is orthonormal.
+class SkewExpOrthonormalTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SkewExpOrthonormalTest, RotationIsOrthonormal) {
+  size_t n = GetParam();
+  Matrix a = SkewPart(RandomMatrix(n, n, 0.5f, 10 + n));
+  Matrix r = MatrixExp(a);
+  Matrix rtr = MatMulTransA(r, r);
+  EXPECT_LT(MaxAbsDiff(rtr, Matrix::Identity(n)), 2e-3f) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SkewExpOrthonormalTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+TEST(MatExpTest, RotationPreservesNorm) {
+  size_t n = 16;
+  Matrix r = MatrixExp(SkewPart(RandomMatrix(n, n, 0.7f, 21)));
+  Rng rng(22);
+  std::vector<float> x(n), y(n);
+  for (auto& v : x) v = rng.Gaussian();
+  MatVec(r, x.data(), y.data());
+  float nx = 0, ny = 0;
+  for (size_t i = 0; i < n; ++i) {
+    nx += x[i] * x[i];
+    ny += y[i] * y[i];
+  }
+  EXPECT_NEAR(nx, ny, 1e-2f * nx);
+}
+
+TEST(MatExpTest, FrechetMatchesFiniteDifference) {
+  size_t n = 5;
+  Matrix a = RandomMatrix(n, n, 0.5f, 30);
+  Matrix e = RandomMatrix(n, n, 1.0f, 31);
+  Matrix frechet = MatrixExpFrechet(a, e);
+  const float h = 1e-3f;
+  Matrix ap = a, am = a;
+  for (size_t i = 0; i < n * n; ++i) {
+    ap.data()[i] += h * e.data()[i];
+    am.data()[i] -= h * e.data()[i];
+  }
+  Matrix fd = MatrixExp(ap);
+  fd -= MatrixExp(am);
+  fd *= 1.0f / (2.0f * h);
+  EXPECT_LT(MaxAbsDiff(frechet, fd), 5e-3f);
+}
+
+TEST(MatExpTest, GradMatchesFiniteDifference) {
+  // d/dA <G, exp(A)> checked element-wise by central differences.
+  size_t n = 4;
+  Matrix a = RandomMatrix(n, n, 0.4f, 32);
+  Matrix g = RandomMatrix(n, n, 1.0f, 33);
+  Matrix grad = MatrixExpGrad(a, g);
+  const float h = 1e-3f;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      Matrix ap = a, am = a;
+      ap.At(i, j) += h;
+      am.At(i, j) -= h;
+      Matrix ep = MatrixExp(ap), em = MatrixExp(am);
+      double fp = 0, fm = 0;
+      for (size_t t = 0; t < n * n; ++t) {
+        fp += static_cast<double>(g.data()[t]) * ep.data()[t];
+        fm += static_cast<double>(g.data()[t]) * em.data()[t];
+      }
+      double fd = (fp - fm) / (2.0 * h);
+      EXPECT_NEAR(grad.At(i, j), fd, 5e-3 * (1.0 + std::fabs(fd)))
+          << "entry " << i << "," << j;
+    }
+  }
+}
+
+TEST(SvdTest, ReconstructsMatrix) {
+  size_t n = 8;
+  Matrix a = RandomMatrix(n, n, 1.0f, 40);
+  SvdResult svd = JacobiSvd(a);
+  // A ?= U diag(sigma) V^T
+  Matrix us = svd.u;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) us.At(i, j) *= svd.sigma[j];
+  }
+  Matrix rec = MatMulTransB(us, svd.v);
+  EXPECT_LT(MaxAbsDiff(rec, a), 1e-2f);
+}
+
+TEST(SvdTest, SingularValuesDescendingNonNegative) {
+  Matrix a = RandomMatrix(6, 6, 2.0f, 41);
+  SvdResult svd = JacobiSvd(a);
+  for (size_t i = 0; i + 1 < svd.sigma.size(); ++i) {
+    EXPECT_GE(svd.sigma[i], svd.sigma[i + 1]);
+    EXPECT_GE(svd.sigma[i + 1], 0.0f);
+  }
+}
+
+TEST(SvdTest, FactorsOrthonormal) {
+  Matrix a = RandomMatrix(7, 7, 1.0f, 42);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(svd.u, svd.u), Matrix::Identity(7)), 2e-3f);
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(svd.v, svd.v), Matrix::Identity(7)), 2e-3f);
+}
+
+TEST(ProcrustesTest, RecoversKnownRotation) {
+  size_t n = 10;
+  Matrix r_true = MatrixExp(SkewPart(RandomMatrix(n, n, 0.5f, 50)));
+  Matrix x = RandomMatrix(n, 64, 1.0f, 51);  // columns are samples
+  Matrix y = MatMul(r_true, x);
+  Matrix r = ProcrustesRotation(x, y);
+  EXPECT_LT(MaxAbsDiff(r, r_true), 1e-2f);
+}
+
+TEST(ProcrustesTest, ResultIsOrthonormal) {
+  Matrix x = RandomMatrix(6, 40, 1.0f, 52);
+  Matrix y = RandomMatrix(6, 40, 1.0f, 53);
+  Matrix r = ProcrustesRotation(x, y);
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(r, r), Matrix::Identity(6)), 2e-3f);
+}
+
+}  // namespace
+}  // namespace rpq::linalg

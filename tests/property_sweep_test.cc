@@ -1,0 +1,227 @@
+// Parameterized property sweeps across the quantizer family and the search
+// stack: the same invariants checked over a grid of (dim, M, K) shapes and
+// dataset profiles, catching shape-dependent arithmetic bugs that single
+// configurations miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/distance.h"
+#include "core/diff_quantizer.h"
+#include "core/memory_index.h"
+#include "data/ground_truth.h"
+#include "data/lid.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "graph/vamana.h"
+#include "quant/adc.h"
+#include "quant/pq.h"
+
+namespace rpq {
+namespace {
+
+Dataset MakeData(size_t n, size_t dim, uint64_t seed) {
+  synthetic::GmmOptions opt;
+  opt.dim = dim;
+  opt.num_clusters = 6;
+  opt.intrinsic_dim = std::max<size_t>(2, dim / 4);
+  opt.anisotropy = 1.0f;
+  return synthetic::MakeGmm(n, opt, seed);
+}
+
+// ---------------------------------------------------------------------------
+// PQ family invariants over (dim, M, K).
+// ---------------------------------------------------------------------------
+class PqShapeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(PqShapeSweep, AdcEqualsDecodeThenDistance) {
+  auto [dim, m, k] = GetParam();
+  Dataset d = MakeData(400, dim, dim * 100 + m * 10 + k);
+  quant::PqOptions opt;
+  opt.m = m;
+  opt.k = k;
+  opt.kmeans_iters = 6;
+  auto pq = quant::PqQuantizer::Train(d, opt);
+  std::vector<uint8_t> code(pq->code_size());
+  std::vector<float> rec(dim);
+  quant::AdcTable table(*pq, d[0]);
+  for (size_t i = 50; i < 60; ++i) {
+    pq->Encode(d[i], code.data());
+    pq->Decode(code.data(), rec.data());
+    float direct = SquaredL2(d[0], rec.data(), dim);
+    EXPECT_NEAR(table.Distance(code.data()), direct, 1e-2f * (1 + direct))
+        << "dim=" << dim << " m=" << m << " k=" << k;
+  }
+}
+
+TEST_P(PqShapeSweep, EncodePicksNearestCodewordPerChunk) {
+  auto [dim, m, k] = GetParam();
+  Dataset d = MakeData(300, dim, dim + m + k);
+  quant::PqOptions opt;
+  opt.m = m;
+  opt.k = k;
+  opt.kmeans_iters = 5;
+  auto pq = quant::PqQuantizer::Train(d, opt);
+  size_t sub = dim / m;
+  std::vector<uint8_t> code(pq->code_size());
+  for (size_t i = 0; i < 10; ++i) {
+    pq->Encode(d[i], code.data());
+    for (size_t j = 0; j < m; ++j) {
+      float chosen = SquaredL2(d[i] + j * sub,
+                               pq->codebook().Word(j, code[j]), sub);
+      for (size_t c = 0; c < k; ++c) {
+        float other = SquaredL2(d[i] + j * sub, pq->codebook().Word(j, c), sub);
+        EXPECT_LE(chosen, other + 1e-3f) << "chunk " << j;
+      }
+    }
+  }
+}
+
+TEST_P(PqShapeSweep, CodeBytesMatchM) {
+  auto [dim, m, k] = GetParam();
+  Dataset d = MakeData(200, dim, 3 * dim + m + k);
+  quant::PqOptions opt;
+  opt.m = m;
+  opt.k = k;
+  opt.kmeans_iters = 3;
+  auto pq = quant::PqQuantizer::Train(d, opt);
+  EXPECT_EQ(pq->code_size(), m);
+  auto codes = pq->EncodeDataset(d);
+  EXPECT_EQ(codes.size(), d.size() * m);
+  for (uint8_t c : codes) EXPECT_LT(c, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PqShapeSweep,
+    ::testing::Values(std::make_tuple(16, 2, 8), std::make_tuple(16, 4, 16),
+                      std::make_tuple(32, 8, 32), std::make_tuple(64, 16, 16),
+                      std::make_tuple(96, 16, 64), std::make_tuple(64, 8, 256),
+                      std::make_tuple(24, 3, 8)));
+
+// ---------------------------------------------------------------------------
+// Differentiable quantizer invariants over (M, K, block).
+// ---------------------------------------------------------------------------
+class DiffQShapeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(DiffQShapeSweep, DeployedQuantizerAgreesWithTrainingForward) {
+  auto [m, k, block] = GetParam();
+  const size_t dim = 32;
+  Dataset d = MakeData(300, dim, m * 7 + k);
+  core::DiffQuantizerOptions opt;
+  opt.m = m;
+  opt.k = k;
+  opt.rotation_block = block;
+  core::DiffQuantizer dq(dim, opt);
+  dq.InitCodebooks(d);
+  dq.CalibrateTemperatures(d.Slice(0, 64));
+  auto deployed = dq.Deploy();
+  core::ForwardResult f;
+  std::vector<uint8_t> code(deployed->code_size());
+  for (size_t i = 0; i < 20; ++i) {
+    dq.Forward(d[i], nullptr, false, &f);
+    deployed->Encode(d[i], code.data());
+    for (size_t j = 0; j < m; ++j) EXPECT_EQ(code[j], f.hard_code[j]);
+  }
+}
+
+TEST_P(DiffQShapeSweep, GumbelNoiseOnlyChangesSoftNotDeterministicHard) {
+  auto [m, k, block] = GetParam();
+  const size_t dim = 32;
+  Dataset d = MakeData(200, dim, m + k + block);
+  core::DiffQuantizerOptions opt;
+  opt.m = m;
+  opt.k = k;
+  opt.rotation_block = block;
+  core::DiffQuantizer dq(dim, opt);
+  dq.InitCodebooks(d);
+  dq.CalibrateTemperatures(d.Slice(0, 64));
+  Rng rng(5);
+  core::ForwardResult det, sto;
+  dq.Forward(d[0], nullptr, false, &det);
+  dq.Forward(d[0], &rng, true, &sto);
+  // hard_code records the argmin codeword and must ignore the noise.
+  EXPECT_EQ(det.hard_code, sto.hard_code);
+  // Rotated input identical; soft assignments may differ.
+  for (size_t t = 0; t < dim; ++t) {
+    EXPECT_FLOAT_EQ(det.rotated[t], sto.rotated[t]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DiffQShapeSweep,
+                         ::testing::Values(std::make_tuple(2, 8, 0),
+                                           std::make_tuple(4, 16, 0),
+                                           std::make_tuple(8, 8, 16),
+                                           std::make_tuple(4, 32, 8)));
+
+// ---------------------------------------------------------------------------
+// Search-stack invariants across dataset profiles.
+// ---------------------------------------------------------------------------
+class ProfileSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileSweep, GeneratorsMatchDeclaredDimsAndDeterminism) {
+  std::string name = GetParam();
+  Dataset a = synthetic::MakeByName(name, 50, 3);
+  Dataset b = synthetic::MakeByName(name, 50, 3);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a.dim(); ++j) {
+      ASSERT_FLOAT_EQ(a[i][j], b[i][j]);
+    }
+  }
+}
+
+TEST_P(ProfileSweep, MemoryIndexEndToEnd) {
+  std::string name = GetParam();
+  // GIST at 960d is exercised at reduced n for runtime.
+  size_t n = name == std::string("gist") ? 400 : 800;
+  Dataset base, queries;
+  synthetic::MakeBaseAndQueries(name, n, 10, 31, &base, &queries);
+  graph::VamanaOptions vopt;
+  vopt.degree = 12;
+  vopt.build_beam = 24;
+  auto graph = graph::BuildVamana(base, vopt);
+  quant::PqOptions popt;
+  popt.m = base.dim() % 16 == 0 ? 16 : 12;
+  popt.k = 16;
+  popt.kmeans_iters = 4;
+  auto pq = quant::PqQuantizer::Train(base, popt);
+  auto index = core::MemoryIndex::Build(base, graph, *pq);
+  auto gt = ComputeGroundTruth(base, queries, 10);
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    results[q] = index->Search(queries[q], 10, {96, 10}).results;
+  }
+  // Codes-only search is lossy but must clearly beat random (recall ~ k/n).
+  EXPECT_GT(eval::MeanRecallAtK(results, gt, 10), 0.15) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileSweep,
+                         ::testing::Values("sift", "bigann", "deep", "gist",
+                                           "ukbench"));
+
+// ---------------------------------------------------------------------------
+// LID estimator tracks the generator's intrinsic dimension monotonically.
+// ---------------------------------------------------------------------------
+class LidSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LidSweep, EstimateGrowsWithIntrinsicDim) {
+  size_t id = GetParam();
+  synthetic::GmmOptions lo;
+  lo.dim = 64;
+  lo.num_clusters = 4;
+  lo.intrinsic_dim = id;
+  lo.noise = 0.01f;
+  synthetic::GmmOptions hi = lo;
+  hi.intrinsic_dim = id * 2;
+  double lid_lo = EstimateLid(synthetic::MakeGmm(1000, lo, 11), 20, 80);
+  double lid_hi = EstimateLid(synthetic::MakeGmm(1000, hi, 11), 20, 80);
+  EXPECT_LT(lid_lo, lid_hi) << "intrinsic " << id << " vs " << id * 2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LidSweep, ::testing::Values(4, 8, 16));
+
+}  // namespace
+}  // namespace rpq

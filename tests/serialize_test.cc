@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "quant/adc.h"
+#include "quant/opq.h"
+#include "quant/serialize.h"
+
+namespace rpq::quant {
+namespace {
+
+Dataset SmallData(size_t n = 300) {
+  synthetic::GmmOptions opt;
+  opt.dim = 32;
+  opt.num_clusters = 6;
+  opt.intrinsic_dim = 8;
+  return synthetic::MakeGmm(n, opt, 21);
+}
+
+TEST(SerializeTest, PlainPqRoundTrip) {
+  Dataset d = SmallData();
+  PqOptions opt;
+  opt.m = 4;
+  opt.k = 16;
+  auto pq = PqQuantizer::Train(d, opt);
+  std::string path = ::testing::TempDir() + "/pq.rpqq";
+  ASSERT_TRUE(SaveQuantizer(*pq, path).ok());
+  auto loaded = LoadQuantizer(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->dim(), pq->dim());
+  EXPECT_EQ(loaded.value()->num_chunks(), pq->num_chunks());
+  EXPECT_EQ(loaded.value()->num_centroids(), pq->num_centroids());
+  EXPECT_FALSE(loaded.value()->has_rotation());
+  // Identical codes for identical inputs.
+  std::vector<uint8_t> c1(pq->code_size()), c2(pq->code_size());
+  for (size_t i = 0; i < 30; ++i) {
+    pq->Encode(d[i], c1.data());
+    loaded.value()->Encode(d[i], c2.data());
+    EXPECT_EQ(c1, c2) << "vector " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RotatedQuantizerRoundTrip) {
+  Dataset d = SmallData();
+  OpqOptions opt;
+  opt.pq.m = 4;
+  opt.pq.k = 16;
+  opt.outer_iters = 2;
+  auto opq = TrainOpq(d, opt);
+  std::string path = ::testing::TempDir() + "/opq.rpqq";
+  ASSERT_TRUE(SaveQuantizer(*opq, path).ok());
+  auto loaded = LoadQuantizer(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value()->has_rotation());
+  // ADC tables must agree bitwise (same rotation, same codebook).
+  AdcTable t1(*opq, d[0]);
+  AdcTable t2(*loaded.value(), d[0]);
+  std::vector<uint8_t> code(opq->code_size());
+  opq->Encode(d[5], code.data());
+  EXPECT_FLOAT_EQ(t1.Distance(code.data()), t2.Distance(code.data()));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageFile) {
+  std::string path = ::testing::TempDir() + "/garbage.rpqq";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a model", f);
+  std::fclose(f);
+  auto loaded = LoadQuantizer(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsTruncatedModel) {
+  Dataset d = SmallData();
+  PqOptions opt;
+  opt.m = 4;
+  opt.k = 16;
+  auto pq = PqQuantizer::Train(d, opt);
+  std::string path = ::testing::TempDir() + "/trunc.rpqq";
+  ASSERT_TRUE(SaveQuantizer(*pq, path).ok());
+  // Chop the file in half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
+  auto loaded = LoadQuantizer(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CodesRoundTrip) {
+  Dataset d = SmallData();
+  PqOptions opt;
+  opt.m = 4;
+  opt.k = 16;
+  auto pq = PqQuantizer::Train(d, opt);
+  auto codes = pq->EncodeDataset(d);
+  std::string path = ::testing::TempDir() + "/codes.bin";
+  ASSERT_TRUE(SaveCodes(codes, pq->code_size(), path).ok());
+  size_t code_size = 0;
+  auto loaded = LoadCodes(path, &code_size);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(code_size, pq->code_size());
+  EXPECT_EQ(loaded.value(), codes);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CodesRejectBadShape) {
+  std::vector<uint8_t> codes(10);
+  EXPECT_FALSE(SaveCodes(codes, 3, "/tmp/never_written.bin").ok());
+}
+
+}  // namespace
+}  // namespace rpq::quant

@@ -1,0 +1,277 @@
+// rpq_tool — command-line front end for the library, covering the full
+// offline pipeline a deployment runs:
+//
+//   rpq_tool gen          --name sift --n 10000 --queries 100 --out data/
+//   rpq_tool stats        --base data/base.fvecs
+//   rpq_tool build-graph  --base data/base.fvecs --type vamana --out g.bin
+//   rpq_tool train        --base data/base.fvecs --graph g.bin
+//                         --method rpq --m 16 --k 256 --out model.rpqq
+//   rpq_tool encode       --base data/base.fvecs --model model.rpqq
+//                         --out codes.bin
+//   rpq_tool search       --base data/base.fvecs --graph g.bin
+//                         --model model.rpqq --queries data/queries.fvecs
+//                         --k 10 --beam 64 [--mode adc|sdc] [--hybrid]
+//
+// Every artifact is a documented binary format (see quant/serialize.h and
+// graph/graph.h), so stages can run on different machines.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/timer.h"
+#include "core/rpq.h"
+#include "data/ground_truth.h"
+#include "data/io_vecs.h"
+#include "data/lid.h"
+#include "data/synthetic.h"
+#include "disk/disk_index.h"
+#include "eval/recall.h"
+#include "graph/hnsw.h"
+#include "graph/nsg.h"
+#include "graph/vamana.h"
+#include "quant/opq.h"
+#include "quant/serialize.h"
+
+namespace {
+
+using rpq::Dataset;
+
+struct Flags {
+  std::map<std::string, std::string> kv;
+
+  const char* Get(const std::string& key, const char* fallback = nullptr) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second.c_str();
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    const char* v = Get(key);
+    return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
+  }
+  bool Has(const std::string& key) const { return kv.count(key) > 0; }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags f;
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      f.kv[key] = argv[++i];
+    } else {
+      f.kv[key] = "1";  // boolean flag
+    }
+  }
+  return f;
+}
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  return 1;
+}
+
+rpq::Result<Dataset> LoadBase(const Flags& flags) {
+  const char* path = flags.Get("base");
+  if (path == nullptr) return rpq::Status::InvalidArgument("--base is required");
+  return rpq::io::ReadFvecs(path);
+}
+
+int CmdGen(const Flags& flags) {
+  std::string name = flags.Get("name", "sift");
+  size_t n = flags.GetSize("n", 10000);
+  size_t nq = flags.GetSize("queries", 100);
+  uint64_t seed = flags.GetSize("seed", 7);
+  std::string out = flags.Get("out", ".");
+  Dataset base, queries;
+  rpq::synthetic::MakeBaseAndQueries(name, n, nq, seed, &base, &queries);
+  auto s1 = rpq::io::WriteFvecs(out + "/base.fvecs", base);
+  if (!s1.ok()) return Fail(s1.ToString());
+  auto s2 = rpq::io::WriteFvecs(out + "/queries.fvecs", queries);
+  if (!s2.ok()) return Fail(s2.ToString());
+  std::printf("wrote %zu base + %zu query vectors (%zu dims) to %s\n",
+              base.size(), queries.size(), base.dim(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto base = LoadBase(flags);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const Dataset& d = base.value();
+  double lid = rpq::EstimateLid(d, 20, std::min<size_t>(200, d.size() / 2));
+  std::printf("vectors: %zu\ndims:    %zu\nLID:     %.1f\nraw MB:  %.2f\n",
+              d.size(), d.dim(), lid, d.size() * d.dim() * 4 / 1e6);
+  return 0;
+}
+
+int CmdBuildGraph(const Flags& flags) {
+  auto base = LoadBase(flags);
+  if (!base.ok()) return Fail(base.status().ToString());
+  std::string type = flags.Get("type", "vamana");
+  const char* out = flags.Get("out");
+  if (out == nullptr) return Fail("--out is required");
+
+  rpq::graph::ProximityGraph g;
+  if (type == "vamana") {
+    rpq::graph::VamanaOptions opt;
+    opt.degree = flags.GetSize("degree", 32);
+    opt.build_beam = flags.GetSize("build-beam", 64);
+    g = rpq::graph::BuildVamana(base.value(), opt);
+  } else if (type == "hnsw") {
+    rpq::graph::HnswOptions opt;
+    opt.m = flags.GetSize("degree", 16);
+    opt.ef_construction = flags.GetSize("build-beam", 120);
+    g = rpq::graph::HnswIndex::Build(base.value(), opt)->Flatten();
+  } else if (type == "nsg") {
+    rpq::graph::NsgOptions opt;
+    opt.degree = flags.GetSize("degree", 32);
+    g = rpq::graph::BuildNsg(base.value(), opt);
+  } else {
+    return Fail("unknown graph type: " + type + " (vamana|hnsw|nsg)");
+  }
+  auto stats = g.ComputeDegreeStats();
+  std::printf("%s graph: %zu vertices, avg degree %.1f, reachable %.4f\n",
+              type.c_str(), g.num_vertices(), stats.avg_degree,
+              g.ReachableFraction());
+  auto s = g.Save(out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("saved to %s\n", out);
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  auto base = LoadBase(flags);
+  if (!base.ok()) return Fail(base.status().ToString());
+  std::string method = flags.Get("method", "rpq");
+  const char* out = flags.Get("out");
+  if (out == nullptr) return Fail("--out is required");
+
+  std::unique_ptr<rpq::quant::PqQuantizer> model;
+  if (method == "pq") {
+    rpq::quant::PqOptions opt;
+    opt.m = flags.GetSize("m", 16);
+    opt.k = flags.GetSize("k", 256);
+    model = rpq::quant::PqQuantizer::Train(base.value(), opt);
+  } else if (method == "opq") {
+    rpq::quant::OpqOptions opt;
+    opt.pq.m = flags.GetSize("m", 16);
+    opt.pq.k = flags.GetSize("k", 256);
+    opt.outer_iters = flags.GetSize("iters", 4);
+    model = rpq::quant::TrainOpq(base.value(), opt);
+  } else if (method == "rpq") {
+    const char* gpath = flags.Get("graph");
+    if (gpath == nullptr) return Fail("--graph is required for rpq training");
+    auto g = rpq::graph::ProximityGraph::Load(gpath);
+    if (!g.ok()) return Fail(g.status().ToString());
+    rpq::core::RpqTrainOptions opt;
+    opt.m = flags.GetSize("m", 16);
+    opt.k = flags.GetSize("k", 256);
+    opt.epochs = flags.GetSize("epochs", 3);
+    opt.triplets_per_epoch = flags.GetSize("triplets", 1024);
+    opt.routing_queries_per_epoch = flags.GetSize("routing-queries", 48);
+    auto res = rpq::core::TrainRpq(base.value(), g.value(), opt);
+    std::printf("trained RPQ in %.1fs, final loss %.4f\n",
+                res.training_seconds,
+                res.epoch_loss.empty() ? 0.0 : res.epoch_loss.back());
+    model = std::move(res.quantizer);
+  } else {
+    return Fail("unknown method: " + method + " (pq|opq|rpq)");
+  }
+  std::printf("distortion: %.4g, model %.1f KB\n",
+              model->Distortion(base.value()), model->ModelSizeBytes() / 1024.0);
+  auto s = rpq::quant::SaveQuantizer(*model, out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("saved to %s\n", out);
+  return 0;
+}
+
+int CmdEncode(const Flags& flags) {
+  auto base = LoadBase(flags);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const char* mpath = flags.Get("model");
+  const char* out = flags.Get("out");
+  if (mpath == nullptr || out == nullptr) {
+    return Fail("--model and --out are required");
+  }
+  auto model = rpq::quant::LoadQuantizer(mpath);
+  if (!model.ok()) return Fail(model.status().ToString());
+  auto codes = model.value()->EncodeDataset(base.value());
+  auto s = rpq::quant::SaveCodes(codes, model.value()->code_size(), out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("encoded %zu vectors at %zu bytes each (%.1fx compression)\n",
+              base.value().size(), model.value()->code_size(),
+              static_cast<double>(base.value().dim() * 4) /
+                  model.value()->code_size());
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  auto base = LoadBase(flags);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const char* gpath = flags.Get("graph");
+  const char* mpath = flags.Get("model");
+  const char* qpath = flags.Get("queries");
+  if (gpath == nullptr || mpath == nullptr || qpath == nullptr) {
+    return Fail("--graph, --model, --queries are required");
+  }
+  auto g = rpq::graph::ProximityGraph::Load(gpath);
+  if (!g.ok()) return Fail(g.status().ToString());
+  auto model = rpq::quant::LoadQuantizer(mpath);
+  if (!model.ok()) return Fail(model.status().ToString());
+  auto queries = rpq::io::ReadFvecs(qpath);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  size_t k = flags.GetSize("k", 10);
+  size_t beam = flags.GetSize("beam", 64);
+  auto gt = rpq::ComputeGroundTruth(base.value(), queries.value(), k);
+
+  std::vector<std::vector<rpq::Neighbor>> results(queries.value().size());
+  rpq::Timer timer;
+  double io_seconds = 0;
+  if (flags.Has("hybrid")) {
+    auto index = rpq::disk::DiskIndex::Build(base.value(), g.value(),
+                                             *model.value());
+    for (size_t q = 0; q < queries.value().size(); ++q) {
+      auto out = index->Search(queries.value()[q], k, {beam, k});
+      results[q] = std::move(out.results);
+      io_seconds += out.io.simulated_seconds;
+    }
+  } else {
+    auto mode = std::string(flags.Get("mode", "adc")) == "sdc"
+                    ? rpq::core::DistanceMode::kSdc
+                    : rpq::core::DistanceMode::kAdc;
+    auto index =
+        rpq::core::MemoryIndex::Build(base.value(), g.value(), *model.value());
+    for (size_t q = 0; q < queries.value().size(); ++q) {
+      results[q] = index->Search(queries.value()[q], k, {beam, k}, mode).results;
+    }
+  }
+  double total = timer.ElapsedSeconds() + io_seconds;
+  std::printf("queries: %zu  recall@%zu: %.4f  QPS: %.1f\n",
+              queries.value().size(), k,
+              rpq::eval::MeanRecallAtK(results, gt, k),
+              queries.value().size() / std::max(total, 1e-12));
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rpq_tool <gen|stats|build-graph|train|encode|search> "
+               "[--flags]\nsee the header of tools/rpq_tool.cc for the full "
+               "pipeline\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Flags flags = ParseFlags(argc, argv, 2);
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "build-graph") return CmdBuildGraph(flags);
+  if (cmd == "train") return CmdTrain(flags);
+  if (cmd == "encode") return CmdEncode(flags);
+  if (cmd == "search") return CmdSearch(flags);
+  return Usage();
+}
