@@ -1,41 +1,30 @@
 // Dense-vector distance kernels. Squared Euclidean distance is the library's
 // canonical metric (Definition 2 of the paper adopts it to avoid sqrt).
+//
+// These are thin wrappers over the runtime-dispatched SIMD kernel subsystem
+// (src/simd/): AVX-512/AVX2/NEON when the CPU has them, a scalar reference
+// otherwise, and RPQ_DISABLE_SIMD=1 forces the scalar path.
 #pragma once
 
 #include <cstddef>
+
+#include "simd/simd.h"
 
 namespace rpq {
 
 /// Squared L2 distance between two D-dim float vectors.
 inline float SquaredL2(const float* a, const float* b, size_t d) {
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  size_t i = 0;
-  for (; i + 4 <= d; i += 4) {
-    float d0 = a[i] - b[i];
-    float d1 = a[i + 1] - b[i + 1];
-    float d2 = a[i + 2] - b[i + 2];
-    float d3 = a[i + 3] - b[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  float acc = acc0 + acc1 + acc2 + acc3;
-  for (; i < d; ++i) {
-    float diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return acc;
+  return simd::SquaredL2(a, b, d);
 }
 
 /// Inner product <a, b>.
 inline float Dot(const float* a, const float* b, size_t d) {
-  float acc = 0.f;
-  for (size_t i = 0; i < d; ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a, b, d);
 }
 
 /// Squared norm ||a||^2.
-inline float SquaredNorm(const float* a, size_t d) { return Dot(a, a, d); }
+inline float SquaredNorm(const float* a, size_t d) {
+  return simd::SquaredNorm(a, d);
+}
 
 }  // namespace rpq

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 
 namespace rpq {
 
@@ -35,7 +37,15 @@ void ThreadPool::Wait() {
   cv_done_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+// Set while a pool worker is executing a task, so ParallelFor invoked from
+// inside a task runs inline instead of deadlocking in Wait (every worker
+// could otherwise block waiting for tasks no thread is free to run).
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
 void ThreadPool::WorkerLoop() {
+  t_inside_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -57,17 +67,35 @@ void ThreadPool::WorkerLoop() {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1) {
+  if (pool == nullptr || pool->num_threads() <= 1 || t_inside_pool_worker) {
     fn(0, n);
     return;
   }
   size_t shards = std::min(n, pool->num_threads() * 4);
   size_t chunk = (n + shards - 1) / shards;
+
+  // Batch-local completion tracking: waiting on ThreadPool::Wait would block
+  // on the pool-global in-flight counter, coupling concurrent ParallelFor
+  // callers (a hazard now that SharedPool() is a common default).
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = (n + chunk - 1) / chunk;
+
   for (size_t begin = 0; begin < n; begin += chunk) {
     size_t end = std::min(n, begin + chunk);
-    pool->Submit([&fn, begin, end] { fn(begin, end); });
+    pool->Submit([&, begin, end] {
+      fn(begin, end);
+      std::unique_lock<std::mutex> lk(mu);
+      if (--remaining == 0) cv.notify_all();
+    });
   }
-  pool->Wait();
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return remaining == 0; });
+}
+
+ThreadPool* SharedPool() {
+  static ThreadPool pool;
+  return &pool;
 }
 
 }  // namespace rpq

@@ -46,4 +46,8 @@ class ThreadPool {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn);
 
+/// Process-wide pool, created lazily on first use, for library-internal
+/// parallelism (e.g. dataset encoding) when the caller has no pool of its own.
+ThreadPool* SharedPool();
+
 }  // namespace rpq

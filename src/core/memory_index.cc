@@ -21,17 +21,15 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
     const auto* pq = dynamic_cast<const quant::PqQuantizer*>(&quantizer_);
     RPQ_CHECK(pq != nullptr && "SDC requires a PQ-family quantizer");
     quant::SdcTable table(*pq, query);
-    out.results = graph::BeamSearch(
-        graph_, graph_.entry_point(),
-        [&](uint32_t v) { return table.Distance(codes_.data() + v * code_size); },
-        {opt.beam_width, k}, &visited_, &out.stats);
+    quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
+    out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                                    {opt.beam_width, k}, &visited_, &out.stats);
     return out;
   }
   quant::AdcTable table(quantizer_, query);
-  out.results = graph::BeamSearch(
-      graph_, graph_.entry_point(),
-      [&](uint32_t v) { return table.Distance(codes_.data() + v * code_size); },
-      {opt.beam_width, k}, &visited_, &out.stats);
+  quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
+  out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                                  {opt.beam_width, k}, &visited_, &out.stats);
   return out;
 }
 

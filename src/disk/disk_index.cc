@@ -60,33 +60,28 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
   const size_t beam_width = std::max(options.beam_width, k);
   quant::AdcTable table(quantizer_, query);
   const size_t code_size = quantizer_.code_size();
+  quant::AdcBatchOracle adc{table, codes_.data(), code_size};
 
-  auto adc = [&](uint32_t v) {
-    ++out.stats.dist_comps;
-    return table.Distance(codes_.data() + v * code_size);
-  };
-
+  // Same flat-beam hot loop as graph::BeamSearch (see detail::FlatBeam), with
+  // an SSD block read per expansion and an exact-distance rerank on the side.
   visited_.NextEpoch();
-  std::vector<Neighbor> beam;       // ascending by ADC distance
-  std::vector<bool> expanded;
-  TopK rerank(k);                   // exact distances from fetched vectors
+  graph::detail::FlatBeam beam(beam_width);  // ascending by (ADC distance, id)
+  std::vector<uint32_t> cand_ids;
+  std::vector<float> cand_dists;
+  cand_ids.reserve(max_degree_);
+  cand_dists.reserve(max_degree_);
+  TopK rerank(k);  // exact distances from fetched vectors
 
-  beam.push_back({adc(entry_), entry_});
-  expanded.push_back(false);
+  beam.Insert(adc(entry_), entry_);
+  ++out.stats.dist_comps;
   visited_.MarkVisited(entry_);
 
   std::vector<uint8_t> block(ssd_->block_bytes());
   for (;;) {
-    size_t next = beam.size();
-    for (size_t i = 0; i < beam.size(); ++i) {
-      if (!expanded[i]) {
-        next = i;
-        break;
-      }
-    }
-    if (next == beam.size()) break;
-    expanded[next] = true;
-    uint32_t v = beam[next].id;
+    const size_t next = beam.NextUnexpanded();
+    if (next == graph::detail::FlatBeam::kNone) break;
+    beam.MarkExpanded(next);
+    uint32_t v = beam.entries()[next].id;
     ++out.stats.hops;
 
     // One SSD read delivers v's full vector and adjacency.
@@ -99,21 +94,20 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
 
     rerank.Push(SquaredL2(query, vec, dim_), v);
 
+    cand_ids.clear();
     for (uint32_t idx = 0; idx < deg; ++idx) {
+      if (idx + 4 < deg) visited_.Prefetch(nbrs[idx + 4]);
       uint32_t u = nbrs[idx];
       if (visited_.Visited(u)) continue;
       visited_.MarkVisited(u);
-      float d = adc(u);
-      Neighbor cand{d, u};
-      if (beam.size() >= beam_width && !(cand < beam.back())) continue;
-      auto it = std::lower_bound(beam.begin(), beam.end(), cand);
-      size_t pos = static_cast<size_t>(it - beam.begin());
-      beam.insert(it, cand);
-      expanded.insert(expanded.begin() + pos, false);
-      if (beam.size() > beam_width) {
-        beam.pop_back();
-        expanded.pop_back();
-      }
+      cand_ids.push_back(u);
+    }
+    if (cand_ids.empty()) continue;
+    cand_dists.resize(cand_ids.size());
+    adc(cand_ids.data(), cand_ids.size(), cand_dists.data());
+    out.stats.dist_comps += cand_ids.size();
+    for (size_t i = 0; i < cand_ids.size(); ++i) {
+      beam.Insert(cand_dists[i], cand_ids[i]);
     }
   }
 

@@ -1,11 +1,20 @@
 // Generic best-first beam search over a proximity graph (paper §3.1).
 // The distance oracle is a template parameter so the same routine serves
 // exact search, in-memory ADC search, and the hybrid DiskANN-style search.
+//
+// Hot-loop layout: the beam is one flat sorted array of {dist, id, expanded}
+// entries (a single memmove per insert instead of a vector<Neighbor> plus a
+// bit-packed vector<bool>), a cursor tracks the next unexpanded entry instead
+// of rescanning the beam, and each expansion gathers its unvisited neighbors
+// first so a batch-capable oracle (e.g. quant::AdcBatchOracle) can score them
+// in one vectorized call. Results are identical to the straightforward
+// insert-one-at-a-time formulation; tests/beam_regression_test.cc pins that.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "common/topk.h"
@@ -30,8 +39,81 @@ struct BeamSearchOptions {
 /// expansion. Used by the routing-feature extractor (Alg. 2).
 using StepObserver = std::function<void(const std::vector<Neighbor>& beam)>;
 
+namespace detail {
+
+/// True when the oracle exposes the batched form dist(ids, n, out); the
+/// search then scores a whole expansion's neighbors per call.
+template <typename DistFn>
+inline constexpr bool kHasBatchScore =
+    std::is_invocable_v<DistFn&, const uint32_t*, size_t, float*>;
+
+/// One beam slot; kept POD so inserts are a single memmove.
+struct BeamEntry {
+  float dist;
+  uint32_t id;
+  uint32_t expanded;
+};
+
+/// (dist, id) ordering; delegates to Neighbor::operator< so the determinism
+/// tie-break is defined in exactly one place.
+inline bool EntryBefore(const BeamEntry& e, float dist, uint32_t id) {
+  return Neighbor{e.dist, e.id} < Neighbor{dist, id};
+}
+
+/// The flat-beam candidate set: one sorted POD array plus a cursor tracking
+/// the next unexpanded entry. Shared by graph::BeamSearch and the hybrid
+/// disk::DiskIndex::Search so the invariant lives (and is regression-tested)
+/// in exactly one place.
+class FlatBeam {
+ public:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  explicit FlatBeam(size_t width) : width_(width) {
+    entries_.reserve(width + 1);
+  }
+
+  const std::vector<BeamEntry>& entries() const { return entries_; }
+
+  /// Bounded sorted insert; keeps at most `width` best (dist, id) entries.
+  void Insert(float d, uint32_t id) {
+    if (entries_.size() >= width_) {
+      const BeamEntry& worst = entries_.back();
+      if (!EntryBefore(BeamEntry{d, id, 0}, worst.dist, worst.id)) return;
+    }
+    auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                               BeamEntry{d, id, 0},
+                               [](const BeamEntry& e, const BeamEntry& c) {
+                                 return EntryBefore(e, c.dist, c.id);
+                               });
+    size_t pos = static_cast<size_t>(it - entries_.begin());
+    entries_.insert(it, BeamEntry{d, id, 0});
+    if (entries_.size() > width_) entries_.pop_back();
+    if (pos < cursor_) cursor_ = pos;
+  }
+
+  /// Index of the closest unexpanded entry, or kNone when converged. Does
+  /// not mark it: callers flip `expanded` once they commit to the hop.
+  size_t NextUnexpanded() {
+    while (cursor_ < entries_.size() && entries_[cursor_].expanded != 0) {
+      ++cursor_;
+    }
+    return cursor_ == entries_.size() ? kNone : cursor_;
+  }
+
+  void MarkExpanded(size_t pos) { entries_[pos].expanded = 1; }
+
+ private:
+  std::vector<BeamEntry> entries_;
+  size_t width_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace detail
+
 /// Runs beam search from `entry`; `dist(v)` returns the (estimated) distance
-/// of vertex v to the query. Returns up to k results ascending by distance.
+/// of vertex v to the query (oracles may additionally/instead provide the
+/// batched form `dist(ids, n, out)`). Returns up to k results ascending by
+/// distance.
 template <typename DistFn>
 std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
                                  DistFn&& dist, const BeamSearchOptions& opt,
@@ -40,57 +122,75 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
   const size_t beam_width = std::max(opt.beam_width, opt.k);
   visited->NextEpoch();
 
-  // `beam` holds the best beam_width candidates seen so far, sorted ascending.
-  std::vector<Neighbor> beam;
-  beam.reserve(beam_width + 1);
-  std::vector<bool> expanded_flag;  // parallel to beam
+  detail::FlatBeam beam(beam_width);
+  std::vector<uint32_t> cand_ids;    // unvisited neighbors of one expansion
+  std::vector<float> cand_dists;
+  cand_ids.reserve(64);
+  cand_dists.reserve(64);
+  std::vector<Neighbor> observer_view;
 
-  float d0 = dist(entry);
+  float d0;
+  if constexpr (std::is_invocable_r_v<float, DistFn&, uint32_t>) {
+    d0 = dist(entry);
+  } else {
+    dist(&entry, 1, &d0);
+  }
   if (stats != nullptr) ++stats->dist_comps;
-  beam.push_back({d0, entry});
-  expanded_flag.push_back(false);
+  beam.Insert(d0, entry);
   visited->MarkVisited(entry);
 
-  auto insert_candidate = [&](float d, uint32_t id) {
-    if (beam.size() >= beam_width && !(Neighbor{d, id} < beam.back())) return;
-    Neighbor cand{d, id};
-    auto it = std::lower_bound(beam.begin(), beam.end(), cand);
-    size_t pos = static_cast<size_t>(it - beam.begin());
-    beam.insert(it, cand);
-    expanded_flag.insert(expanded_flag.begin() + pos, false);
-    if (beam.size() > beam_width) {
-      beam.pop_back();
-      expanded_flag.pop_back();
-    }
-  };
-
   for (;;) {
-    // Closest unexpanded candidate in the beam.
-    size_t next = beam.size();
-    for (size_t i = 0; i < beam.size(); ++i) {
-      if (!expanded_flag[i]) {
-        next = i;
-        break;
-      }
-    }
-    if (next == beam.size()) break;  // all candidates expanded: converged
+    const size_t next = beam.NextUnexpanded();
+    if (next == detail::FlatBeam::kNone) break;  // all expanded: converged
 
-    if (observer) observer(beam);
-    expanded_flag[next] = true;
-    uint32_t v = beam[next].id;
+    if (observer) {
+      observer_view.clear();
+      observer_view.reserve(beam.entries().size());
+      for (const auto& e : beam.entries()) {
+        observer_view.push_back({e.dist, e.id});
+      }
+      observer(observer_view);
+    }
+    beam.MarkExpanded(next);
+    const uint32_t v = beam.entries()[next].id;
     if (stats != nullptr) ++stats->hops;
 
-    for (uint32_t u : g.Neighbors(v)) {
+    // Gather the unvisited neighbors first (prefetching visited stamps a few
+    // ids ahead), then score them through the oracle — batched when it can.
+    const std::vector<uint32_t>& nbrs = g.Neighbors(v);
+    const size_t deg = nbrs.size();
+    cand_ids.clear();
+    for (size_t i = 0; i < deg; ++i) {
+      if (i + 4 < deg) visited->Prefetch(nbrs[i + 4]);
+      uint32_t u = nbrs[i];
       if (visited->Visited(u)) continue;
       visited->MarkVisited(u);
-      float d = dist(u);
-      if (stats != nullptr) ++stats->dist_comps;
-      insert_candidate(d, u);
+      cand_ids.push_back(u);
+    }
+    if (cand_ids.empty()) continue;
+
+    cand_dists.resize(cand_ids.size());
+    if constexpr (detail::kHasBatchScore<DistFn>) {
+      dist(cand_ids.data(), cand_ids.size(), cand_dists.data());
+    } else {
+      for (size_t i = 0; i < cand_ids.size(); ++i) {
+        cand_dists[i] = dist(cand_ids[i]);
+      }
+    }
+    if (stats != nullptr) stats->dist_comps += cand_ids.size();
+
+    for (size_t i = 0; i < cand_ids.size(); ++i) {
+      beam.Insert(cand_dists[i], cand_ids[i]);
     }
   }
 
-  if (beam.size() > opt.k) beam.resize(opt.k);
-  return beam;
+  std::vector<Neighbor> results;
+  const size_t out_n = std::min(opt.k, beam.entries().size());
+  results.reserve(out_n);
+  for (size_t i = 0; i < out_n; ++i) {
+    results.push_back({beam.entries()[i].dist, beam.entries()[i].id});
+  }
+  return results;
 }
 
 /// Greedy 1-best descent (used to locate entry points during construction).

@@ -63,6 +63,14 @@ class VisitedTable {
   }
   bool Visited(uint32_t v) const { return stamp_[v] == epoch_; }
   void MarkVisited(uint32_t v) { stamp_[v] = epoch_; }
+
+  /// Hints that v's stamp is about to be checked (beam-search expansions
+  /// touch the table at graph-neighbor stride, which defeats the prefetcher).
+  void Prefetch(uint32_t v) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(stamp_.data() + v);
+#endif
+  }
   size_t size() const { return stamp_.size(); }
 
   /// Grows the table (new entries are unvisited in every epoch).

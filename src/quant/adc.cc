@@ -1,37 +1,46 @@
 #include "quant/adc.h"
 
 #include "common/distance.h"
+#include "common/thread_pool.h"
 
 namespace rpq::quant {
 
-std::vector<uint8_t> VectorQuantizer::EncodeDataset(const Dataset& data) const {
-  std::vector<uint8_t> codes(data.size() * code_size());
-  for (size_t i = 0; i < data.size(); ++i) {
-    Encode(data[i], codes.data() + i * code_size());
-  }
+std::vector<uint8_t> VectorQuantizer::EncodeDataset(const Dataset& data,
+                                                    ThreadPool* pool) const {
+  const size_t cs = code_size();
+  std::vector<uint8_t> codes(data.size() * cs);
+  uint8_t* out = codes.data();
+  ParallelFor(pool != nullptr ? pool : SharedPool(), data.size(),
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  Encode(data[i], out + i * cs);
+                }
+              });
   return codes;
 }
 
 float SymmetricDistance(const VectorQuantizer& quantizer, const uint8_t* code_a,
                         const uint8_t* code_b) {
-  std::vector<float> a(quantizer.decoded_dim()), b(quantizer.decoded_dim());
+  // Scratch survives across calls: SDC is invoked per candidate pair in the
+  // ablation benches, and two heap allocations per call dominated it.
+  thread_local std::vector<float> a, b;
+  const size_t d = quantizer.decoded_dim();
+  a.resize(d);
+  b.resize(d);
   quantizer.Decode(code_a, a.data());
   quantizer.Decode(code_b, b.data());
-  return SquaredL2(a.data(), b.data(), a.size());
+  return SquaredL2(a.data(), b.data(), d);
 }
 
 SdcTable::SdcTable(const PqQuantizer& quantizer, const float* query)
-    : m_(quantizer.num_chunks()), k_(quantizer.num_centroids()),
-      table_(m_ * k_) {
+    : DistanceLut(quantizer.num_chunks(), quantizer.num_centroids()) {
   std::vector<uint8_t> qcode(quantizer.code_size());
   quantizer.Encode(query, qcode.data());
   const Codebook& book = quantizer.codebook();
   size_t sub = book.sub_dim();
   for (size_t j = 0; j < m_; ++j) {
-    const float* qword = book.Word(j, qcode[j]);
-    for (size_t k = 0; k < k_; ++k) {
-      table_[j * k_ + k] = SquaredL2(qword, book.Word(j, k), sub);
-    }
+    simd::L2ToMany(book.Word(j, qcode[j]), book.Chunk(j), k_, sub,
+                   table_.data() + j * k_);
   }
 }
 

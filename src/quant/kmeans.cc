@@ -7,6 +7,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "simd/simd.h"
 
 namespace rpq::quant {
 namespace {
@@ -52,12 +53,15 @@ std::vector<float> SeedPlusPlus(const float* data, size_t n, size_t dim, size_t 
 
 uint32_t NearestCentroid(const float* vec, const float* centroids, size_t k,
                          size_t dim) {
+  // One fused kernel call over the whole centroid block, then an argmin scan.
+  thread_local std::vector<float> d2;
+  d2.resize(k);
+  simd::L2ToMany(vec, centroids, k, dim, d2.data());
   uint32_t best = 0;
   float best_d = std::numeric_limits<float>::max();
   for (size_t c = 0; c < k; ++c) {
-    float d = SquaredL2(vec, centroids + c * dim, dim);
-    if (d < best_d) {
-      best_d = d;
+    if (d2[c] < best_d) {
+      best_d = d2[c];
       best = static_cast<uint32_t>(c);
     }
   }

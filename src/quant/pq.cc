@@ -6,6 +6,7 @@
 #include "common/distance.h"
 #include "common/logging.h"
 #include "quant/kmeans.h"
+#include "simd/simd.h"
 
 namespace rpq::quant {
 
@@ -89,12 +90,9 @@ void PqQuantizer::BuildLookupTable(const float* query, float* table) const {
   size_t sub_dim = codebook_.sub_dim();
   size_t k = codebook_.num_centroids();
   for (size_t j = 0; j < codebook_.num_chunks(); ++j) {
-    const float* qsub = rot.data() + j * sub_dim;
-    const float* words = codebook_.Chunk(j);
-    float* row = table + j * k;
-    for (size_t c = 0; c < k; ++c) {
-      row[c] = SquaredL2(qsub, words + c * sub_dim, sub_dim);
-    }
+    // Fused table build: one kernel call scans all K codewords of chunk j.
+    simd::L2ToMany(rot.data() + j * sub_dim, codebook_.Chunk(j), k, sub_dim,
+                   table + j * k);
   }
 }
 

@@ -8,6 +8,10 @@
 
 #include "data/dataset.h"
 
+namespace rpq {
+class ThreadPool;
+}
+
 namespace rpq::quant {
 
 /// Maps vectors to compact byte codes and supports ADC distance lookup.
@@ -40,8 +44,11 @@ class VectorQuantizer {
   /// the per-vector codes. Reported in the paper's Table 5.
   virtual size_t ModelSizeBytes() const = 0;
 
-  /// Encodes a whole dataset; returns n * code_size() bytes.
-  std::vector<uint8_t> EncodeDataset(const Dataset& data) const;
+  /// Encodes a whole dataset; returns n * code_size() bytes. Rows are split
+  /// over `pool` (the process-wide SharedPool() when null) — Encode must be
+  /// thread-safe, which every bundled quantizer's is.
+  std::vector<uint8_t> EncodeDataset(const Dataset& data,
+                                     ThreadPool* pool = nullptr) const;
 };
 
 }  // namespace rpq::quant

@@ -1,0 +1,59 @@
+// Internal kernel tables for the SIMD subsystem. Each instruction-set backend
+// (scalar, AVX2, AVX-512, NEON) fills one KernelOps; dispatch.cc picks the
+// best one the CPU supports at runtime. Library code should include
+// simd/simd.h instead of this header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpq::simd {
+
+/// One vtable of hot kernels. Every backend must produce results that agree
+/// with the scalar reference within 1e-4 relative error; the ADC kernels
+/// accumulate in the same chunk order as the scalar path and are therefore
+/// bit-identical to it.
+struct KernelOps {
+  const char* name;  ///< "scalar", "avx2", "avx512", "neon"
+
+  /// || a - b ||^2 over d floats.
+  float (*squared_l2)(const float* a, const float* b, size_t d);
+  /// <a, b> over d floats.
+  float (*dot)(const float* a, const float* b, size_t d);
+  /// || a ||^2 over d floats.
+  float (*squared_norm)(const float* a, size_t d);
+
+  /// out[i] = || q - base[i*d ..] ||^2 for i in [0, n). Fused row-block
+  /// kernel used for ADC lookup-table construction and nearest-centroid
+  /// scans (base is n contiguous d-dim rows).
+  void (*l2_to_many)(const float* q, const float* base, size_t n, size_t d,
+                     float* out);
+
+  /// Batched ADC scan over contiguous codes:
+  ///   out[i] = sum_j table[j*k + codes[i*code_stride + j]],  j in [0, m).
+  void (*adc_batch)(const float* table, size_t m, size_t k,
+                    const uint8_t* codes, size_t code_stride, size_t n,
+                    float* out);
+
+  /// Batched ADC scan gathering codes by vertex id (beam-search expansion):
+  ///   out[i] = sum_j table[j*k + codes[ids[i]*code_stride + j]].
+  void (*adc_batch_gather)(const float* table, size_t m, size_t k,
+                           const uint8_t* codes, size_t code_stride,
+                           const uint32_t* ids, size_t n, float* out);
+};
+
+namespace internal {
+
+const KernelOps& ScalarKernels();
+#if defined(RPQ_HAVE_AVX2)
+const KernelOps& Avx2Kernels();
+#endif
+#if defined(RPQ_HAVE_AVX512)
+const KernelOps& Avx512Kernels();
+#endif
+#if defined(RPQ_HAVE_NEON)
+const KernelOps& NeonKernels();
+#endif
+
+}  // namespace internal
+}  // namespace rpq::simd

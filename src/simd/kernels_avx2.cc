@@ -1,0 +1,164 @@
+// AVX2 + FMA kernels. Compiled with -mavx2 -mfma (see CMakeLists.txt); only
+// ever called after dispatch.cc has verified the CPU supports AVX2.
+//
+// The ADC kernels use vpgatherdps on the lookup-table rows and keep one
+// accumulator lane per code, adding chunks in index order — bit-identical to
+// the scalar reference, which the beam-search regression test relies on.
+#include "simd/kernels.h"
+
+#if defined(RPQ_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace rpq::simd {
+namespace {
+
+inline float Hsum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 0x55));
+  return _mm_cvtss_f32(lo);
+}
+
+float SquaredL2Avx2(const float* a, const float* b, size_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 8 <= d) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    i += 8;
+  }
+  float acc = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < d; ++i) {
+    float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float DotAvx2(const float* a, const float* b, size_t d) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  if (i + 8 <= d) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    i += 8;
+  }
+  float acc = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float SquaredNormAvx2(const float* a, size_t d) { return DotAvx2(a, a, d); }
+
+void L2ToManyAvx2(const float* q, const float* base, size_t n, size_t d,
+                  float* out) {
+  if (d < 16) {
+    // Below two vector widths the per-row hsum dominates; the unrolled scalar
+    // loop measures faster (typical PQ sub-dims are 4-8).
+    internal::ScalarKernels().l2_to_many(q, base, n, d, out);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 2 < n) _mm_prefetch(reinterpret_cast<const char*>(base + (i + 2) * d),
+                                _MM_HINT_T0);
+    out[i] = SquaredL2Avx2(q, base + i * d, d);
+  }
+}
+
+// Chunk-j lookup indices for eight codes.
+inline __m256i LoadIdx8(const uint8_t* const* c, size_t j) {
+  return _mm256_setr_epi32(c[0][j], c[1][j], c[2][j], c[3][j], c[4][j], c[5][j],
+                           c[6][j], c[7][j]);
+}
+
+inline float AdcOne(const float* table, size_t m, size_t k,
+                    const uint8_t* code) {
+  float acc = 0.f;
+  const float* t = table;
+  for (size_t j = 0; j < m; ++j, t += k) acc += t[code[j]];
+  return acc;
+}
+
+// Sixteen codes in flight: two gather+add chains (one per 8-code group) so the
+// vector-add latency of one chain overlaps the gathers of the other.
+template <typename GetPtr>
+void AdcBatchImpl(const float* table, size_t m, size_t k, GetPtr ptr, size_t n,
+                  float* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8_t* c[16];
+    for (size_t r = 0; r < 16; ++r) {
+      c[r] = ptr(i + r);
+      _mm_prefetch(reinterpret_cast<const char*>(c[r]), _MM_HINT_T0);
+    }
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    const float* t = table;
+    for (size_t j = 0; j < m; ++j, t += k) {
+      acc0 = _mm256_add_ps(acc0, _mm256_i32gather_ps(t, LoadIdx8(c, j), 4));
+      acc1 = _mm256_add_ps(acc1, _mm256_i32gather_ps(t, LoadIdx8(c + 8, j), 4));
+    }
+    _mm256_storeu_ps(out + i, acc0);
+    _mm256_storeu_ps(out + i + 8, acc1);
+  }
+  if (i + 8 <= n) {
+    const uint8_t* c[8];
+    for (size_t r = 0; r < 8; ++r) c[r] = ptr(i + r);
+    __m256 acc = _mm256_setzero_ps();
+    const float* t = table;
+    for (size_t j = 0; j < m; ++j, t += k) {
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(t, LoadIdx8(c, j), 4));
+    }
+    _mm256_storeu_ps(out + i, acc);
+    i += 8;
+  }
+  for (; i < n; ++i) out[i] = AdcOne(table, m, k, ptr(i));
+}
+
+void AdcBatchAvx2(const float* table, size_t m, size_t k, const uint8_t* codes,
+                  size_t code_stride, size_t n, float* out) {
+  AdcBatchImpl(
+      table, m, k, [&](size_t i) { return codes + i * code_stride; }, n, out);
+}
+
+void AdcBatchGatherAvx2(const float* table, size_t m, size_t k,
+                        const uint8_t* codes, size_t code_stride,
+                        const uint32_t* ids, size_t n, float* out) {
+  AdcBatchImpl(
+      table, m, k,
+      [&](size_t i) { return codes + static_cast<size_t>(ids[i]) * code_stride; },
+      n, out);
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelOps& Avx2Kernels() {
+  static const KernelOps ops = {
+      "avx2",          SquaredL2Avx2, DotAvx2,      SquaredNormAvx2,
+      L2ToManyAvx2,    AdcBatchAvx2,  AdcBatchGatherAvx2,
+  };
+  return ops;
+}
+
+}  // namespace internal
+}  // namespace rpq::simd
+
+#endif  // RPQ_HAVE_AVX2

@@ -1,0 +1,81 @@
+// NEON kernels for aarch64 (NEON is baseline there, so no extra compile
+// flags). The ADC scans stay on the unrolled scalar implementations, which
+// autovectorize poorly but are already latency-optimized; byte-indexed table
+// gathers have no NEON equivalent worth the shuffle overhead at K = 256.
+#include "simd/kernels.h"
+
+#if defined(RPQ_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace rpq::simd {
+namespace {
+
+float SquaredL2Neon(const float* a, const float* b, size_t d) {
+  float32x4_t acc0 = vdupq_n_f32(0.f);
+  float32x4_t acc1 = vdupq_n_f32(0.f);
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    float32x4_t d1 = vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc0 = vfmaq_f32(acc0, d0, d0);
+    acc1 = vfmaq_f32(acc1, d1, d1);
+  }
+  if (i + 4 <= d) {
+    float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    acc0 = vfmaq_f32(acc0, d0, d0);
+    i += 4;
+  }
+  float acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < d; ++i) {
+    float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float DotNeon(const float* a, const float* b, size_t d) {
+  float32x4_t acc0 = vdupq_n_f32(0.f);
+  float32x4_t acc1 = vdupq_n_f32(0.f);
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+  }
+  if (i + 4 <= d) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    i += 4;
+  }
+  float acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+  for (; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float SquaredNormNeon(const float* a, size_t d) { return DotNeon(a, a, d); }
+
+void L2ToManyNeon(const float* q, const float* base, size_t n, size_t d,
+                  float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = SquaredL2Neon(q, base + i * d, d);
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelOps& NeonKernels() {
+  static const KernelOps ops = [] {
+    KernelOps o = ScalarKernels();
+    o.name = "neon";
+    o.squared_l2 = SquaredL2Neon;
+    o.dot = DotNeon;
+    o.squared_norm = SquaredNormNeon;
+    o.l2_to_many = L2ToManyNeon;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace internal
+}  // namespace rpq::simd
+
+#endif  // RPQ_HAVE_NEON
