@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Builds and runs the micro-kernel benchmarks, recording the results to
-# BENCH_micro.json (google-benchmark JSON format) for before/after comparisons.
+# Builds and runs the micro benchmarks, recording the results to
+# BENCH_micro.json (google-benchmark JSON format) for before/after
+# comparisons. The harness carries both the kernel benchmarks and the
+# query-level serving grid (BM_ServeThroughput: threads x shards x batch),
+# so the JSON tracks end-to-end QPS alongside kernel wins.
 #
 # Usage:
 #   bench/run_micro.sh [extra google-benchmark flags...]

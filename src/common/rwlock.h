@@ -1,0 +1,78 @@
+// Writer-priority shared mutex.
+//
+// std::shared_mutex on glibc defaults to reader preference: a continuous
+// stream of readers can starve a writer indefinitely — observed in practice
+// as FreshVamana Insert never acquiring its exclusive lock while serving
+// threads spin on Search (worst on few cores, where the writer never even
+// gets scheduled while holding nothing). This lock blocks NEW readers as
+// soon as a writer is waiting, so writes always complete; in-flight readers
+// drain first, and readers resume the moment the writer leaves. Suits the
+// serving workload: read-heavy, with occasional short structural writes
+// that must not be starved.
+//
+// Satisfies SharedLockable / Lockable, so std::shared_lock and
+// std::unique_lock work unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace rpq {
+
+class WriterPriorityMutex {
+ public:
+  void lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_read_.wait(lk, [this] {
+      return writers_waiting_ == 0 && !writer_active_;
+    });
+    ++readers_;
+  }
+
+  void unlock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (--readers_ == 0 && writers_waiting_ > 0) cv_write_.notify_one();
+  }
+
+  bool try_lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (writers_waiting_ > 0 || writer_active_) return false;
+    ++readers_;
+    return true;
+  }
+
+  void lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++writers_waiting_;
+    cv_write_.wait(lk, [this] { return readers_ == 0 && !writer_active_; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  void unlock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    writer_active_ = false;
+    if (writers_waiting_ > 0) {
+      cv_write_.notify_one();
+    } else {
+      cv_read_.notify_all();
+    }
+  }
+
+  bool try_lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (readers_ > 0 || writer_active_) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_read_;
+  std::condition_variable cv_write_;
+  size_t readers_ = 0;
+  size_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace rpq

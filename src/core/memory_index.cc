@@ -1,5 +1,7 @@
 #include "core/memory_index.h"
 
+#include <algorithm>
+
 #include "quant/adc.h"
 
 namespace rpq::core {
@@ -16,6 +18,7 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
                                        const graph::BeamSearchOptions& opt,
                                        DistanceMode mode) const {
   MemorySearchResult out;
+  graph::VisitedTable* visited = graph::TlsVisitedTable(graph_.num_vertices());
   const size_t code_size = quantizer_.code_size();
   if (mode == DistanceMode::kSdc) {
     const auto* pq = dynamic_cast<const quant::PqQuantizer*>(&quantizer_);
@@ -23,13 +26,47 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
     quant::SdcTable table(*pq, query);
     quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
     out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                                    {opt.beam_width, k}, &visited_, &out.stats);
+                                    {opt.beam_width, k}, visited, &out.stats);
     return out;
   }
   quant::AdcTable table(quantizer_, query);
   quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
   out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                                  {opt.beam_width, k}, &visited_, &out.stats);
+                                  {opt.beam_width, k}, visited, &out.stats);
+  return out;
+}
+
+std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
+    const float* const* queries, size_t nq, size_t k,
+    const graph::BeamSearchOptions& opt, DistanceMode mode) const {
+  std::vector<MemorySearchResult> out(nq);
+  if (nq == 0) return out;
+  if (mode == DistanceMode::kSdc) {
+    // SDC tables quantize the query first; no cross-query work to amortize,
+    // so the batch is just the per-query path run back-to-back.
+    for (size_t i = 0; i < nq; ++i) out[i] = Search(queries[i], k, opt, mode);
+    return out;
+  }
+  graph::VisitedTable* visited = graph::TlsVisitedTable(graph_.num_vertices());
+  const size_t code_size = quantizer_.code_size();
+  // Tiled: table memory stays bounded and the tile's tables stay
+  // cache-resident no matter how large the submitted batch is.
+  constexpr size_t kTile = 16;
+  std::vector<quant::AdcTable> tables;
+  tables.reserve(std::min(nq, kTile));
+  for (size_t base = 0; base < nq; base += kTile) {
+    const size_t tile = std::min(kTile, nq - base);
+    tables.clear();
+    for (size_t i = 0; i < tile; ++i) {
+      tables.emplace_back(quantizer_, queries[base + i]);
+    }
+    for (size_t i = 0; i < tile; ++i) {
+      quant::AdcBatchOracle oracle{tables[i], codes_.data(), code_size};
+      out[base + i].results =
+          graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                            {opt.beam_width, k}, visited, &out[base + i].stats);
+    }
+  }
   return out;
 }
 

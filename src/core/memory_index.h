@@ -26,6 +26,10 @@ struct MemorySearchResult {
 enum class DistanceMode { kAdc, kSdc };
 
 /// Graph + codes index; the graph and quantizer are borrowed.
+///
+/// Search is const and thread-safe: per-query scratch (the visited table)
+/// lives in thread-local storage (graph::TlsVisitedTable), so any number of
+/// threads may search one index concurrently with no shared mutable state.
 class MemoryIndex {
  public:
   static std::unique_ptr<MemoryIndex> Build(const Dataset& base,
@@ -36,19 +40,28 @@ class MemoryIndex {
                             const graph::BeamSearchOptions& options,
                             DistanceMode mode = DistanceMode::kAdc) const;
 
+  /// Scores `nq` queries back-to-back on the calling thread. All ADC lookup
+  /// tables are built up-front, before any graph traversal, which keeps the
+  /// codebook cache-resident across table builds — the amortization the
+  /// serving micro-batcher exists to exploit. Results match per-query Search.
+  std::vector<MemorySearchResult> SearchBatch(
+      const float* const* queries, size_t nq, size_t k,
+      const graph::BeamSearchOptions& options,
+      DistanceMode mode = DistanceMode::kAdc) const;
+
   /// Codes + model bytes (the in-memory footprint the paper constrains).
   size_t MemoryBytes() const;
   const std::vector<uint8_t>& codes() const { return codes_; }
+  size_t num_vertices() const { return graph_.num_vertices(); }
 
  private:
   MemoryIndex(const graph::ProximityGraph& graph,
               const quant::VectorQuantizer& quantizer)
-      : graph_(graph), quantizer_(quantizer), visited_(graph.num_vertices()) {}
+      : graph_(graph), quantizer_(quantizer) {}
 
   const graph::ProximityGraph& graph_;
   const quant::VectorQuantizer& quantizer_;
   std::vector<uint8_t> codes_;
-  mutable graph::VisitedTable visited_;
 };
 
 }  // namespace rpq::core

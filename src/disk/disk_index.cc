@@ -50,7 +50,6 @@ std::unique_ptr<DiskIndex> DiskIndex::Build(
   }
 
   index->codes_ = quantizer.EncodeDataset(base);
-  index->visited_ = graph::VisitedTable(base.size());
   return index;
 }
 
@@ -64,7 +63,8 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
 
   // Same flat-beam hot loop as graph::BeamSearch (see detail::FlatBeam), with
   // an SSD block read per expansion and an exact-distance rerank on the side.
-  visited_.NextEpoch();
+  graph::VisitedTable& visited = *graph::TlsVisitedTable(num_vertices_);
+  visited.NextEpoch();
   graph::detail::FlatBeam beam(beam_width);  // ascending by (ADC distance, id)
   std::vector<uint32_t> cand_ids;
   std::vector<float> cand_dists;
@@ -74,7 +74,7 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
 
   beam.Insert(adc(entry_), entry_);
   ++out.stats.dist_comps;
-  visited_.MarkVisited(entry_);
+  visited.MarkVisited(entry_);
 
   std::vector<uint8_t> block(ssd_->block_bytes());
   for (;;) {
@@ -96,10 +96,10 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
 
     cand_ids.clear();
     for (uint32_t idx = 0; idx < deg; ++idx) {
-      if (idx + 4 < deg) visited_.Prefetch(nbrs[idx + 4]);
+      if (idx + 4 < deg) visited.Prefetch(nbrs[idx + 4]);
       uint32_t u = nbrs[idx];
-      if (visited_.Visited(u)) continue;
-      visited_.MarkVisited(u);
+      if (visited.Visited(u)) continue;
+      visited.MarkVisited(u);
       cand_ids.push_back(u);
     }
     if (cand_ids.empty()) continue;

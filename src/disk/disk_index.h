@@ -31,6 +31,11 @@ struct DiskSearchResult {
 };
 
 /// PQ-navigated, disk-resident graph index.
+///
+/// Search is const and thread-safe: the visited table comes from
+/// thread-local storage and all other per-query state is stack-local, so
+/// concurrent queries share only immutable index data (the SSD simulator's
+/// IoStats are accumulated per-call, not on the device).
 class DiskIndex {
  public:
   /// Lays out one block per node: [vector | degree | neighbor ids].
@@ -61,7 +66,6 @@ class DiskIndex {
   size_t dim_ = 0;
   size_t max_degree_ = 0;
   uint32_t entry_ = 0;
-  mutable graph::VisitedTable visited_{0};
 };
 
 }  // namespace rpq::disk

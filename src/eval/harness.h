@@ -33,11 +33,23 @@ struct OperatingPoint {
   double mean_io_ms = 0.0;    ///< simulated disk time per query (ms)
 };
 
+/// How the sweep replays the query set.
+struct SweepOptions {
+  /// Serving-engine worker threads. 1 (the default) replays serially —
+  /// identical timing semantics to the original loop; >1 replays the
+  /// queries concurrently and reports wall-clock QPS of the parallel run,
+  /// so concurrent-throughput numbers stay honest. The SearchFn must be
+  /// thread-safe (every bundled index's Search now is).
+  size_t threads = 1;
+};
+
 /// Runs every query at every beam width; recall measured against `gt`.
+/// The replay goes through serve::ServingEngine (see SweepOptions.threads);
+/// recall math is independent of the replay order.
 std::vector<OperatingPoint> SweepBeamWidths(
     const SearchFn& search, const Dataset& queries,
     const std::vector<std::vector<Neighbor>>& gt, size_t k,
-    const std::vector<size_t>& beams);
+    const std::vector<size_t>& beams, const SweepOptions& options = {});
 
 /// Linear interpolation of QPS at `target_recall` along the curve. When the
 /// curve never reaches the target, returns the QPS of the highest-recall

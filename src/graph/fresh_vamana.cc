@@ -1,6 +1,7 @@
 #include "graph/fresh_vamana.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/distance.h"
 #include "common/logging.h"
@@ -10,6 +11,16 @@ namespace rpq::graph {
 
 FreshVamanaIndex::FreshVamanaIndex(size_t dim, const VamanaOptions& options)
     : dim_(dim), opt_(options) {}
+
+size_t FreshVamanaIndex::total_slots() const {
+  std::shared_lock<WriterPriorityMutex> lk(mu_);
+  return data_.size();
+}
+
+bool FreshVamanaIndex::IsDeleted(uint32_t id) const {
+  std::shared_lock<WriterPriorityMutex> lk(mu_);
+  return deleted_[id];
+}
 
 std::vector<Neighbor> FreshVamanaIndex::CollectCandidates(
     const float* vec) const {
@@ -25,7 +36,7 @@ std::vector<Neighbor> FreshVamanaIndex::CollectCandidates(
         pool.push_back({d, u});
         return d;
       },
-      bopt, &visited_);
+      bopt, TlsVisitedTable(data_.size()));
   return pool;
 }
 
@@ -41,12 +52,12 @@ void FreshVamanaIndex::PruneInto(uint32_t v, std::vector<Neighbor> pool) {
 }
 
 uint32_t FreshVamanaIndex::Insert(const float* vec) {
+  std::unique_lock<WriterPriorityMutex> lk(mu_);
   uint32_t id = static_cast<uint32_t>(data_.size());
   data_.Append(vec, dim_);
   deleted_.push_back(false);
-  ++live_count_;
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   graph_.Resize(data_.size());
-  visited_.Resize(data_.size());
   if (id == 0) {
     graph_.set_entry_point(0);
     return id;  // first vertex: entry point, no edges yet
@@ -73,10 +84,11 @@ uint32_t FreshVamanaIndex::Insert(const float* vec) {
 }
 
 void FreshVamanaIndex::Delete(uint32_t id) {
+  std::unique_lock<WriterPriorityMutex> lk(mu_);
   RPQ_CHECK_LT(id, data_.size());
   if (deleted_[id]) return;
   deleted_[id] = true;
-  --live_count_;
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
   // Keep the entry point live: move it to the nearest live neighbor.
   if (graph_.entry_point() == id) {
     for (uint32_t u : graph_.Neighbors(id)) {
@@ -97,6 +109,7 @@ void FreshVamanaIndex::Delete(uint32_t id) {
 }
 
 void FreshVamanaIndex::Consolidate() {
+  std::unique_lock<WriterPriorityMutex> lk(mu_);
   // FreshDiskANN's repair: every in-neighbor p of a deleted vertex d adopts
   // d's (live) out-neighbors as candidates, then re-prunes.
   size_t n = data_.size();
@@ -133,7 +146,8 @@ void FreshVamanaIndex::Consolidate() {
 
 std::vector<Neighbor> FreshVamanaIndex::Search(const float* query, size_t k,
                                                size_t beam_width) const {
-  if (live_count_ == 0) return {};
+  std::shared_lock<WriterPriorityMutex> lk(mu_);
+  if (live_count_.load(std::memory_order_relaxed) == 0) return {};
   // Over-fetch so tombstones filtered from the beam still leave k results.
   BeamSearchOptions bopt;
   bopt.beam_width = std::max(beam_width, 2 * k);
@@ -141,7 +155,7 @@ std::vector<Neighbor> FreshVamanaIndex::Search(const float* query, size_t k,
   auto raw = BeamSearch(
       graph_, graph_.entry_point(),
       [&](uint32_t u) { return SquaredL2(query, data_[u], dim_); }, bopt,
-      &visited_);
+      TlsVisitedTable(data_.size()));
   std::vector<Neighbor> out;
   out.reserve(k);
   for (const Neighbor& nb : raw) {

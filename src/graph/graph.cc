@@ -6,6 +6,12 @@
 
 namespace rpq::graph {
 
+VisitedTable* TlsVisitedTable(size_t n) {
+  thread_local VisitedTable table(0);
+  if (table.size() < n) table.Resize(n);
+  return &table;
+}
+
 DegreeStats ProximityGraph::ComputeDegreeStats() const {
   DegreeStats s;
   if (adj_.empty()) return s;

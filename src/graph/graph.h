@@ -81,4 +81,11 @@ class VisitedTable {
   uint32_t epoch_ = 0;
 };
 
+/// The calling thread's visited-table scratch, grown to at least n entries.
+/// Every search starts with NextEpoch(), so one table per thread is safely
+/// shared across indexes of any size — stale stamps from another index can
+/// never alias the current epoch. This is what makes const Search methods
+/// thread-safe: concurrent callers each get their own table.
+VisitedTable* TlsVisitedTable(size_t n);
+
 }  // namespace rpq::graph

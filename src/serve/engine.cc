@@ -1,0 +1,45 @@
+#include "serve/engine.h"
+
+#include <memory>
+#include <utility>
+
+namespace rpq::serve {
+
+ServingEngine::ServingEngine(const SearchService& service,
+                             const EngineOptions& options)
+    : service_(service), pool_(options.threads) {}
+
+std::vector<QueryResult> ServingEngine::SearchAll(const Dataset& queries,
+                                                  size_t k,
+                                                  size_t beam_width) const {
+  std::vector<QueryResult> out(queries.size());
+  ParallelFor(&pool_, queries.size(), [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      out[q] = service_.Search({queries[q], k, beam_width});
+    }
+  });
+  return out;
+}
+
+std::vector<QueryResult> ServingEngine::SearchAll(
+    const std::vector<QuerySpec>& specs) const {
+  std::vector<QueryResult> out(specs.size());
+  ParallelFor(&pool_, specs.size(), [&](size_t begin, size_t end) {
+    service_.SearchBatch(specs.data() + begin, end - begin,
+                         out.data() + begin);
+  });
+  return out;
+}
+
+std::future<QueryResult> ServingEngine::Submit(const QuerySpec& q) const {
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> fut = promise->get_future();
+  pool_.Submit([this, q, promise] { promise->set_value(service_.Search(q)); });
+  return fut;
+}
+
+void ServingEngine::Execute(std::function<void()> fn) const {
+  pool_.Submit(std::move(fn));
+}
+
+}  // namespace rpq::serve

@@ -1,0 +1,55 @@
+// ServingEngine: executes queries against one SearchService concurrently on
+// a fixed worker pool. Workers need no coordination at query time — backend
+// scratch is thread-local (see search_service.h), so the engine is pure
+// dispatch: a blocking parallel-replay API for offline evaluation and an
+// async submit API for the load generator and micro-batcher.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "serve/search_service.h"
+
+namespace rpq::serve {
+
+struct EngineOptions {
+  /// Worker threads; 0 selects std::thread::hardware_concurrency().
+  size_t threads = 0;
+};
+
+/// Concurrent query executor over one (thread-safe) SearchService.
+class ServingEngine {
+ public:
+  explicit ServingEngine(const SearchService& service,
+                         const EngineOptions& options = {});
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  const SearchService& service() const { return service_; }
+
+  /// Replays all queries concurrently; blocks until done. Results are in
+  /// query order and identical to serial execution (backends are
+  /// deterministic and share no mutable state across workers). With a
+  /// single worker the replay runs inline — serial timing stays honest.
+  std::vector<QueryResult> SearchAll(const Dataset& queries, size_t k,
+                                     size_t beam_width) const;
+  std::vector<QueryResult> SearchAll(const std::vector<QuerySpec>& specs) const;
+
+  /// Asynchronous single-query submission (open-loop serving).
+  std::future<QueryResult> Submit(const QuerySpec& q) const;
+
+  /// Runs an arbitrary closure on the worker pool; the micro-batcher
+  /// dispatches whole batches through this.
+  void Execute(std::function<void()> fn) const;
+
+  /// Blocks until every submitted task has completed (open-loop drains).
+  void WaitIdle() const { pool_.Wait(); }
+
+ private:
+  const SearchService& service_;
+  mutable ThreadPool pool_;
+};
+
+}  // namespace rpq::serve

@@ -1,0 +1,66 @@
+// Load generator for the serving subsystem.
+//
+// Two standard modes:
+//  - Closed loop: T client threads each issue queries back-to-back; measures
+//    saturated throughput and service latency (no queueing).
+//  - Open loop: queries arrive on a Poisson (or fixed-interval) schedule
+//    independent of completions and run through a ServingEngine; measured
+//    latency includes queueing delay, so it shows what a target arrival
+//    rate actually costs — the honest way to report p99 under load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/engine.h"
+
+namespace rpq::serve {
+
+/// Latency distribution summary, in milliseconds.
+struct LatencySummary {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// Computes the summary from raw per-query latencies (seconds).
+LatencySummary SummarizeLatencies(std::vector<double> seconds);
+
+struct LoadgenOptions {
+  size_t k = 10;
+  size_t beam_width = 64;
+  size_t threads = 4;        ///< closed loop: client threads
+  size_t total_queries = 0;  ///< 0 = one pass over the query set
+  double arrival_qps = 0;    ///< open loop: target arrival rate (required)
+  bool poisson = true;       ///< open loop: exponential vs fixed interarrival
+  uint64_t seed = 42;
+};
+
+struct LoadReport {
+  size_t completed = 0;
+  double wall_seconds = 0;
+  double qps = 0;              ///< completed / wall
+  double offered_qps = 0;      ///< open loop: the arrival rate requested
+  LatencySummary latency;
+  double mean_hops = 0;
+  double simulated_io_seconds = 0;  ///< summed across queries (hybrid disk)
+};
+
+/// Closed loop: `threads` clients issue queries round-robin from `queries`
+/// until `total_queries` completions. Per-query latency is service time.
+LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
+                         const LoadgenOptions& options);
+
+/// Open loop: submits queries to the engine on the arrival schedule and
+/// waits for all completions. Latency is arrival-to-completion (queueing
+/// included). `options.arrival_qps` must be > 0.
+LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
+                       const LoadgenOptions& options);
+
+/// Prints a report as one aligned row (label as the prefix).
+void PrintReport(const char* label, const LoadReport& report);
+
+}  // namespace rpq::serve

@@ -1,0 +1,57 @@
+#include "serve/search_service.h"
+
+#include "common/distance.h"
+
+namespace rpq::serve {
+
+QueryResult MemoryIndexService::Search(const QuerySpec& q) const {
+  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k}, mode_);
+  return {std::move(res.results), res.stats, 0.0};
+}
+
+void MemoryIndexService::SearchBatch(const QuerySpec* qs, size_t n,
+                                     QueryResult* out) const {
+  // The index's batch path only amortizes across uniform (k, beam) runs;
+  // split the batch into maximal such runs (batcher batches almost always
+  // are one run).
+  size_t i = 0;
+  std::vector<const float*> queries;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && qs[j].k == qs[i].k && qs[j].beam_width == qs[i].beam_width) {
+      ++j;
+    }
+    queries.clear();
+    for (size_t t = i; t < j; ++t) queries.push_back(qs[t].query);
+    auto res = index_.SearchBatch(queries.data(), queries.size(), qs[i].k,
+                                  {qs[i].beam_width, qs[i].k}, mode_);
+    for (size_t t = i; t < j; ++t) {
+      out[t] = {std::move(res[t - i].results), res[t - i].stats, 0.0};
+    }
+    i = j;
+  }
+}
+
+QueryResult DiskIndexService::Search(const QuerySpec& q) const {
+  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k});
+  return {std::move(res.results), res.stats, res.io.simulated_seconds};
+}
+
+QueryResult FreshVamanaService::Search(const QuerySpec& q) const {
+  QueryResult out;
+  out.results = index_.Search(q.query, q.k, q.beam_width);
+  return out;
+}
+
+QueryResult ExactService::Search(const QuerySpec& q) const {
+  QueryResult out;
+  TopK top(q.k);
+  for (uint32_t v = 0; v < data_.size(); ++v) {
+    top.Push(SquaredL2(q.query, data_[v], data_.dim()), v);
+  }
+  out.stats.dist_comps = data_.size();
+  out.results = top.Take();
+  return out;
+}
+
+}  // namespace rpq::serve

@@ -1,0 +1,122 @@
+// Query-serving abstraction: every index backend (in-memory ADC, hybrid
+// disk, streaming FreshVamana, exact reference) presents the same
+// SearchService interface, and everything above it — the serving engine, the
+// shard fan-out, the micro-batcher, the load generator — is written once
+// against that interface.
+//
+// The contract that makes the whole subsystem work: Search()/SearchBatch()
+// are const AND thread-safe. Backends keep per-query scratch on the stack or
+// in thread-local storage (graph::TlsVisitedTable); FreshVamanaService
+// additionally rides FreshVamanaIndex's shared-lock epochs so readers stay
+// wait-free with respect to each other during streaming updates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/topk.h"
+#include "core/memory_index.h"
+#include "data/dataset.h"
+#include "disk/disk_index.h"
+#include "graph/fresh_vamana.h"
+
+namespace rpq::serve {
+
+/// One query as the serving layer sees it (the batcher groups these).
+struct QuerySpec {
+  const float* query = nullptr;
+  size_t k = 10;
+  size_t beam_width = 64;
+};
+
+/// What one served query returned, plus its costs.
+struct QueryResult {
+  std::vector<Neighbor> results;       ///< ascending by (distance, id)
+  graph::SearchStats stats;
+  double simulated_io_seconds = 0.0;   ///< hybrid-disk backends only
+};
+
+/// Thread-safe search front end over one index backend.
+class SearchService {
+ public:
+  virtual ~SearchService() = default;
+
+  /// Serves one query. Must be safe to call from any number of threads.
+  virtual QueryResult Search(const QuerySpec& q) const = 0;
+
+  /// Serves a batch back-to-back on the calling thread. Backends override
+  /// this when consecutive queries share amortizable work (ADC table
+  /// builds, cache-resident codebooks); results must match per-query Search.
+  virtual void SearchBatch(const QuerySpec* qs, size_t n,
+                           QueryResult* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = Search(qs[i]);
+  }
+};
+
+/// In-memory ADC/SDC backend (core::MemoryIndex is borrowed).
+class MemoryIndexService : public SearchService {
+ public:
+  explicit MemoryIndexService(const core::MemoryIndex& index,
+                              core::DistanceMode mode = core::DistanceMode::kAdc)
+      : index_(index), mode_(mode) {}
+
+  QueryResult Search(const QuerySpec& q) const override;
+  void SearchBatch(const QuerySpec* qs, size_t n,
+                   QueryResult* out) const override;
+
+ private:
+  const core::MemoryIndex& index_;
+  core::DistanceMode mode_;
+};
+
+/// Hybrid disk backend (disk::DiskIndex is borrowed).
+class DiskIndexService : public SearchService {
+ public:
+  explicit DiskIndexService(const disk::DiskIndex& index) : index_(index) {}
+
+  QueryResult Search(const QuerySpec& q) const override;
+
+ private:
+  const disk::DiskIndex& index_;
+};
+
+/// Streaming backend: reads coordinate with Insert/Delete/Consolidate via
+/// the index's internal shared-lock epochs (the index is borrowed).
+class FreshVamanaService : public SearchService {
+ public:
+  explicit FreshVamanaService(const graph::FreshVamanaIndex& index)
+      : index_(index) {}
+
+  QueryResult Search(const QuerySpec& q) const override;
+
+ private:
+  const graph::FreshVamanaIndex& index_;
+};
+
+/// Brute-force exact scan over a borrowed dataset; the reference backend for
+/// merge/equality tests and tiny deployments.
+class ExactService : public SearchService {
+ public:
+  explicit ExactService(const Dataset& data) : data_(data) {}
+
+  QueryResult Search(const QuerySpec& q) const override;
+
+ private:
+  const Dataset& data_;
+};
+
+/// Adapts an arbitrary thread-safe callable — e.g. the eval harness's
+/// SearchFn closures — so it can be replayed through the serving engine.
+class FunctionService : public SearchService {
+ public:
+  using Fn = std::function<QueryResult(const QuerySpec&)>;
+  explicit FunctionService(Fn fn) : fn_(std::move(fn)) {}
+
+  QueryResult Search(const QuerySpec& q) const override { return fn_(q); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace rpq::serve

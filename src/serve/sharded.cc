@@ -1,0 +1,64 @@
+#include "serve/sharded.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpq::serve {
+
+QueryResult ShardedService::Search(const QuerySpec& q) const {
+  QueryResult merged;
+  TopK top(q.k);
+  for (const Shard& shard : shards_) {
+    QueryResult r = shard.service->Search(q);
+    merged.stats.hops += r.stats.hops;
+    merged.stats.dist_comps += r.stats.dist_comps;
+    merged.simulated_io_seconds += r.simulated_io_seconds;
+    for (const Neighbor& nb : r.results) {
+      uint32_t id =
+          shard.global_ids.empty() ? nb.id : shard.global_ids[nb.id];
+      top.Push(nb.dist, id);
+    }
+  }
+  merged.results = top.Take();
+  return merged;
+}
+
+size_t ShardedMemoryIndex::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& s : shards) total += s->index->MemoryBytes();
+  return total;
+}
+
+ShardedMemoryIndex BuildShardedMemoryIndex(
+    const Dataset& base, const quant::VectorQuantizer& quantizer,
+    size_t num_shards, const graph::VamanaOptions& vamana_options) {
+  RPQ_CHECK(num_shards > 0);
+  // Keep shards big enough to carry a graph (degree < shard size).
+  num_shards = std::max<size_t>(
+      1, std::min(num_shards, base.size() / (vamana_options.degree + 1)));
+  ShardedMemoryIndex out;
+  std::vector<Shard> shards;
+  const size_t per_shard = (base.size() + num_shards - 1) / num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t begin = s * per_shard;
+    const size_t end = std::min(base.size(), begin + per_shard);
+    if (begin >= end) break;
+    auto shard = std::make_unique<MemoryShard>();
+    shard->base = base.Slice(begin, end);
+    shard->graph = graph::BuildVamana(shard->base, vamana_options);
+    shard->index =
+        core::MemoryIndex::Build(shard->base, shard->graph, quantizer);
+    shard->service = std::make_unique<MemoryIndexService>(*shard->index);
+    std::vector<uint32_t> global_ids(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      global_ids[i - begin] = static_cast<uint32_t>(i);
+    }
+    shards.push_back({shard->service.get(), std::move(global_ids)});
+    out.shards.push_back(std::move(shard));
+  }
+  out.service = std::make_unique<ShardedService>(std::move(shards));
+  return out;
+}
+
+}  // namespace rpq::serve

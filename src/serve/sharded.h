@@ -1,0 +1,68 @@
+// Sharded serving: the dataset is partitioned across S independent shards,
+// each with its own graph + codes; a query fans out to every shard and the
+// per-shard top-k lists are merged by (distance, global id). Because
+// Neighbor ordering is a strict total order on (dist, id) and shard-local
+// results are each sorted under it, the merge is deterministic and — for
+// exact backends — bit-identical to searching one unsharded index, ties and
+// duplicate vectors included (tests/serve_test.cc pins this).
+//
+// Shards are plain SearchServices, so shard trees compose: a shard can
+// itself be sharded, remote (one day), or a different backend per tier.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/vamana.h"
+#include "serve/search_service.h"
+
+namespace rpq::serve {
+
+/// One shard: a borrowed backend plus the mapping from its local vertex ids
+/// to global dataset ids (empty mapping = ids are already global).
+struct Shard {
+  const SearchService* service = nullptr;
+  std::vector<uint32_t> global_ids;
+};
+
+/// Fans each query out to every shard and merges top-k. Thread-safe exactly
+/// when every shard backend is.
+class ShardedService : public SearchService {
+ public:
+  explicit ShardedService(std::vector<Shard> shards)
+      : shards_(std::move(shards)) {}
+
+  size_t num_shards() const { return shards_.size(); }
+
+  QueryResult Search(const QuerySpec& q) const override;
+
+ private:
+  std::vector<Shard> shards_;
+};
+
+/// Everything one in-memory shard owns (the index borrows graph+quantizer,
+/// so the bundle keeps them alive at stable addresses). The local->global
+/// id map lives in the composed ShardedService's Shard entries.
+struct MemoryShard {
+  Dataset base;  ///< this shard's rows (contiguous slice of the corpus)
+  graph::ProximityGraph graph;
+  std::unique_ptr<core::MemoryIndex> index;
+  std::unique_ptr<MemoryIndexService> service;
+};
+
+/// A fully built S-shard in-memory deployment over one shared quantizer.
+struct ShardedMemoryIndex {
+  std::vector<std::unique_ptr<MemoryShard>> shards;
+  std::unique_ptr<ShardedService> service;  ///< the composed front end
+
+  size_t MemoryBytes() const;
+};
+
+/// Partitions `base` into `num_shards` contiguous slices, builds a Vamana
+/// graph and codes per shard (the quantizer — trained on the full corpus —
+/// is shared and must outlive the result).
+ShardedMemoryIndex BuildShardedMemoryIndex(
+    const Dataset& base, const quant::VectorQuantizer& quantizer,
+    size_t num_shards, const graph::VamanaOptions& vamana_options = {});
+
+}  // namespace rpq::serve

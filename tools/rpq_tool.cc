@@ -11,10 +11,22 @@
 //   rpq_tool search       --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         --k 10 --beam 64 [--mode adc|sdc] [--hybrid]
+//   rpq_tool serve-bench  --base data/base.fvecs --graph g.bin
+//                         --model model.rpqq --queries data/queries.fvecs
+//                         [--threads 4] [--shards 1] [--k 10] [--beam 64]
+//                         [--total 0] [--rate 0] [--hybrid]
+//
+// serve-bench drives the concurrent serving subsystem (src/serve/): a
+// closed-loop load test with --threads clients (and, when --rate is given,
+// an open-loop run at that arrival QPS), reporting QPS and p50/p95/p99
+// latency. --shards S > 1 builds an S-shard in-memory deployment (per-shard
+// Vamana graphs; --graph is then unused).
 //
 // Every artifact is a documented binary format (see quant/serialize.h and
 // graph/graph.h), so stages can run on different machines.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -32,6 +44,9 @@
 #include "graph/vamana.h"
 #include "quant/opq.h"
 #include "quant/serialize.h"
+#include "serve/engine.h"
+#include "serve/loadgen.h"
+#include "serve/sharded.h"
 
 namespace {
 
@@ -253,11 +268,100 @@ int CmdSearch(const Flags& flags) {
   return 0;
 }
 
+int CmdServeBench(const Flags& flags) {
+  auto base = LoadBase(flags);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const char* mpath = flags.Get("model");
+  const char* qpath = flags.Get("queries");
+  if (mpath == nullptr || qpath == nullptr) {
+    return Fail("--model and --queries are required");
+  }
+  auto model = rpq::quant::LoadQuantizer(mpath);
+  if (!model.ok()) return Fail(model.status().ToString());
+  auto queries = rpq::io::ReadFvecs(qpath);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  rpq::serve::LoadgenOptions opt;
+  opt.k = flags.GetSize("k", 10);
+  opt.beam_width = flags.GetSize("beam", 64);
+  opt.threads = flags.GetSize("threads", 4);
+  opt.total_queries = flags.GetSize("total", 0);
+  const size_t shards = flags.GetSize("shards", 1);
+  const double rate = std::strtod(flags.Get("rate", "0"), nullptr);
+
+  // Assemble the backend: sharded in-memory, hybrid disk, or single-shard
+  // in-memory over a prebuilt graph.
+  std::unique_ptr<rpq::core::MemoryIndex> mem_index;
+  std::unique_ptr<rpq::disk::DiskIndex> disk_index;
+  std::unique_ptr<rpq::serve::SearchService> owned_service;
+  rpq::serve::ShardedMemoryIndex sharded;
+  const rpq::serve::SearchService* service = nullptr;
+  rpq::graph::ProximityGraph graph;
+
+  if (shards > 1) {
+    rpq::graph::VamanaOptions vopt;
+    vopt.degree = flags.GetSize("degree", 32);
+    vopt.build_beam = flags.GetSize("build-beam", 64);
+    rpq::Timer build;
+    sharded = rpq::serve::BuildShardedMemoryIndex(base.value(), *model.value(),
+                                                  shards, vopt);
+    std::printf("built %zu shards in %.1fs (%.1f MB resident)\n",
+                sharded.shards.size(), build.ElapsedSeconds(),
+                sharded.MemoryBytes() / 1e6);
+    service = sharded.service.get();
+  } else {
+    const char* gpath = flags.Get("graph");
+    if (gpath == nullptr) return Fail("--graph is required when --shards 1");
+    auto g = rpq::graph::ProximityGraph::Load(gpath);
+    if (!g.ok()) return Fail(g.status().ToString());
+    graph = std::move(g.value());
+    if (flags.Has("hybrid")) {
+      disk_index =
+          rpq::disk::DiskIndex::Build(base.value(), graph, *model.value());
+      owned_service =
+          std::make_unique<rpq::serve::DiskIndexService>(*disk_index);
+    } else {
+      mem_index =
+          rpq::core::MemoryIndex::Build(base.value(), graph, *model.value());
+      owned_service =
+          std::make_unique<rpq::serve::MemoryIndexService>(*mem_index);
+    }
+    service = owned_service.get();
+  }
+
+  // Recall sanity line (serial replay, k results against exact GT).
+  auto gt = rpq::ComputeGroundTruth(base.value(), queries.value(), opt.k);
+  rpq::serve::ServingEngine serial(*service, {1});
+  auto outcomes = serial.SearchAll(queries.value(), opt.k, opt.beam_width);
+  std::vector<std::vector<rpq::Neighbor>> results(outcomes.size());
+  for (size_t q = 0; q < outcomes.size(); ++q) {
+    results[q] = std::move(outcomes[q].results);
+  }
+  std::printf("recall@%zu = %.4f (beam %zu, %zu shards)\n", opt.k,
+              rpq::eval::MeanRecallAtK(results, gt, opt.k), opt.beam_width,
+              std::max<size_t>(shards, 1));
+
+  auto closed = rpq::serve::RunClosedLoop(*service, queries.value(), opt);
+  char label[64];
+  std::snprintf(label, sizeof(label), "closed-loop x%zu", opt.threads);
+  rpq::serve::PrintReport(label, closed);
+
+  if (rate > 0) {
+    rpq::serve::ServingEngine engine(*service, {opt.threads});
+    rpq::serve::LoadgenOptions oopt = opt;
+    oopt.arrival_qps = rate;
+    auto open = rpq::serve::RunOpenLoop(engine, queries.value(), oopt);
+    std::snprintf(label, sizeof(label), "open-loop @%.0f/s", rate);
+    rpq::serve::PrintReport(label, open);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: rpq_tool <gen|stats|build-graph|train|encode|search> "
-               "[--flags]\nsee the header of tools/rpq_tool.cc for the full "
-               "pipeline\n");
+               "usage: rpq_tool <gen|stats|build-graph|train|encode|search|"
+               "serve-bench> [--flags]\nsee the header of tools/rpq_tool.cc "
+               "for the full pipeline\n");
   return 2;
 }
 
@@ -273,5 +377,6 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "encode") return CmdEncode(flags);
   if (cmd == "search") return CmdSearch(flags);
+  if (cmd == "serve-bench") return CmdServeBench(flags);
   return Usage();
 }
