@@ -8,11 +8,13 @@
 #include "common/distance.h"
 #include "common/rng.h"
 #include "core/diff_quantizer.h"
+#include "core/memory_index.h"
 #include "data/synthetic.h"
 #include "graph/beam_search.h"
 #include "graph/vamana.h"
 #include "linalg/matexp.h"
 #include "quant/adc.h"
+#include "quant/fastscan.h"
 #include "quant/kmeans.h"
 #include "quant/pq.h"
 #include "simd/simd.h"
@@ -135,6 +137,31 @@ void BM_AdcScanBatchGather(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * ids.size());
 }
 BENCHMARK(BM_AdcScanBatchGather);
+
+// FastScan flat scan (4-bit codes, packed 32-code blocks, register-resident
+// u8 LUTs). Per-code items/s vs BM_AdcScanBatch (the float-table gather
+// scan, a.k.a. BM_AdcBatch in the roadmap) is the headline shuffle-kernel
+// win; arg = M so 16 compares at equal chunk count and 32 at equal code
+// bits (32x4 = 16x8).
+void BM_AdcFastScan(benchmark::State& state) {
+  Dataset d = synthetic::MakeSiftLike(2000, 5);
+  quant::PqOptions opt;
+  opt.m = static_cast<size_t>(state.range(0));
+  opt.nbits = 4;
+  opt.kmeans_iters = 4;
+  auto pq = quant::PqQuantizer::Train(d, opt);
+  auto codes = pq->EncodeDataset(d);
+  auto packed = quant::PackedCodes::Pack(codes.data(), d.size(), pq->code_size());
+  quant::FastScanTable table(*pq, d[0]);
+  std::vector<float> dists(d.size());
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    table.Scan(packed, dists.data());
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_AdcFastScan)->Arg(16)->Arg(32);
 
 void BM_AdcTableBuildScalar(benchmark::State& state) {
   Dataset d = synthetic::MakeSiftLike(1500, 3);
@@ -265,6 +292,65 @@ void BM_BeamSearchAdcBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BeamSearchAdcBatch)->Arg(16)->Arg(64);
+
+// Query-level A/B at one 4-bit quantizer: the same beam search routed by
+// the float-ADC batched oracle vs the FastScan shuffle path with float-ADC
+// rerank (core::MemoryIndex DistanceMode::kFastScan). Both report searches/s
+// through the full MemoryIndex entry point. The corpus is sized so the code
+// array spills L2 — the production regime, where the ADC path's scattered
+// per-neighbor gathers stall on cache misses while FastScan reads one
+// sequential (and beam-prefetched) block per expansion. On the dev box the
+// crossover sits around n = 50k; at n = 100k FastScan wins ~1.2x, growing
+// with corpus size. (The fixture build dominates harness startup: ~1 min.)
+struct FastScanQueryFixture {
+  Dataset base, queries;
+  graph::ProximityGraph graph;
+  std::unique_ptr<quant::PqQuantizer> pq;
+  std::unique_ptr<core::MemoryIndex> index;
+};
+
+FastScanQueryFixture& QueryFixture() {
+  static FastScanQueryFixture f = [] {
+    FastScanQueryFixture x;
+    synthetic::MakeBaseAndQueries("sift", 100000, 50, 15, &x.base, &x.queries);
+    graph::VamanaOptions vopt;
+    vopt.degree = 31;
+    vopt.build_beam = 48;
+    x.graph = graph::BuildVamana(x.base, vopt);
+    quant::PqOptions popt;
+    popt.m = 16;
+    popt.nbits = 4;
+    popt.kmeans_iters = 6;
+    x.pq = quant::PqQuantizer::Train(x.base, popt);
+    x.index = core::MemoryIndex::Build(x.base, x.graph, *x.pq);
+    return x;
+  }();
+  return f;
+}
+
+void BM_BeamSearchFourBit(benchmark::State& state, core::DistanceMode mode) {
+  FastScanQueryFixture& f = QueryFixture();
+  size_t beam = state.range(0);
+  size_t qi = 0;
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    auto res = f.index->Search(f.queries[qi % f.queries.size()], 10,
+                               {beam, 10}, mode);
+    benchmark::DoNotOptimize(res);
+    ++qi;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BeamSearchAdc4bit(benchmark::State& state) {
+  BM_BeamSearchFourBit(state, core::DistanceMode::kAdc);
+}
+BENCHMARK(BM_BeamSearchAdc4bit)->Arg(16)->Arg(64);
+
+void BM_BeamSearchFastScan(benchmark::State& state) {
+  BM_BeamSearchFourBit(state, core::DistanceMode::kFastScan);
+}
+BENCHMARK(BM_BeamSearchFastScan)->Arg(16)->Arg(64);
 
 }  // namespace
 

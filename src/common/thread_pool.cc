@@ -38,14 +38,20 @@ void ThreadPool::Wait() {
 }
 
 namespace {
-// Set while a pool worker is executing a task, so ParallelFor invoked from
-// inside a task runs inline instead of deadlocking in Wait (every worker
-// could otherwise block waiting for tasks no thread is free to run).
-thread_local bool t_inside_pool_worker = false;
+// The pool whose worker the current thread is (null on non-worker threads).
+// ParallelFor invoked from inside ANY pool task runs inline instead of
+// deadlocking in Wait (every worker could otherwise block waiting for tasks
+// no thread is free to run); pool-aware callers (ShardedService) compare
+// against a specific pool so cross-pool fan-out stays parallel.
+thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
+bool ThreadPool::CurrentThreadIsWorker() const {
+  return t_worker_pool == this;
+}
+
 void ThreadPool::WorkerLoop() {
-  t_inside_pool_worker = true;
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -67,7 +73,8 @@ void ThreadPool::WorkerLoop() {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  if (pool == nullptr || pool->num_threads() <= 1 || t_inside_pool_worker) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      t_worker_pool != nullptr) {
     fn(0, n);
     return;
   }

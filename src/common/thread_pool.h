@@ -29,6 +29,11 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void Wait();
 
+  /// True when the calling thread is one of THIS pool's workers. Fan-out
+  /// helpers use it to run inline instead of submit-and-wait, which would
+  /// deadlock once every worker is a waiter (see ShardedService).
+  bool CurrentThreadIsWorker() const;
+
  private:
   void WorkerLoop();
 

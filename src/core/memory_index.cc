@@ -8,10 +8,61 @@ namespace rpq::core {
 
 std::unique_ptr<MemoryIndex> MemoryIndex::Build(
     const Dataset& base, const graph::ProximityGraph& graph,
-    const quant::VectorQuantizer& quantizer) {
+    const quant::VectorQuantizer& quantizer, bool fastscan_layout) {
   auto index = std::unique_ptr<MemoryIndex>(new MemoryIndex(graph, quantizer));
   index->codes_ = quantizer.EncodeDataset(base);
+  if (fastscan_layout && quantizer.num_centroids() <= 16) {
+    // 4-bit-capable quantizer: lay out every vertex's neighbor codes as
+    // packed FastScan blocks so kFastScan searches score whole expansions
+    // with register-resident shuffles.
+    index->fastscan_ = quant::PackedNeighborBlocks::Build(
+        graph, index->codes_.data(), quantizer.code_size());
+  }
   return index;
+}
+
+MemorySearchResult MemoryIndex::SearchFastScan(
+    const quant::AdcTable& table, size_t k,
+    const graph::BeamSearchOptions& opt, graph::VisitedTable* visited) const {
+  RPQ_CHECK(fastscan_.has_value() &&
+            "FastScan needs a quantizer with K <= 16 (see PqOptions.nbits)");
+  MemorySearchResult out;
+  const size_t code_size = quantizer_.code_size();
+
+  // Navigate on the u8-quantized table; the float table (already built — it
+  // is what the u8 one was quantized from) reranks the widened candidate
+  // list to undo the u8 rounding error.
+  quant::FastScanTable ftable(table);
+  quant::FastScanNeighborOracle oracle(ftable, codes_.data(), code_size,
+                                       *fastscan_);
+  // The rerank list is drawn from the beam, so it is capped at the effective
+  // beam width — widening it never widens the traversal (the A/B against
+  // the float-ADC path stays beam-for-beam fair).
+  const size_t beam_width = std::max(opt.beam_width, k);
+  const size_t rerank = std::min(
+      beam_width,
+      std::max(fastscan_rerank_ == 0 ? std::max(2 * k, size_t{32})
+                                     : fastscan_rerank_,
+               k));
+  std::vector<Neighbor> cands =
+      graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                        {beam_width, rerank}, visited, &out.stats);
+
+  // Float-ADC rerank of the candidate list, batched through the gather
+  // kernel (one call for all candidates).
+  std::vector<uint32_t> ids(cands.size());
+  std::vector<float> exact(cands.size());
+  for (size_t i = 0; i < cands.size(); ++i) ids[i] = cands[i].id;
+  table.DistanceBatchGather(codes_.data(), code_size, ids.data(), ids.size(),
+                            exact.data());
+  out.results.reserve(cands.size());
+  for (size_t i = 0; i < cands.size(); ++i) {
+    out.results.push_back({exact[i], ids[i]});
+  }
+  out.stats.dist_comps += cands.size();
+  std::sort(out.results.begin(), out.results.end());
+  if (out.results.size() > k) out.results.resize(k);
+  return out;
 }
 
 MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
@@ -30,6 +81,9 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
     return out;
   }
   quant::AdcTable table(quantizer_, query);
+  if (mode == DistanceMode::kFastScan) {
+    return SearchFastScan(table, k, opt, visited);
+  }
   quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
   out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
                                   {opt.beam_width, k}, visited, &out.stats);
@@ -50,7 +104,9 @@ std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
   graph::VisitedTable* visited = graph::TlsVisitedTable(graph_.num_vertices());
   const size_t code_size = quantizer_.code_size();
   // Tiled: table memory stays bounded and the tile's tables stay
-  // cache-resident no matter how large the submitted batch is.
+  // cache-resident no matter how large the submitted batch is. The FastScan
+  // branch derives its u8 tables inside SearchFastScan from the same float
+  // tables, so both modes share the amortized build.
   constexpr size_t kTile = 16;
   std::vector<quant::AdcTable> tables;
   tables.reserve(std::min(nq, kTile));
@@ -61,6 +117,10 @@ std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
       tables.emplace_back(quantizer_, queries[base + i]);
     }
     for (size_t i = 0; i < tile; ++i) {
+      if (mode == DistanceMode::kFastScan) {
+        out[base + i] = SearchFastScan(tables[i], k, opt, visited);
+        continue;
+      }
       quant::AdcBatchOracle oracle{tables[i], codes_.data(), code_size};
       out[base + i].results =
           graph::BeamSearch(graph_, graph_.entry_point(), oracle,
@@ -71,7 +131,9 @@ std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
 }
 
 size_t MemoryIndex::MemoryBytes() const {
-  return codes_.size() + quantizer_.ModelSizeBytes();
+  size_t bytes = codes_.size() + quantizer_.ModelSizeBytes();
+  if (fastscan_.has_value()) bytes += fastscan_->MemoryBytes();
+  return bytes;
 }
 
 }  // namespace rpq::core

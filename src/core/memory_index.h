@@ -5,12 +5,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/topk.h"
 #include "data/dataset.h"
 #include "graph/beam_search.h"
 #include "graph/graph.h"
+#include "quant/fastscan.h"
 #include "quant/quantizer.h"
 
 namespace rpq::core {
@@ -21,9 +23,11 @@ struct MemorySearchResult {
   graph::SearchStats stats;
 };
 
-/// Distance estimation mode (§3.1): ADC (default, lower error) or SDC (both
-/// sides quantized; requires a PQ-family quantizer).
-enum class DistanceMode { kAdc, kSdc };
+/// Distance estimation mode (§3.1): ADC (default, lower error), SDC (both
+/// sides quantized; requires a PQ-family quantizer), or FastScan (4-bit
+/// codes scored through register-resident u8 LUT shuffles, with a float-ADC
+/// rerank of the top candidates; requires a quantizer with K <= 16).
+enum class DistanceMode { kAdc, kSdc, kFastScan };
 
 /// Graph + codes index; the graph and quantizer are borrowed.
 ///
@@ -32,9 +36,14 @@ enum class DistanceMode { kAdc, kSdc };
 /// threads may search one index concurrently with no shared mutable state.
 class MemoryIndex {
  public:
+  /// `fastscan_layout` controls whether a 4-bit-capable quantizer (K <= 16)
+  /// also gets per-vertex packed neighbor blocks for DistanceMode::kFastScan
+  /// — they cost ~deg * m/2 extra bytes per vertex, so deployments that only
+  /// ever search with kAdc/kSdc can opt out.
   static std::unique_ptr<MemoryIndex> Build(const Dataset& base,
                                             const graph::ProximityGraph& graph,
-                                            const quant::VectorQuantizer& quantizer);
+                                            const quant::VectorQuantizer& quantizer,
+                                            bool fastscan_layout = true);
 
   MemorySearchResult Search(const float* query, size_t k,
                             const graph::BeamSearchOptions& options,
@@ -49,19 +58,38 @@ class MemoryIndex {
       const graph::BeamSearchOptions& options,
       DistanceMode mode = DistanceMode::kAdc) const;
 
-  /// Codes + model bytes (the in-memory footprint the paper constrains).
+  /// Codes + model bytes (the in-memory footprint the paper constrains),
+  /// including the packed FastScan neighbor blocks when built.
   size_t MemoryBytes() const;
   const std::vector<uint8_t>& codes() const { return codes_; }
   size_t num_vertices() const { return graph_.num_vertices(); }
+
+  /// True when Build laid out packed neighbor blocks (quantizer K <= 16),
+  /// i.e. DistanceMode::kFastScan is available.
+  bool fastscan_capable() const { return fastscan_.has_value(); }
+
+  /// How many beam candidates the FastScan path re-scores with the float ADC
+  /// table before returning top-k. 0 (default) = auto: max(2k, 32). Larger
+  /// values trade rerank work for recall; the u8 quantization error this
+  /// recovers is bounded by FastScanTable::ErrorBound().
+  void set_fastscan_rerank(size_t width) { fastscan_rerank_ = width; }
+  size_t fastscan_rerank() const { return fastscan_rerank_; }
 
  private:
   MemoryIndex(const graph::ProximityGraph& graph,
               const quant::VectorQuantizer& quantizer)
       : graph_(graph), quantizer_(quantizer) {}
 
+  MemorySearchResult SearchFastScan(const quant::AdcTable& table,
+                                    size_t k,
+                                    const graph::BeamSearchOptions& options,
+                                    graph::VisitedTable* visited) const;
+
   const graph::ProximityGraph& graph_;
   const quant::VectorQuantizer& quantizer_;
   std::vector<uint8_t> codes_;
+  std::optional<quant::PackedNeighborBlocks> fastscan_;
+  size_t fastscan_rerank_ = 0;
 };
 
 }  // namespace rpq::core

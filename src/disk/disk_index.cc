@@ -50,6 +50,12 @@ std::unique_ptr<DiskIndex> DiskIndex::Build(
   }
 
   index->codes_ = quantizer.EncodeDataset(base);
+  if (options.fastscan && quantizer.num_centroids() <= 16) {
+    // 4-bit quantizer: keep packed per-vertex neighbor blocks in memory so
+    // ADC navigation runs through the FastScan shuffle kernels.
+    index->fastscan_ = quant::PackedNeighborBlocks::Build(
+        graph, index->codes_.data(), quantizer.code_size());
+  }
   return index;
 }
 
@@ -57,22 +63,39 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
                                    const graph::BeamSearchOptions& options) const {
   DiskSearchResult out;
   const size_t beam_width = std::max(options.beam_width, k);
-  quant::AdcTable table(quantizer_, query);
   const size_t code_size = quantizer_.code_size();
-  quant::AdcBatchOracle adc{table, codes_.data(), code_size};
+
+  // Navigation estimator: float ADC by default, the FastScan u8 shuffle path
+  // when packed neighbor blocks were built. Either way results are reranked
+  // by exact distances from the fetched vectors, so routing precision only
+  // moves hop counts.
+  std::optional<quant::AdcTable> table;
+  std::optional<quant::FastScanTable> ftable;
+  std::optional<quant::FastScanNeighborOracle> fast;
+  if (fastscan_.has_value()) {
+    ftable.emplace(quantizer_, query);
+    fast.emplace(*ftable, codes_.data(), code_size, *fastscan_);
+  } else {
+    table.emplace(quantizer_, query);
+  }
 
   // Same flat-beam hot loop as graph::BeamSearch (see detail::FlatBeam), with
   // an SSD block read per expansion and an exact-distance rerank on the side.
   graph::VisitedTable& visited = *graph::TlsVisitedTable(num_vertices_);
   visited.NextEpoch();
-  graph::detail::FlatBeam beam(beam_width);  // ascending by (ADC distance, id)
+  graph::detail::FlatBeam beam(beam_width);  // ascending by (est distance, id)
   std::vector<uint32_t> cand_ids;
   std::vector<float> cand_dists;
   cand_ids.reserve(max_degree_);
   cand_dists.reserve(max_degree_);
   TopK rerank(k);  // exact distances from fetched vectors
 
-  beam.Insert(adc(entry_), entry_);
+  const float entry_dist =
+      fast.has_value()
+          ? (*fast)(entry_)
+          : table->Distance(codes_.data() +
+                            static_cast<size_t>(entry_) * code_size);
+  beam.Insert(entry_dist, entry_);
   ++out.stats.dist_comps;
   visited.MarkVisited(entry_);
 
@@ -94,6 +117,28 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
 
     rerank.Push(SquaredL2(query, vec, dim_), v);
 
+    if (fast.has_value()) {
+      // Score the whole adjacency from the packed in-memory blocks (same
+      // adjacency order as the on-disk lists); distance-first pruning skips
+      // the visited table for candidates the beam could never keep (see the
+      // neighbor-block branch of graph::BeamSearch).
+      if (deg == 0) continue;
+      cand_dists.resize(deg);
+      fast->ScoreNeighbors(v, nbrs, deg, cand_dists.data());
+      out.stats.dist_comps += deg;
+      float worst = beam.WorstDist();
+      for (uint32_t idx = 0; idx < deg; ++idx) {
+        if (cand_dists[idx] > worst) continue;
+        uint32_t u = nbrs[idx];
+        if (visited.Visited(u)) continue;
+        visited.MarkVisited(u);
+        beam.Insert(cand_dists[idx], u);
+        worst = beam.WorstDist();
+      }
+      continue;
+    }
+
+    quant::AdcBatchOracle adc{*table, codes_.data(), code_size};
     cand_ids.clear();
     for (uint32_t idx = 0; idx < deg; ++idx) {
       if (idx + 4 < deg) visited.Prefetch(nbrs[idx + 4]);
@@ -116,7 +161,9 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
 }
 
 size_t DiskIndex::MemoryBytes() const {
-  return codes_.size() + quantizer_.ModelSizeBytes();
+  size_t bytes = codes_.size() + quantizer_.ModelSizeBytes();
+  if (fastscan_.has_value()) bytes += fastscan_->MemoryBytes();
+  return bytes;
 }
 
 }  // namespace rpq::disk

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/topk.h"
@@ -14,6 +15,7 @@
 #include "disk/ssd_simulator.h"
 #include "graph/beam_search.h"
 #include "graph/graph.h"
+#include "quant/fastscan.h"
 #include "quant/quantizer.h"
 
 namespace rpq::disk {
@@ -21,6 +23,11 @@ namespace rpq::disk {
 /// Hybrid index construction knobs.
 struct DiskIndexOptions {
   SsdOptions ssd;
+  /// Route with FastScan shuffle scans when the quantizer is 4-bit capable
+  /// (K <= 16). Navigation only — results are still exact-reranked from the
+  /// fetched full-precision vectors, so this changes hops, not the ranking
+  /// rule of what is returned.
+  bool fastscan = true;
 };
 
 /// Result of one hybrid query.
@@ -49,12 +56,15 @@ class DiskIndex {
   DiskSearchResult Search(const float* query, size_t k,
                           const graph::BeamSearchOptions& options) const;
 
-  /// Bytes resident in memory: codes + codebook/transform model.
+  /// Bytes resident in memory: codes + codebook/transform model (+ packed
+  /// FastScan neighbor blocks when routing with them).
   size_t MemoryBytes() const;
   /// Bytes on the simulated device.
   size_t DeviceBytes() const { return ssd_->DeviceBytes(); }
   size_t num_vertices() const { return num_vertices_; }
   uint32_t entry_point() const { return entry_; }
+  /// True when queries navigate through the FastScan shuffle path.
+  bool fastscan_routing() const { return fastscan_.has_value(); }
 
  private:
   DiskIndex(const quant::VectorQuantizer& quantizer) : quantizer_(quantizer) {}
@@ -62,6 +72,7 @@ class DiskIndex {
   const quant::VectorQuantizer& quantizer_;
   std::unique_ptr<SsdSimulator> ssd_;
   std::vector<uint8_t> codes_;  // in-memory compact codes, n * code_size
+  std::optional<quant::PackedNeighborBlocks> fastscan_;
   size_t num_vertices_ = 0;
   size_t dim_ = 0;
   size_t max_degree_ = 0;

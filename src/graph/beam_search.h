@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <type_traits>
 #include <vector>
 
@@ -46,6 +47,34 @@ namespace detail {
 template <typename DistFn>
 inline constexpr bool kHasBatchScore =
     std::is_invocable_v<DistFn&, const uint32_t*, size_t, float*>;
+
+/// True when the oracle scores a vertex's whole adjacency in one pass via
+/// ScoreNeighbors(v, nbrs, deg, out) — the FastScan shape, where per-vertex
+/// packed neighbor codes make scoring the full block (visited included)
+/// cheaper than gathering the unvisited subset first
+/// (quant::FastScanNeighborOracle).
+template <typename DistFn, typename = void>
+struct HasNeighborBlockScore : std::false_type {};
+template <typename DistFn>
+struct HasNeighborBlockScore<
+    DistFn, std::void_t<decltype(std::declval<DistFn&>().ScoreNeighbors(
+                uint32_t{}, static_cast<const uint32_t*>(nullptr), size_t{},
+                static_cast<float*>(nullptr)))>> : std::true_type {};
+template <typename DistFn>
+inline constexpr bool kHasNeighborBlockScore =
+    HasNeighborBlockScore<std::decay_t<DistFn>>::value;
+
+/// Optional companion to ScoreNeighbors: PrefetchNeighbors(v) warms the
+/// oracle's per-vertex data for a vertex about to be expanded.
+template <typename DistFn, typename = void>
+struct HasPrefetchNeighbors : std::false_type {};
+template <typename DistFn>
+struct HasPrefetchNeighbors<
+    DistFn, std::void_t<decltype(std::declval<const DistFn&>().PrefetchNeighbors(
+                uint32_t{}))>> : std::true_type {};
+template <typename DistFn>
+inline constexpr bool kHasPrefetchNeighbors =
+    HasPrefetchNeighbors<std::decay_t<DistFn>>::value;
 
 /// One beam slot; kept POD so inserts are a single memmove.
 struct BeamEntry {
@@ -89,6 +118,16 @@ class FlatBeam {
     entries_.insert(it, BeamEntry{d, id, 0});
     if (entries_.size() > width_) entries_.pop_back();
     if (pos < cursor_) cursor_ = pos;
+  }
+
+  /// Distance of the current worst kept entry, or +inf while the beam still
+  /// has room. Candidates strictly above this can never enter the beam (the
+  /// worst only tightens), so block-scoring oracles prune on it before even
+  /// touching the visited table.
+  float WorstDist() const {
+    return entries_.size() >= width_
+               ? entries_.back().dist
+               : std::numeric_limits<float>::infinity();
   }
 
   /// Index of the closest unexpanded entry, or kNone when converged. Does
@@ -155,32 +194,65 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
     const uint32_t v = beam.entries()[next].id;
     if (stats != nullptr) ++stats->hops;
 
-    // Gather the unvisited neighbors first (prefetching visited stamps a few
-    // ids ahead), then score them through the oracle — batched when it can.
     const std::vector<uint32_t>& nbrs = g.Neighbors(v);
     const size_t deg = nbrs.size();
-    cand_ids.clear();
-    for (size_t i = 0; i < deg; ++i) {
-      if (i + 4 < deg) visited->Prefetch(nbrs[i + 4]);
-      uint32_t u = nbrs[i];
-      if (visited->Visited(u)) continue;
-      visited->MarkVisited(u);
-      cand_ids.push_back(u);
-    }
-    if (cand_ids.empty()) continue;
-
-    cand_dists.resize(cand_ids.size());
-    if constexpr (detail::kHasBatchScore<DistFn>) {
-      dist(cand_ids.data(), cand_ids.size(), cand_dists.data());
-    } else {
-      for (size_t i = 0; i < cand_ids.size(); ++i) {
-        cand_dists[i] = dist(cand_ids[i]);
+    if constexpr (detail::kHasNeighborBlockScore<DistFn>) {
+      // Neighbor-block oracle: score the WHOLE adjacency in one pass (the
+      // packed block scores 32 codes per shuffle, so re-scoring visited
+      // entries is cheaper than gathering the unvisited subset), then filter
+      // on the way into the beam. Distance-first pruning: a candidate worse
+      // than the beam's current worst can never be kept (the bound only
+      // tightens), so it is dropped on a register compare without spending a
+      // scattered visited-stamp load/store on it. Skipping its visited mark
+      // is safe for the same reason — any later encounter prunes again.
+      if (deg == 0) continue;
+      cand_dists.resize(deg);
+      dist.ScoreNeighbors(v, nbrs.data(), deg, cand_dists.data());
+      if (stats != nullptr) stats->dist_comps += deg;
+      float worst = beam.WorstDist();
+      for (size_t i = 0; i < deg; ++i) {
+        if (cand_dists[i] > worst) continue;
+        uint32_t u = nbrs[i];
+        if (visited->Visited(u)) continue;
+        visited->MarkVisited(u);
+        beam.Insert(cand_dists[i], u);
+        worst = beam.WorstDist();
       }
-    }
-    if (stats != nullptr) stats->dist_comps += cand_ids.size();
+      // Kick off the next expansion's block fetch while this iteration's
+      // bookkeeping (observer, stats, cursor walk) still runs.
+      if constexpr (detail::kHasPrefetchNeighbors<DistFn>) {
+        const size_t peek = beam.NextUnexpanded();
+        if (peek != detail::FlatBeam::kNone) {
+          dist.PrefetchNeighbors(beam.entries()[peek].id);
+        }
+      }
+    } else {
+      // Gather the unvisited neighbors first (prefetching visited stamps a
+      // few ids ahead), then score them through the oracle — batched when it
+      // can.
+      cand_ids.clear();
+      for (size_t i = 0; i < deg; ++i) {
+        if (i + 4 < deg) visited->Prefetch(nbrs[i + 4]);
+        uint32_t u = nbrs[i];
+        if (visited->Visited(u)) continue;
+        visited->MarkVisited(u);
+        cand_ids.push_back(u);
+      }
+      if (cand_ids.empty()) continue;
 
-    for (size_t i = 0; i < cand_ids.size(); ++i) {
-      beam.Insert(cand_dists[i], cand_ids[i]);
+      cand_dists.resize(cand_ids.size());
+      if constexpr (detail::kHasBatchScore<DistFn>) {
+        dist(cand_ids.data(), cand_ids.size(), cand_dists.data());
+      } else {
+        for (size_t i = 0; i < cand_ids.size(); ++i) {
+          cand_dists[i] = dist(cand_ids[i]);
+        }
+      }
+      if (stats != nullptr) stats->dist_comps += cand_ids.size();
+
+      for (size_t i = 0; i < cand_ids.size(); ++i) {
+        beam.Insert(cand_dists[i], cand_ids[i]);
+      }
     }
   }
 

@@ -36,7 +36,7 @@ std::unique_ptr<PqQuantizer> TrainOpq(const Dataset& train,
       float* rec = reconstructed.data() + i * d;
       for (size_t j = 0; j < options.pq.m; ++j) {
         uint32_t c = NearestCentroid(row + j * sub_dim, book.Chunk(j),
-                                     options.pq.k, sub_dim);
+                                     options.pq.effective_k(), sub_dim);
         std::memcpy(rec + j * sub_dim, book.Word(j, c), sub_dim * sizeof(float));
       }
     }

@@ -13,9 +13,11 @@ namespace rpq::quant {
 Codebook TrainCodebooks(const float* rotated, size_t n, size_t dim,
                         const PqOptions& options) {
   RPQ_CHECK_EQ(dim % options.m, 0u);
-  RPQ_CHECK_LE(options.k, 256u);
+  RPQ_CHECK(options.nbits == 8 || options.nbits == 4);
+  const size_t k = options.effective_k();
+  RPQ_CHECK_LE(k, 256u);
   size_t sub_dim = dim / options.m;
-  Codebook book(options.m, options.k, sub_dim);
+  Codebook book(options.m, k, sub_dim);
 
   std::vector<float> chunk(n * sub_dim);
   for (size_t j = 0; j < options.m; ++j) {
@@ -24,12 +26,12 @@ Codebook TrainCodebooks(const float* rotated, size_t n, size_t dim,
                   sub_dim * sizeof(float));
     }
     KMeansOptions km;
-    km.k = options.k;
+    km.k = k;
     km.max_iters = options.kmeans_iters;
     km.seed = options.seed + j;
     KMeansResult res = RunKMeans(chunk.data(), n, sub_dim, km);
     std::memcpy(book.Chunk(j), res.centroids.data(),
-                options.k * sub_dim * sizeof(float));
+                k * sub_dim * sizeof(float));
   }
   return book;
 }

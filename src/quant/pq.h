@@ -16,8 +16,13 @@ namespace rpq::quant {
 struct PqOptions {
   size_t m = 8;            ///< number of chunks M (must divide dim)
   size_t k = 256;          ///< codewords per sub-codebook (<= 256)
+  size_t nbits = 8;        ///< bits per chunk code: 8, or 4 (caps K at 16 and
+                           ///< makes the model FastScan-layout ready)
   size_t kmeans_iters = 25;
   uint64_t seed = 13;
+
+  /// K after applying the nbits cap — what training actually uses.
+  size_t effective_k() const { return nbits == 4 ? (k < 16 ? k : 16) : k; }
 };
 
 /// Rotation + per-chunk nearest-codeword quantizer.

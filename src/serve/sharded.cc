@@ -1,27 +1,69 @@
 #include "serve/sharded.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 
 #include "common/logging.h"
 
 namespace rpq::serve {
 
-QueryResult ShardedService::Search(const QuerySpec& q) const {
+QueryResult ShardedService::Merge(const QuerySpec& q,
+                                  std::vector<QueryResult>& per) const {
+  // Shard-order accumulation keeps stats and the (dist, global id) top-k
+  // merge deterministic regardless of how the per-shard results were
+  // produced (serial or parallel fan-out).
   QueryResult merged;
   TopK top(q.k);
-  for (const Shard& shard : shards_) {
-    QueryResult r = shard.service->Search(q);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    QueryResult& r = per[s];
     merged.stats.hops += r.stats.hops;
     merged.stats.dist_comps += r.stats.dist_comps;
     merged.simulated_io_seconds += r.simulated_io_seconds;
     for (const Neighbor& nb : r.results) {
-      uint32_t id =
-          shard.global_ids.empty() ? nb.id : shard.global_ids[nb.id];
+      uint32_t id = shard.global_ids.empty() ? nb.id : shard.global_ids[nb.id];
       top.Push(nb.dist, id);
     }
   }
   merged.results = top.Take();
   return merged;
+}
+
+QueryResult ShardedService::Search(const QuerySpec& q) const {
+  std::vector<QueryResult> per(shards_.size());
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool : SharedPool();
+  // Serial fan-out — also the forced fallback when the caller IS a worker of
+  // the fan-out pool (e.g. query handlers submitted onto SharedPool, or a
+  // sharded shard of a sharded tree sharing one pool): submit-and-wait from
+  // inside the pool would deadlock once every worker is a waiter.
+  if (!options_.parallel_shards || shards_.size() < 2 ||
+      pool->CurrentThreadIsWorker()) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      per[s] = shards_[s].service->Search(q);
+    }
+    return Merge(q, per);
+  }
+
+  // Per-query fan-out: shards 1..S-1 run on the pool, shard 0 on the calling
+  // thread. Completion is tracked with a local counter (not pool->Wait(),
+  // which would also wait on unrelated tasks other queries submitted).
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = shards_.size() - 1;
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    pool->Submit([this, &q, &per, &mu, &cv, &pending, s] {
+      per[s] = shards_[s].service->Search(q);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) cv.notify_one();
+    });
+  }
+  per[0] = shards_[0].service->Search(q);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+  }
+  return Merge(q, per);
 }
 
 size_t ShardedMemoryIndex::MemoryBytes() const {
@@ -32,7 +74,8 @@ size_t ShardedMemoryIndex::MemoryBytes() const {
 
 ShardedMemoryIndex BuildShardedMemoryIndex(
     const Dataset& base, const quant::VectorQuantizer& quantizer,
-    size_t num_shards, const graph::VamanaOptions& vamana_options) {
+    size_t num_shards, const graph::VamanaOptions& vamana_options,
+    const ShardedOptions& sharded_options) {
   RPQ_CHECK(num_shards > 0);
   // Keep shards big enough to carry a graph (degree < shard size).
   num_shards = std::max<size_t>(
@@ -57,7 +100,8 @@ ShardedMemoryIndex BuildShardedMemoryIndex(
     shards.push_back({shard->service.get(), std::move(global_ids)});
     out.shards.push_back(std::move(shard));
   }
-  out.service = std::make_unique<ShardedService>(std::move(shards));
+  out.service =
+      std::make_unique<ShardedService>(std::move(shards), sharded_options);
   return out;
 }
 

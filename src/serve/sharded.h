@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "graph/vamana.h"
 #include "serve/search_service.h"
 
@@ -25,19 +26,41 @@ struct Shard {
   std::vector<uint32_t> global_ids;
 };
 
+/// Shard fan-out knobs.
+struct ShardedOptions {
+  /// Search the shards of ONE query concurrently on `pool` instead of
+  /// sequentially on the calling thread (serving-v2 latency lever: worker
+  /// parallelism is across queries, this adds parallelism within one).
+  /// Results are merged in shard order after all shards finish, so the
+  /// deterministic (dist, global id) merge — and its bit-equality to the
+  /// serial fan-out — is preserved.
+  bool parallel_shards = false;
+  /// Pool for the fan-out; nullptr = the process-wide SharedPool(). Calls
+  /// arriving ON a worker of this pool (query handlers submitted to it, a
+  /// nested sharded tree sharing it) detect that and fall back to the
+  /// serial fan-out instead of deadlocking; give nested levels distinct
+  /// pools if they should actually parallelize.
+  ThreadPool* pool = nullptr;
+};
+
 /// Fans each query out to every shard and merges top-k. Thread-safe exactly
 /// when every shard backend is.
 class ShardedService : public SearchService {
  public:
-  explicit ShardedService(std::vector<Shard> shards)
-      : shards_(std::move(shards)) {}
+  explicit ShardedService(std::vector<Shard> shards,
+                          const ShardedOptions& options = {})
+      : shards_(std::move(shards)), options_(options) {}
 
   size_t num_shards() const { return shards_.size(); }
+  const ShardedOptions& options() const { return options_; }
 
   QueryResult Search(const QuerySpec& q) const override;
 
  private:
+  QueryResult Merge(const QuerySpec& q, std::vector<QueryResult>& per) const;
+
   std::vector<Shard> shards_;
+  ShardedOptions options_;
 };
 
 /// Everything one in-memory shard owns (the index borrows graph+quantizer,
@@ -63,6 +86,7 @@ struct ShardedMemoryIndex {
 /// is shared and must outlive the result).
 ShardedMemoryIndex BuildShardedMemoryIndex(
     const Dataset& base, const quant::VectorQuantizer& quantizer,
-    size_t num_shards, const graph::VamanaOptions& vamana_options = {});
+    size_t num_shards, const graph::VamanaOptions& vamana_options = {},
+    const ShardedOptions& sharded_options = {});
 
 }  // namespace rpq::serve

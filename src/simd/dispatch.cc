@@ -45,7 +45,9 @@ double TimeAdcKernel(decltype(KernelOps::adc_batch) kernel) {
 // x86 generations, so rather than guessing from CPUID, race the backend's
 // gather-based ADC kernels against the unrolled scalar ones once at startup
 // and keep the winner. Both accumulate in identical order, so the choice
-// never changes results.
+// never changes results. The FastScan shuffle kernel is deliberately NOT
+// calibrated: pshufb/tbl are single-uop fast on every generation that has
+// them, so the vector implementation always stays.
 KernelOps CalibrateAdc(KernelOps ops) {
   const KernelOps& scalar = internal::ScalarKernels();
   if (ops.adc_batch == scalar.adc_batch) return ops;

@@ -40,6 +40,20 @@ struct KernelOps {
   void (*adc_batch_gather)(const float* table, size_t m, size_t k,
                            const uint8_t* codes, size_t code_stride,
                            const uint32_t* ids, size_t n, float* out);
+
+  /// FastScan (LUT16) scan over transposed 4-bit codes: `packed` holds
+  /// n_blocks blocks of 32 codes; each block is m2/2 rows of 32 bytes where
+  /// row p, byte i carries code i's nibble for sub-quantizer 2p (low) and
+  /// 2p+1 (high). `lut8` is an m2 x 16 uint8 lookup table (m2 even). The
+  /// kernel writes raw integer sums
+  ///   out[b*32 + i] = sum_j lut8[j*16 + nibble_j(block b, code i)]
+  /// as uint16 (callers rescale to float); all integer adds, so every
+  /// backend is bit-identical to the scalar reference. m2 <= 256 keeps the
+  /// accumulators from overflowing. SIMD backends keep the 16-entry LUT rows
+  /// register-resident and score 32 codes per in-register shuffle
+  /// (pshufb / vpshufb-512 / tbl).
+  void (*adc_fastscan)(const uint8_t* lut8, size_t m2, const uint8_t* packed,
+                       size_t n_blocks, uint16_t* out);
 };
 
 namespace internal {

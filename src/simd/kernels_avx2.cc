@@ -66,11 +66,45 @@ float DotAvx2(const float* a, const float* b, size_t d) {
 
 float SquaredNormAvx2(const float* a, size_t d) { return DotAvx2(a, a, d); }
 
+// Cross-row kernel for the small sub-dims PQ table builds use (d in [4, 8]):
+// four masked row loads per iteration and one in-register 4-way
+// transpose-reduce (three hadds + one cross-lane add) instead of four
+// horizontal sums — the hsum was what made the per-row path lose to scalar.
+void L2ToManySmallDAvx2(const float* q, const float* base, size_t n, size_t d,
+                        float* out) {
+  alignas(32) int32_t mask_arr[8];
+  for (size_t l = 0; l < 8; ++l) mask_arr[l] = l < d ? -1 : 0;
+  const __m256i mask = _mm256_load_si256(reinterpret_cast<__m256i*>(mask_arr));
+  const __m256 qv = _mm256_maskload_ps(q, mask);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256 d0 = _mm256_sub_ps(_mm256_maskload_ps(base + i * d, mask), qv);
+    __m256 d1 = _mm256_sub_ps(_mm256_maskload_ps(base + (i + 1) * d, mask), qv);
+    __m256 d2 = _mm256_sub_ps(_mm256_maskload_ps(base + (i + 2) * d, mask), qv);
+    __m256 d3 = _mm256_sub_ps(_mm256_maskload_ps(base + (i + 3) * d, mask), qv);
+    __m256 t0 = _mm256_hadd_ps(_mm256_mul_ps(d0, d0), _mm256_mul_ps(d1, d1));
+    __m256 t1 = _mm256_hadd_ps(_mm256_mul_ps(d2, d2), _mm256_mul_ps(d3, d3));
+    __m256 t2 = _mm256_hadd_ps(t0, t1);  // [r0 r1 r2 r3 | r0' r1' r2' r3']
+    __m128 r = _mm_add_ps(_mm256_castps256_ps128(t2),
+                          _mm256_extractf128_ps(t2, 1));
+    _mm_storeu_ps(out + i, r);
+  }
+  for (; i < n; ++i) {
+    __m256 diff = _mm256_sub_ps(_mm256_maskload_ps(base + i * d, mask), qv);
+    __m256 sq = _mm256_mul_ps(diff, diff);
+    out[i] = Hsum256(sq);
+  }
+}
+
 void L2ToManyAvx2(const float* q, const float* base, size_t n, size_t d,
                   float* out) {
+  if (d >= 4 && d <= 8) {
+    L2ToManySmallDAvx2(q, base, n, d, out);
+    return;
+  }
   if (d < 16) {
     // Below two vector widths the per-row hsum dominates; the unrolled scalar
-    // loop measures faster (typical PQ sub-dims are 4-8).
+    // loop measures faster for the remaining small dims.
     internal::ScalarKernels().l2_to_many(q, base, n, d, out);
     return;
   }
@@ -146,6 +180,54 @@ void AdcBatchGatherAvx2(const float* table, size_t m, size_t k,
       n, out);
 }
 
+// FastScan: the 16-entry LUT rows live in registers (each duplicated across
+// both 128-bit lanes) and one vpshufb scores a whole 32-code block row. The
+// u8 lookup values are widened to u16 before accumulating, so sums are exact
+// and bit-identical to the scalar reference.
+void AdcFastScanAvx2(const uint8_t* lut8, size_t m2, const uint8_t* packed,
+                     size_t n_blocks, uint16_t* out) {
+  const size_t rows = m2 / 2;
+  // Hoist the LUT broadcasts out of the block loop: two registers per row
+  // pair (sub-quantizers 2p and 2p+1), at most 256 total for m2 = 256 (the
+  // layout's contractual maximum — beyond it u16 sums could overflow anyway).
+  constexpr size_t kMaxRows = 128;
+  if (rows > kMaxRows) {
+    internal::ScalarKernels().adc_fastscan(lut8, m2, packed, n_blocks, out);
+    return;
+  }
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i luts[2 * kMaxRows];
+  for (size_t p = 0; p < rows; ++p) {
+    luts[2 * p] = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lut8 + 2 * p * 16)));
+    luts[2 * p + 1] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(lut8 + (2 * p + 1) * 16)));
+  }
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8_t* block = packed + b * rows * 32;
+    __m256i acc_lo = _mm256_setzero_si256();  // codes 0..15 as u16
+    __m256i acc_hi = _mm256_setzero_si256();  // codes 16..31 as u16
+    for (size_t p = 0; p < rows; ++p) {
+      __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + p * 32));
+      __m256i lo = _mm256_and_si256(v, low_mask);
+      __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+      __m256i v0 = _mm256_shuffle_epi8(luts[2 * p], lo);
+      __m256i v1 = _mm256_shuffle_epi8(luts[2 * p + 1], hi);
+      acc_lo = _mm256_add_epi16(
+          acc_lo, _mm256_cvtepu8_epi16(_mm256_castsi256_si128(v0)));
+      acc_hi = _mm256_add_epi16(
+          acc_hi, _mm256_cvtepu8_epi16(_mm256_extracti128_si256(v0, 1)));
+      acc_lo = _mm256_add_epi16(
+          acc_lo, _mm256_cvtepu8_epi16(_mm256_castsi256_si128(v1)));
+      acc_hi = _mm256_add_epi16(
+          acc_hi, _mm256_cvtepu8_epi16(_mm256_extracti128_si256(v1, 1)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + b * 32), acc_lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + b * 32 + 16), acc_hi);
+  }
+}
+
 }  // namespace
 
 namespace internal {
@@ -154,6 +236,7 @@ const KernelOps& Avx2Kernels() {
   static const KernelOps ops = {
       "avx2",          SquaredL2Avx2, DotAvx2,      SquaredNormAvx2,
       L2ToManyAvx2,    AdcBatchAvx2,  AdcBatchGatherAvx2,
+      AdcFastScanAvx2,
   };
   return ops;
 }

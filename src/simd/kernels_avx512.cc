@@ -62,9 +62,14 @@ float SquaredNormAvx512(const float* a, size_t d) { return DotAvx512(a, a, d); }
 void L2ToManyAvx512(const float* q, const float* base, size_t n, size_t d,
                     float* out) {
   if (d < 16) {
-    // Below one vector width the masked load + 16-lane reduce costs more than
-    // the unrolled scalar loop (typical PQ sub-dims are 4-8).
+    // Below one vector width the masked load + 16-lane reduce costs more
+    // than narrower code. The AVX2 set carries the cross-row kernel for the
+    // typical PQ sub-dims (4-8) and the unrolled scalar loop otherwise.
+#if defined(RPQ_HAVE_AVX2)
+    internal::Avx2Kernels().l2_to_many(q, base, n, d, out);
+#else
     internal::ScalarKernels().l2_to_many(q, base, n, d, out);
+#endif
     return;
   }
   for (size_t i = 0; i < n; ++i) {
@@ -142,6 +147,96 @@ void AdcBatchGatherAvx512(const float* table, size_t m, size_t k,
       n, out);
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#define RPQ_HAVE_AVX512BW_KERNEL 1
+// The BW kernel carries its own target attribute instead of the whole TU
+// being compiled with -mavx512bw: dispatch gates backend selection on
+// avx512f alone, so nothing outside this function may require BW (an
+// auto-vectorized loop elsewhere in the TU would SIGILL on F-only CPUs).
+#define RPQ_BW_TARGET \
+  __attribute__((target("avx2,fma,avx512f,avx512bw")))
+
+RPQ_BW_TARGET static inline __m256i Dup128Row(const uint8_t* lut8,
+                                              size_t row) {
+  return _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(lut8 + row * 16)));
+}
+
+// FastScan with 512-bit shuffles: one load covers two 32-byte rows of a
+// block (four sub-quantizers), one vpshufb-512 scores 32 codes against two
+// LUT rows at once. The LUT registers (row 2p duplicated in lanes 0-1, row
+// 2p+2 in lanes 2-3) are precomputed outside the block loop. Widening to
+// u16 before accumulating keeps sums exact — bit-identical to scalar.
+RPQ_BW_TARGET void AdcFastScanAvx512(const uint8_t* lut8, size_t m2,
+                                     const uint8_t* packed, size_t n_blocks,
+                                     uint16_t* out) {
+  const size_t rows = m2 / 2;
+  constexpr size_t kMaxRows = 128;
+  if (rows > kMaxRows) {
+    internal::ScalarKernels().adc_fastscan(lut8, m2, packed, n_blocks, out);
+    return;
+  }
+  const __m512i low_mask = _mm512_set1_epi8(0x0f);
+
+  // luts_lo[i] serves the low nibbles of row pair {2i, 2i+1} (sub-quantizers
+  // 4i and 4i+2), luts_hi[i] the high nibbles (4i+1 and 4i+3).
+  __m512i luts_lo[kMaxRows / 2 + 1];
+  __m512i luts_hi[kMaxRows / 2 + 1];
+  const size_t row_pairs = rows / 2;
+  for (size_t p = 0; p < row_pairs; ++p) {
+    luts_lo[p] = _mm512_inserti64x4(
+        _mm512_castsi256_si512(Dup128Row(lut8, 4 * p)), Dup128Row(lut8, 4 * p + 2), 1);
+    luts_hi[p] = _mm512_inserti64x4(
+        _mm512_castsi256_si512(Dup128Row(lut8, 4 * p + 1)), Dup128Row(lut8, 4 * p + 3), 1);
+  }
+  const __m256i low_mask256 = _mm256_set1_epi8(0x0f);
+  __m256i tail_lut0 = _mm256_setzero_si256(), tail_lut1 = tail_lut0;
+  if (rows % 2 != 0) {
+    tail_lut0 = Dup128Row(lut8, 2 * (rows - 1));
+    tail_lut1 = Dup128Row(lut8, 2 * (rows - 1) + 1);
+  }
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8_t* block = packed + b * rows * 32;
+    __m512i acc = _mm512_setzero_si512();  // codes 0..31 as u16
+    for (size_t p = 0; p < row_pairs; ++p) {
+      __m512i v = _mm512_loadu_si512(block + p * 64);
+      __m512i lo = _mm512_and_si512(v, low_mask);
+      __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low_mask);
+      __m512i v0 = _mm512_shuffle_epi8(luts_lo[p], lo);
+      __m512i v1 = _mm512_shuffle_epi8(luts_hi[p], hi);
+      // Each half of v0/v1 holds values for the same 32 codes (different
+      // sub-quantizers), so all four widened halves add into one accumulator.
+      acc = _mm512_add_epi16(
+          acc, _mm512_cvtepu8_epi16(_mm512_castsi512_si256(v0)));
+      acc = _mm512_add_epi16(
+          acc, _mm512_cvtepu8_epi16(_mm512_extracti64x4_epi64(v0, 1)));
+      acc = _mm512_add_epi16(
+          acc, _mm512_cvtepu8_epi16(_mm512_castsi512_si256(v1)));
+      acc = _mm512_add_epi16(
+          acc, _mm512_cvtepu8_epi16(_mm512_extracti64x4_epi64(v1, 1)));
+    }
+    if (rows % 2 != 0) {  // odd trailing row: 256-bit pass
+      __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + (rows - 1) * 32));
+      __m256i lo = _mm256_and_si256(v, low_mask256);
+      __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask256);
+      __m256i v0 = _mm256_shuffle_epi8(tail_lut0, lo);
+      __m256i v1 = _mm256_shuffle_epi8(tail_lut1, hi);
+      acc = _mm512_add_epi16(acc, _mm512_cvtepu8_epi16(v0));
+      acc = _mm512_add_epi16(acc, _mm512_cvtepu8_epi16(v1));
+    }
+    _mm512_storeu_si512(out + b * 32, acc);
+  }
+}
+
+#endif  // RPQ_HAVE_AVX512BW_KERNEL (GNUC/clang target attribute)
+
+#if defined(__x86_64__) || defined(__i386__)
+bool CpuHasAvx512bw() { return __builtin_cpu_supports("avx512bw") != 0; }
+#else
+bool CpuHasAvx512bw() { return false; }
+#endif
+
 }  // namespace
 
 namespace internal {
@@ -160,6 +255,12 @@ const KernelOps& Avx512Kernels() {
     o.l2_to_many = L2ToManyAvx512;
     o.adc_batch = AdcBatchAvx512;
     o.adc_batch_gather = AdcBatchGatherAvx512;
+#if defined(RPQ_HAVE_AVX512BW_KERNEL)
+    // The 512-bit shuffle kernel needs AVX-512BW; on F-only CPUs keep the
+    // inherited (AVX2 or scalar) FastScan implementation.
+    if (CpuHasAvx512bw()) o.adc_fastscan = AdcFastScanAvx512;
+#endif
+    (void)CpuHasAvx512bw;
     return o;
   }();
   return ops;

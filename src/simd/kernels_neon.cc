@@ -1,7 +1,10 @@
 // NEON kernels for aarch64 (NEON is baseline there, so no extra compile
-// flags). The ADC scans stay on the unrolled scalar implementations, which
-// autovectorize poorly but are already latency-optimized; byte-indexed table
-// gathers have no NEON equivalent worth the shuffle overhead at K = 256.
+// flags). The float-table ADC scans stay on the unrolled scalar
+// implementations, which autovectorize poorly but are already
+// latency-optimized; byte-indexed table gathers have no NEON equivalent
+// worth the shuffle overhead at K = 256. The FastScan path is different:
+// K = 16 u8 LUTs fit one vqtbl1q_u8 table register, so the 4-bit scan gets a
+// real shuffle kernel.
 #include "simd/kernels.h"
 
 #if defined(RPQ_HAVE_NEON)
@@ -53,9 +56,90 @@ float DotNeon(const float* a, const float* b, size_t d) {
 
 float SquaredNormNeon(const float* a, size_t d) { return DotNeon(a, a, d); }
 
+// Cross-row reduction for four per-row squared-difference vectors: two
+// pairwise-add rounds turn [s0 s1 s2 s3] into one float32x4 of row sums.
+inline float32x4_t Reduce4Rows(float32x4_t s0, float32x4_t s1, float32x4_t s2,
+                               float32x4_t s3) {
+  return vpaddq_f32(vpaddq_f32(s0, s1), vpaddq_f32(s2, s3));
+}
+
 void L2ToManyNeon(const float* q, const float* base, size_t n, size_t d,
                   float* out) {
+  // Cross-row kernels for the PQ sub-dims (4 and 8): four rows per
+  // iteration, pairwise adds instead of four per-row horizontal sums.
+  if (d == 4) {
+    const float32x4_t qv = vld1q_f32(q);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      float32x4_t d0 = vsubq_f32(vld1q_f32(base + i * 4), qv);
+      float32x4_t d1 = vsubq_f32(vld1q_f32(base + (i + 1) * 4), qv);
+      float32x4_t d2 = vsubq_f32(vld1q_f32(base + (i + 2) * 4), qv);
+      float32x4_t d3 = vsubq_f32(vld1q_f32(base + (i + 3) * 4), qv);
+      vst1q_f32(out + i, Reduce4Rows(vmulq_f32(d0, d0), vmulq_f32(d1, d1),
+                                     vmulq_f32(d2, d2), vmulq_f32(d3, d3)));
+    }
+    for (; i < n; ++i) {
+      float32x4_t diff = vsubq_f32(vld1q_f32(base + i * 4), qv);
+      out[i] = vaddvq_f32(vmulq_f32(diff, diff));
+    }
+    return;
+  }
+  if (d == 8) {
+    const float32x4_t q0 = vld1q_f32(q), q1 = vld1q_f32(q + 4);
+    auto row_sq = [&](const float* row) {
+      float32x4_t a = vsubq_f32(vld1q_f32(row), q0);
+      float32x4_t b = vsubq_f32(vld1q_f32(row + 4), q1);
+      return vfmaq_f32(vmulq_f32(a, a), b, b);
+    };
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      vst1q_f32(out + i,
+                Reduce4Rows(row_sq(base + i * 8), row_sq(base + (i + 1) * 8),
+                            row_sq(base + (i + 2) * 8),
+                            row_sq(base + (i + 3) * 8)));
+    }
+    for (; i < n; ++i) out[i] = vaddvq_f32(row_sq(base + i * 8));
+    return;
+  }
   for (size_t i = 0; i < n; ++i) out[i] = SquaredL2Neon(q, base + i * d, d);
+}
+
+// FastScan via vqtbl1q_u8: each 16-entry LUT row is one table register; a
+// block row's 32 nibble-packed bytes are processed as two 16-code halves.
+// Widening adds (vaddw) keep the u16 sums exact — bit-identical to scalar.
+void AdcFastScanNeon(const uint8_t* lut8, size_t m2, const uint8_t* packed,
+                     size_t n_blocks, uint16_t* out) {
+  const size_t rows = m2 / 2;
+  const uint8x16_t low_mask = vdupq_n_u8(0x0f);
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8_t* block = packed + b * rows * 32;
+    uint16x8_t acc0 = vdupq_n_u16(0);  // codes 0..7
+    uint16x8_t acc1 = vdupq_n_u16(0);  // codes 8..15
+    uint16x8_t acc2 = vdupq_n_u16(0);  // codes 16..23
+    uint16x8_t acc3 = vdupq_n_u16(0);  // codes 24..31
+    for (size_t p = 0; p < rows; ++p) {
+      const uint8x16_t lut0 = vld1q_u8(lut8 + 2 * p * 16);
+      const uint8x16_t lut1 = vld1q_u8(lut8 + (2 * p + 1) * 16);
+      uint8x16_t va = vld1q_u8(block + p * 32);       // codes 0..15
+      uint8x16_t vb = vld1q_u8(block + p * 32 + 16);  // codes 16..31
+      uint8x16_t ta0 = vqtbl1q_u8(lut0, vandq_u8(va, low_mask));
+      uint8x16_t ta1 = vqtbl1q_u8(lut1, vshrq_n_u8(va, 4));
+      uint8x16_t tb0 = vqtbl1q_u8(lut0, vandq_u8(vb, low_mask));
+      uint8x16_t tb1 = vqtbl1q_u8(lut1, vshrq_n_u8(vb, 4));
+      acc0 = vaddw_u8(acc0, vget_low_u8(ta0));
+      acc0 = vaddw_u8(acc0, vget_low_u8(ta1));
+      acc1 = vaddw_u8(acc1, vget_high_u8(ta0));
+      acc1 = vaddw_u8(acc1, vget_high_u8(ta1));
+      acc2 = vaddw_u8(acc2, vget_low_u8(tb0));
+      acc2 = vaddw_u8(acc2, vget_low_u8(tb1));
+      acc3 = vaddw_u8(acc3, vget_high_u8(tb0));
+      acc3 = vaddw_u8(acc3, vget_high_u8(tb1));
+    }
+    vst1q_u16(out + b * 32, acc0);
+    vst1q_u16(out + b * 32 + 8, acc1);
+    vst1q_u16(out + b * 32 + 16, acc2);
+    vst1q_u16(out + b * 32 + 24, acc3);
+  }
 }
 
 }  // namespace
@@ -70,6 +154,7 @@ const KernelOps& NeonKernels() {
     o.dot = DotNeon;
     o.squared_norm = SquaredNormNeon;
     o.l2_to_many = L2ToManyNeon;
+    o.adc_fastscan = AdcFastScanNeon;
     return o;
   }();
   return ops;

@@ -102,6 +102,27 @@ void AdcBatchGatherScalar(const float* table, size_t m, size_t k,
       n, out);
 }
 
+// FastScan reference: per block, walk the m2/2 nibble-pair rows and add both
+// LUT entries of every code. Integer adds in any order give the same sums,
+// so SIMD backends are bit-identical by construction.
+void AdcFastScanScalar(const uint8_t* lut8, size_t m2, const uint8_t* packed,
+                       size_t n_blocks, uint16_t* out) {
+  const size_t rows = m2 / 2;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8_t* block = packed + b * rows * 32;
+    uint16_t* o = out + b * 32;
+    for (size_t i = 0; i < 32; ++i) o[i] = 0;
+    const uint8_t* lut = lut8;
+    for (size_t p = 0; p < rows; ++p, lut += 32) {
+      const uint8_t* row = block + p * 32;
+      for (size_t i = 0; i < 32; ++i) {
+        o[i] = static_cast<uint16_t>(o[i] + lut[row[i] & 0x0f] +
+                                     lut[16 + (row[i] >> 4)]);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 namespace internal {
@@ -110,7 +131,7 @@ const KernelOps& ScalarKernels() {
   static const KernelOps ops = {
       "scalar",          SquaredL2Scalar, DotScalar,
       SquaredNormScalar, L2ToManyScalar,  AdcBatchScalar,
-      AdcBatchGatherScalar,
+      AdcBatchGatherScalar, AdcFastScanScalar,
   };
   return ops;
 }

@@ -56,4 +56,12 @@ inline void AdcBatchGather(const float* table, size_t m, size_t k,
   Ops().adc_batch_gather(table, m, k, codes, code_stride, ids, n, out);
 }
 
+/// FastScan scan over n_blocks 32-code blocks of transposed 4-bit codes:
+/// raw uint16 LUT sums, bit-identical across backends (see kernels.h and
+/// quant/fastscan.h for the layout and the float rescaling).
+inline void AdcFastScan(const uint8_t* lut8, size_t m2, const uint8_t* packed,
+                        size_t n_blocks, uint16_t* out) {
+  Ops().adc_fastscan(lut8, m2, packed, n_blocks, out);
+}
+
 }  // namespace rpq::simd

@@ -1,0 +1,309 @@
+// FastScan subsystem tests: the packed 4-bit layout round-trips, the u8
+// LUT's distance error stays inside its analytic bound, scalar and SIMD
+// shuffle kernels agree bit-for-bit end-to-end, and the full
+// MemoryIndex/DiskIndex FastScan paths keep recall next to the float-ADC
+// reference they replace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/memory_index.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "disk/disk_index.h"
+#include "eval/recall.h"
+#include "graph/vamana.h"
+#include "quant/adc.h"
+#include "quant/fastscan.h"
+#include "quant/pq.h"
+#include "simd/simd.h"
+
+namespace rpq {
+namespace {
+
+std::vector<uint8_t> RandomCodes(size_t n, size_t m, size_t k, Rng* rng) {
+  std::vector<uint8_t> codes(n * m);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng->UniformIndex(k));
+  return codes;
+}
+
+// ------------------------------------------------------------- layout ----
+
+TEST(PackedCodesTest, LayoutRoundTrips) {
+  Rng rng(1);
+  for (size_t m : {size_t(1), size_t(2), size_t(7), size_t(16), size_t(33)}) {
+    for (size_t n : {size_t(1), size_t(31), size_t(32), size_t(33),
+                     size_t(100)}) {
+      auto codes = RandomCodes(n, m, 16, &rng);
+      auto packed = quant::PackedCodes::Pack(codes.data(), n, m);
+      EXPECT_EQ(packed.m2 % 2, 0u);
+      EXPECT_EQ(packed.data.size(), packed.num_blocks() * packed.block_bytes());
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < m; ++j) {
+          ASSERT_EQ(packed.At(i, j), codes[i * m + j])
+              << "m=" << m << " n=" << n << " i=" << i << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+// 4-bit training mode: nbits=4 caps K at 16 so codes are layout-ready.
+TEST(PqOptionsTest, FourBitModeCapsCentroids) {
+  Dataset train = synthetic::MakeSiftLike(400, 3);
+  quant::PqOptions opt;
+  opt.m = 16;
+  opt.k = 256;
+  opt.nbits = 4;
+  opt.kmeans_iters = 2;
+  auto pq = quant::PqQuantizer::Train(train, opt);
+  EXPECT_EQ(pq->num_centroids(), 16u);
+  std::vector<uint8_t> code(pq->code_size());
+  pq->Encode(train[0], code.data());
+  for (uint8_t c : code) EXPECT_LT(c, 16);
+}
+
+// -------------------------------------------------------------- table ----
+
+struct TableFixture {
+  Dataset base;
+  std::unique_ptr<quant::PqQuantizer> pq;
+  std::vector<uint8_t> codes;
+};
+
+TableFixture MakeTableFixture(size_t n = 500, size_t m = 16) {
+  TableFixture f;
+  f.base = synthetic::MakeSiftLike(n, 5);
+  quant::PqOptions opt;
+  opt.m = m;
+  opt.nbits = 4;
+  opt.kmeans_iters = 3;
+  f.pq = quant::PqQuantizer::Train(f.base, opt);
+  f.codes = f.pq->EncodeDataset(f.base);
+  return f;
+}
+
+TEST(FastScanTableTest, ConstructorsAgree) {
+  TableFixture f = MakeTableFixture(300);
+  quant::AdcTable lut(*f.pq, f.base[1]);
+  quant::FastScanTable from_lut(lut);
+  quant::FastScanTable from_quantizer(*f.pq, f.base[1]);
+  EXPECT_EQ(from_lut.bias(), from_quantizer.bias());
+  EXPECT_EQ(from_lut.scale(), from_quantizer.scale());
+  for (size_t i = 0; i < from_lut.padded_chunks() * 16; ++i) {
+    ASSERT_EQ(from_lut.lut8()[i], from_quantizer.lut8()[i]) << "i=" << i;
+  }
+}
+
+TEST(FastScanTableTest, ErrorBoundedVsFloatAdc) {
+  for (size_t m : {size_t(8), size_t(16), size_t(32)}) {
+    TableFixture f = MakeTableFixture(400, m);
+    quant::AdcTable lut(*f.pq, f.base[0]);
+    quant::FastScanTable fast(lut);
+    ASSERT_GT(fast.scale(), 0.f);
+    const float bound = fast.ErrorBound() * (1.f + 1e-4f) + 1e-5f;
+    for (size_t i = 0; i < f.base.size(); ++i) {
+      const uint8_t* code = f.codes.data() + i * f.pq->code_size();
+      EXPECT_NEAR(fast.Distance(code), lut.Distance(code), bound)
+          << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+// The blocked SIMD scan, the scalar kernel, and the single-code Distance()
+// must produce bit-identical estimates (integer sums + one shared affine
+// map).
+TEST(FastScanTableTest, BlockedScanMatchesSingleCodeBitExactly) {
+  TableFixture f = MakeTableFixture(333, 8);  // odd m2 path: m=8 -> even; use n straddling blocks
+  quant::AdcTable lut(*f.pq, f.base[2]);
+  quant::FastScanTable fast(lut);
+  auto packed =
+      quant::PackedCodes::Pack(f.codes.data(), f.base.size(), f.pq->code_size());
+  std::vector<float> got(f.base.size());
+  fast.Scan(packed, got.data());
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    EXPECT_EQ(got[i], fast.Distance(f.codes.data() + i * f.pq->code_size()))
+        << "i=" << i;
+  }
+}
+
+// Odd chunk count exercises the zero-padded trailing nibble row.
+TEST(FastScanTableTest, OddChunkCountPadsCleanly) {
+  Rng rng(9);
+  const size_t m = 7, n = 70;
+  auto codes = RandomCodes(n, m, 16, &rng);
+  std::vector<float> table(m * 16);
+  for (auto& x : table) x = std::abs(rng.Gaussian()) * 3.f;
+
+  // Build a FastScanTable through a fake DistanceLut-shaped float table by
+  // quantizing via the public quantizer-free constructor path: use AdcTable
+  // semantics through a hand-rolled check instead — compare the scalar
+  // kernel on packed codes against a direct nibble walk of the u8 LUT.
+  struct RawLut : quant::DistanceLut {
+    RawLut(size_t m, size_t k, const std::vector<float>& vals)
+        : DistanceLut(m, k) {
+      table_ = vals;
+    }
+  };
+  RawLut lut(m, 16, table);
+  quant::FastScanTable fast(lut);
+  auto packed = quant::PackedCodes::Pack(codes.data(), n, m);
+  std::vector<float> got(n);
+  fast.Scan(packed, got.data());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], fast.Distance(codes.data() + i * m)) << "i=" << i;
+  }
+}
+
+// ------------------------------------------------------- memory index ----
+
+struct IndexFixture {
+  Dataset base, queries;
+  graph::ProximityGraph graph;
+  std::unique_ptr<quant::PqQuantizer> pq;
+  std::unique_ptr<core::MemoryIndex> index;
+  std::vector<std::vector<Neighbor>> gt;
+};
+
+IndexFixture MakeIndexFixture(size_t n = 3000, size_t nq = 40, size_t m = 32,
+                              size_t k_gt = 10) {
+  IndexFixture f;
+  synthetic::MakeBaseAndQueries("sift", n, nq, /*seed=*/17, &f.base,
+                                &f.queries);
+  graph::VamanaOptions vopt;
+  vopt.degree = 24;
+  vopt.build_beam = 48;
+  f.graph = graph::BuildVamana(f.base, vopt);
+  quant::PqOptions popt;
+  popt.m = m;
+  popt.nbits = 4;
+  popt.kmeans_iters = 6;
+  f.pq = quant::PqQuantizer::Train(f.base, popt);
+  f.index = core::MemoryIndex::Build(f.base, f.graph, *f.pq);
+  f.gt = ComputeGroundTruth(f.base, f.queries, k_gt);
+  return f;
+}
+
+double RecallOf(const IndexFixture& f, core::DistanceMode mode,
+                size_t beam = 64, size_t k = 10) {
+  std::vector<std::vector<Neighbor>> results(f.queries.size());
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    results[q] = f.index->Search(f.queries[q], k, {beam, k}, mode).results;
+  }
+  return eval::MeanRecallAtK(results, f.gt, k);
+}
+
+TEST(MemoryIndexFastScanTest, CapabilityFollowsCentroidCount) {
+  IndexFixture f = MakeIndexFixture(600, 4);
+  EXPECT_TRUE(f.index->fastscan_capable());
+
+  quant::PqOptions popt;
+  popt.m = 16;
+  popt.k = 32;  // 8-bit regime: no packed blocks
+  popt.kmeans_iters = 2;
+  auto pq8 = quant::PqQuantizer::Train(f.base, popt);
+  auto index8 = core::MemoryIndex::Build(f.base, f.graph, *pq8);
+  EXPECT_FALSE(index8->fastscan_capable());
+  EXPECT_GT(f.index->MemoryBytes(), f.index->codes().size());
+}
+
+// The acceptance bar: FastScan + float-ADC rerank within 0.5pt of the float
+// ADC path at equal beam width.
+TEST(MemoryIndexFastScanTest, RecallWithinHalfPointOfFloatAdc) {
+  IndexFixture f = MakeIndexFixture();
+  double adc = RecallOf(f, core::DistanceMode::kAdc);
+  double fast = RecallOf(f, core::DistanceMode::kFastScan);
+  EXPECT_GE(fast, adc - 0.005)
+      << "fastscan recall " << fast << " vs adc " << adc;
+}
+
+TEST(MemoryIndexFastScanTest, ResultsSortedAndStatsAccumulated) {
+  IndexFixture f = MakeIndexFixture(800, 6);
+  auto out = f.index->Search(f.queries[0], 10, {48, 10},
+                             core::DistanceMode::kFastScan);
+  ASSERT_FALSE(out.results.empty());
+  EXPECT_TRUE(std::is_sorted(out.results.begin(), out.results.end()));
+  EXPECT_GT(out.stats.hops, 0u);
+  EXPECT_GT(out.stats.dist_comps, out.results.size());
+}
+
+TEST(MemoryIndexFastScanTest, SearchBatchMatchesPerQuerySearch) {
+  IndexFixture f = MakeIndexFixture(900, 12);
+  std::vector<const float*> ptrs;
+  for (size_t q = 0; q < f.queries.size(); ++q) ptrs.push_back(f.queries[q]);
+  auto batch = f.index->SearchBatch(ptrs.data(), ptrs.size(), 10, {48, 10},
+                                    core::DistanceMode::kFastScan);
+  ASSERT_EQ(batch.size(), f.queries.size());
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    auto single = f.index->Search(f.queries[q], 10, {48, 10},
+                                  core::DistanceMode::kFastScan);
+    EXPECT_EQ(batch[q].results, single.results) << "query " << q;
+  }
+}
+
+TEST(MemoryIndexFastScanTest, RerankKnobWidensCandidateSet) {
+  IndexFixture f = MakeIndexFixture(900, 10);
+  f.index->set_fastscan_rerank(64);
+  EXPECT_EQ(f.index->fastscan_rerank(), 64u);
+  double wide = RecallOf(f, core::DistanceMode::kFastScan);
+  f.index->set_fastscan_rerank(0);
+  double base = RecallOf(f, core::DistanceMode::kFastScan);
+  // Reranking is by the float-ADC *estimate*, not exact distance, so a wider
+  // candidate list is not strictly monotone in recall — it just must not
+  // meaningfully hurt.
+  EXPECT_GE(wide, base - 0.02);
+}
+
+// --------------------------------------------------------- disk index ----
+
+TEST(DiskIndexFastScanTest, RoutingOnForFourBitAndRecallHolds) {
+  IndexFixture f = MakeIndexFixture(1500, 20);
+  disk::DiskIndexOptions fast_opt;
+  auto fast_index = disk::DiskIndex::Build(f.base, f.graph, *f.pq, fast_opt);
+  EXPECT_TRUE(fast_index->fastscan_routing());
+
+  disk::DiskIndexOptions plain_opt;
+  plain_opt.fastscan = false;
+  auto plain_index = disk::DiskIndex::Build(f.base, f.graph, *f.pq, plain_opt);
+  EXPECT_FALSE(plain_index->fastscan_routing());
+
+  std::vector<std::vector<Neighbor>> fast_res(f.queries.size());
+  std::vector<std::vector<Neighbor>> plain_res(f.queries.size());
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    fast_res[q] = fast_index->Search(f.queries[q], 10, {64, 10}).results;
+    plain_res[q] = plain_index->Search(f.queries[q], 10, {64, 10}).results;
+    EXPECT_TRUE(std::is_sorted(fast_res[q].begin(), fast_res[q].end()));
+  }
+  double fast_recall = eval::MeanRecallAtK(fast_res, f.gt, 10);
+  double plain_recall = eval::MeanRecallAtK(plain_res, f.gt, 10);
+  // Routing estimates differ slightly; exact rerank keeps recall together.
+  EXPECT_GE(fast_recall, plain_recall - 0.02)
+      << "fastscan " << fast_recall << " vs adc " << plain_recall;
+}
+
+// ------------------------------------------------------------- oracle ----
+
+TEST(FastScanOracleTest, NeighborScoresMatchSingleVertexEstimates) {
+  IndexFixture f = MakeIndexFixture(700, 4);
+  quant::AdcTable lut(*f.pq, f.queries[0]);
+  quant::FastScanTable fast(lut);
+  auto blocks = quant::PackedNeighborBlocks::Build(f.graph, f.index->codes().data(),
+                                                   f.pq->code_size());
+  quant::FastScanNeighborOracle oracle(fast, f.index->codes().data(),
+                                       f.pq->code_size(), blocks);
+  for (uint32_t v : {0u, 5u, 123u}) {
+    const auto& nbrs = f.graph.Neighbors(v);
+    if (nbrs.empty()) continue;
+    std::vector<float> got(nbrs.size());
+    oracle.ScoreNeighbors(v, nbrs.data(), nbrs.size(), got.data());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(got[i], oracle(nbrs[i])) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpq

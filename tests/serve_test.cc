@@ -137,6 +137,45 @@ TEST(ShardedServiceTest, ExactShardMergeEqualsUnsharded) {
   }
 }
 
+// The per-query parallel fan-out must reproduce the serial fan-out
+// bit-for-bit: shards run concurrently but the (dist, global id) merge is
+// applied in shard order after all complete.
+TEST(ShardedServiceTest, ParallelShardFanoutEqualsSerial) {
+  Fixture f = MakeFixture(1200, 16);
+  std::vector<Dataset> slices;
+  std::vector<ExactService> shard_services;
+  const size_t num_shards = 4, per = f.base.size() / 4;
+  slices.reserve(num_shards);
+  shard_services.reserve(num_shards);
+  auto make_shards = [&] {
+    std::vector<Shard> shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      std::vector<uint32_t> ids(per);
+      for (size_t i = 0; i < per; ++i) {
+        ids[i] = static_cast<uint32_t>(s * per + i);
+      }
+      shards.push_back({&shard_services[s], std::move(ids)});
+    }
+    return shards;
+  };
+  for (size_t s = 0; s < num_shards; ++s) {
+    slices.push_back(f.base.Slice(s * per, (s + 1) * per));
+  }
+  for (size_t s = 0; s < num_shards; ++s) shard_services.emplace_back(slices[s]);
+
+  ShardedService serial(make_shards());
+  ShardedOptions popt;
+  popt.parallel_shards = true;
+  ShardedService parallel(make_shards(), popt);
+
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    auto a = serial.Search({f.queries[q], 10, 64});
+    auto b = parallel.Search({f.queries[q], 10, 64});
+    EXPECT_EQ(a.results, b.results) << "query " << q;
+    EXPECT_EQ(a.stats.dist_comps, b.stats.dist_comps);
+  }
+}
+
 TEST(ShardedServiceTest, ShardedMemoryIndexRecallMatchesUnsharded) {
   Fixture f = MakeFixture(1200, 24);
   auto gt = ComputeGroundTruth(f.base, f.queries, 10);

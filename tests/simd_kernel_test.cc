@@ -84,7 +84,10 @@ TEST(SimdKernelTest, UnalignedPointersMatchScalar) {
 
 TEST(SimdKernelTest, L2ToManyMatchesScalar) {
   Rng rng(5);
-  for (size_t d : {size_t(1), size_t(6), size_t(8), size_t(96), size_t(128)}) {
+  // 4, 5, 7, 8 exercise the cross-row small-dim kernel; the rest cover the
+  // scalar fallback and the wide per-row path.
+  for (size_t d : {size_t(1), size_t(3), size_t(4), size_t(5), size_t(6),
+                   size_t(7), size_t(8), size_t(96), size_t(128)}) {
     for (size_t n : {size_t(1), size_t(3), size_t(17), size_t(64)}) {
       auto q = RandomVec(d, &rng);
       auto base = RandomVec(n * d, &rng);
@@ -152,6 +155,30 @@ TEST(SimdKernelTest, AdcBatchGatherMatchesScalarBitExactly) {
     for (size_t i = 0; i < n; ++i) {
       EXPECT_EQ(got[i],
                 AdcOneRef(table.data(), m, k, codes.data() + ids[i] * m));
+    }
+  }
+}
+
+// FastScan shuffle kernel: raw u16 sums must match the scalar reference
+// bit-for-bit (pure integer adds) across odd row counts and block tails.
+TEST(SimdKernelTest, AdcFastScanMatchesScalarBitExactly) {
+  Rng rng(10);
+  for (size_t m2 : {size_t(2), size_t(8), size_t(16), size_t(34), size_t(62)}) {
+    for (size_t n_blocks : {size_t(1), size_t(2), size_t(5)}) {
+      std::vector<uint8_t> lut8(m2 * 16);
+      for (auto& v : lut8) v = static_cast<uint8_t>(rng.UniformIndex(256));
+      // Any byte pattern is a valid packed block (both nibbles are in
+      // [0, 16)), so random bytes cover the full index space.
+      std::vector<uint8_t> packed(n_blocks * 16 * m2);
+      for (auto& v : packed) v = static_cast<uint8_t>(rng.UniformIndex(256));
+      std::vector<uint16_t> got(n_blocks * 32), want(n_blocks * 32);
+      Ops().adc_fastscan(lut8.data(), m2, packed.data(), n_blocks, got.data());
+      ScalarOps().adc_fastscan(lut8.data(), m2, packed.data(), n_blocks,
+                               want.data());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "m2=" << m2 << " blocks=" << n_blocks << " i=" << i;
+      }
     }
   }
 }

@@ -5,16 +5,27 @@
 //   rpq_tool stats        --base data/base.fvecs
 //   rpq_tool build-graph  --base data/base.fvecs --type vamana --out g.bin
 //   rpq_tool train        --base data/base.fvecs --graph g.bin
-//                         --method rpq --m 16 --k 256 --out model.rpqq
+//                         --method rpq --m 16 --k 256 [--nbits 4]
+//                         --out model.rpqq
 //   rpq_tool encode       --base data/base.fvecs --model model.rpqq
 //                         --out codes.bin
 //   rpq_tool search       --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
-//                         --k 10 --beam 64 [--mode adc|sdc] [--hybrid]
+//                         --k 10 --beam 64 [--mode adc|sdc|fastscan]
+//                         [--rerank N] [--hybrid] [--dump-top1 path]
 //   rpq_tool serve-bench  --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
-//                         [--threads 4] [--shards 1] [--k 10] [--beam 64]
-//                         [--total 0] [--rate 0] [--hybrid]
+//                         [--threads 4] [--shards 1] [--parallel-shards]
+//                         [--k 10] [--beam 64] [--total 0] [--rate 0]
+//                         [--hybrid]
+//
+// --nbits 4 trains a 4-bit model (K = 16); searching such a model with
+// --mode fastscan routes through the shuffle-kernel scan path with float-ADC
+// rerank (--rerank candidates, 0 = auto). --dump-top1 writes one
+// "query_id vertex_id" line per query (ids only — distance bits differ by
+// ulps across SIMD backends); the CI smoke job compares the dump between
+// RPQ_SIMD=scalar and the dispatched backend to catch FastScan kernel
+// divergence end-to-end.
 //
 // serve-bench drives the concurrent serving subsystem (src/serve/): a
 // closed-loop load test with --threads clients (and, when --rate is given,
@@ -160,16 +171,24 @@ int CmdTrain(const Flags& flags) {
   const char* out = flags.Get("out");
   if (out == nullptr) return Fail("--out is required");
 
+  // --nbits 4 caps K at 16 across every method, making the model eligible
+  // for the FastScan search path.
+  const size_t nbits = flags.GetSize("nbits", 8);
+  if (nbits != 8 && nbits != 4) return Fail("--nbits must be 8 or 4");
+  const size_t default_k = nbits == 4 ? 16 : 256;
+
   std::unique_ptr<rpq::quant::PqQuantizer> model;
   if (method == "pq") {
     rpq::quant::PqOptions opt;
     opt.m = flags.GetSize("m", 16);
-    opt.k = flags.GetSize("k", 256);
+    opt.k = flags.GetSize("k", default_k);
+    opt.nbits = nbits;
     model = rpq::quant::PqQuantizer::Train(base.value(), opt);
   } else if (method == "opq") {
     rpq::quant::OpqOptions opt;
     opt.pq.m = flags.GetSize("m", 16);
-    opt.pq.k = flags.GetSize("k", 256);
+    opt.pq.k = flags.GetSize("k", default_k);
+    opt.pq.nbits = nbits;
     opt.outer_iters = flags.GetSize("iters", 4);
     model = rpq::quant::TrainOpq(base.value(), opt);
   } else if (method == "rpq") {
@@ -179,7 +198,8 @@ int CmdTrain(const Flags& flags) {
     if (!g.ok()) return Fail(g.status().ToString());
     rpq::core::RpqTrainOptions opt;
     opt.m = flags.GetSize("m", 16);
-    opt.k = flags.GetSize("k", 256);
+    opt.k = std::min(flags.GetSize("k", default_k),
+                     nbits == 4 ? size_t{16} : size_t{256});
     opt.epochs = flags.GetSize("epochs", 3);
     opt.triplets_per_epoch = flags.GetSize("triplets", 1024);
     opt.routing_queries_per_epoch = flags.GetSize("routing-queries", 48);
@@ -251,11 +271,18 @@ int CmdSearch(const Flags& flags) {
       io_seconds += out.io.simulated_seconds;
     }
   } else {
-    auto mode = std::string(flags.Get("mode", "adc")) == "sdc"
-                    ? rpq::core::DistanceMode::kSdc
-                    : rpq::core::DistanceMode::kAdc;
+    const std::string mode_name = flags.Get("mode", "adc");
+    rpq::core::DistanceMode mode = rpq::core::DistanceMode::kAdc;
+    if (mode_name == "sdc") mode = rpq::core::DistanceMode::kSdc;
+    if (mode_name == "fastscan") mode = rpq::core::DistanceMode::kFastScan;
     auto index =
         rpq::core::MemoryIndex::Build(base.value(), g.value(), *model.value());
+    if (mode == rpq::core::DistanceMode::kFastScan) {
+      if (!index->fastscan_capable()) {
+        return Fail("--mode fastscan needs a 4-bit model (train with --nbits 4)");
+      }
+      index->set_fastscan_rerank(flags.GetSize("rerank", 0));
+    }
     for (size_t q = 0; q < queries.value().size(); ++q) {
       results[q] = index->Search(queries.value()[q], k, {beam, k}, mode).results;
     }
@@ -265,6 +292,25 @@ int CmdSearch(const Flags& flags) {
               queries.value().size(), k,
               rpq::eval::MeanRecallAtK(results, gt, k),
               queries.value().size() / std::max(total, 1e-12));
+
+  if (const char* dump = flags.Get("dump-top1")) {
+    // One line per query: the top result's vertex id. Ids (not distances)
+    // are the cross-backend invariant: the integer FastScan scan is
+    // bit-identical everywhere, while the float lookup tables it quantizes
+    // are only 1e-4-relative across SIMD backends, so distance BITS may
+    // differ in the last ulps even when every ranking decision agrees.
+    std::FILE* fp = std::fopen(dump, "w");
+    if (fp == nullptr) return Fail(std::string("cannot write ") + dump);
+    for (size_t q = 0; q < results.size(); ++q) {
+      if (results[q].empty()) {
+        std::fprintf(fp, "%zu -\n", q);
+      } else {
+        std::fprintf(fp, "%zu %u\n", q, results[q][0].id);
+      }
+    }
+    std::fclose(fp);
+    std::printf("wrote top-1 dump to %s\n", dump);
+  }
   return 0;
 }
 
@@ -302,12 +348,15 @@ int CmdServeBench(const Flags& flags) {
     rpq::graph::VamanaOptions vopt;
     vopt.degree = flags.GetSize("degree", 32);
     vopt.build_beam = flags.GetSize("build-beam", 64);
+    rpq::serve::ShardedOptions sopt;
+    sopt.parallel_shards = flags.Has("parallel-shards");
     rpq::Timer build;
     sharded = rpq::serve::BuildShardedMemoryIndex(base.value(), *model.value(),
-                                                  shards, vopt);
-    std::printf("built %zu shards in %.1fs (%.1f MB resident)\n",
+                                                  shards, vopt, sopt);
+    std::printf("built %zu shards in %.1fs (%.1f MB resident%s)\n",
                 sharded.shards.size(), build.ElapsedSeconds(),
-                sharded.MemoryBytes() / 1e6);
+                sharded.MemoryBytes() / 1e6,
+                sopt.parallel_shards ? ", parallel fan-out" : "");
     service = sharded.service.get();
   } else {
     const char* gpath = flags.Get("graph");
