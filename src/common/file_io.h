@@ -1,0 +1,39 @@
+// Shared stdio RAII + whole-buffer transfer helpers for the binary
+// (de)serializers (quantizer models, code arrays, graphs, IVF indexes,
+// *vecs datasets). One definition so edge-case policy — zero-byte transfers
+// are legal no-ops (empty containers have null data()) — cannot diverge
+// between loaders.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+namespace rpq::io {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+inline bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return bytes == 0 || std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+inline bool ReadAll(std::FILE* f, void* data, size_t bytes) {
+  return bytes == 0 || std::fread(data, 1, bytes, f) == bytes;
+}
+
+/// Bytes from the current position to EOF (restores the position); -1 on a
+/// seek/tell failure. Loaders use this to bound header-declared allocation
+/// sizes before trusting them.
+inline long long BytesRemaining(std::FILE* f) {
+  long cur = std::ftell(f);
+  if (cur < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, cur, SEEK_SET) != 0) return -1;
+  return static_cast<long long>(end) - cur;
+}
+
+}  // namespace rpq::io

@@ -1,19 +1,11 @@
 #include "data/io_vecs.h"
 
+#include "common/file_io.h"
+
 #include <cstdio>
 #include <memory>
 
 namespace rpq::io {
-namespace {
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-}  // namespace
 
 Result<Dataset> ReadFvecs(const std::string& path, size_t max_records) {
   FilePtr f(std::fopen(path.c_str(), "rb"));

@@ -51,6 +51,15 @@ std::vector<OperatingPoint> SweepBeamWidths(
     const std::vector<std::vector<Neighbor>>& gt, size_t k,
     const std::vector<size_t>& beams, const SweepOptions& options = {});
 
+/// IVF flavor of the sweep: identical machinery, but the swept knob is
+/// nprobe — the SearchFn receives each value as its `beam` argument and
+/// OperatingPoint.beam records it. Exists so IVF recall/QPS curves read as
+/// what they are at call sites (see rpq_tool search --index ivf).
+std::vector<OperatingPoint> SweepNprobe(
+    const SearchFn& search, const Dataset& queries,
+    const std::vector<std::vector<Neighbor>>& gt, size_t k,
+    const std::vector<size_t>& nprobes, const SweepOptions& options = {});
+
 /// Linear interpolation of QPS at `target_recall` along the curve. When the
 /// curve never reaches the target, returns the QPS of the highest-recall
 /// point (and sets *reached=false if provided).

@@ -1,5 +1,7 @@
 #include "graph/graph.h"
 
+#include "common/file_io.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -45,16 +47,8 @@ double ProximityGraph::ReachableFraction() const {
   return static_cast<double>(count) / adj_.size();
 }
 
-namespace {
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-}  // namespace
-
 Status ProximityGraph::Save(const std::string& path) const {
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  io::FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IOError("cannot open " + path + " for writing");
   uint64_t n = adj_.size();
   uint32_t entry = entry_;
@@ -75,7 +69,7 @@ Status ProximityGraph::Save(const std::string& path) const {
 }
 
 Result<ProximityGraph> ProximityGraph::Load(const std::string& path) {
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb"));
+  io::FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
   uint64_t n = 0;
   uint32_t entry = 0;

@@ -1,0 +1,468 @@
+#include "ivf/ivf_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <shared_mutex>
+
+#include "common/file_io.h"
+#include "common/logging.h"
+#include "quant/adc.h"
+#include "quant/kmeans.h"
+#include "simd/simd.h"
+
+namespace rpq::ivf {
+namespace {
+
+// Strict total order on (estimate, id) — candidate selection is therefore a
+// set, independent of scan order, which is what lets SearchBatch's grouped
+// list traversal reproduce per-query Search exactly.
+inline bool CandBefore(float est_a, uint32_t id_a, float est_b, uint32_t id_b) {
+  return est_a < est_b || (est_a == est_b && id_a < id_b);
+}
+
+using io::FilePtr;
+using io::ReadAll;
+using io::WriteAll;
+
+constexpr char kMagic[4] = {'R', 'P', 'Q', 'I'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+IvfIndex::IvfIndex(const quant::VectorQuantizer& quantizer,
+                   const IvfOptions& options, size_t dim,
+                   std::vector<float> centroids)
+    : quantizer_(quantizer),
+      options_(options),
+      dim_(dim),
+      nlist_(centroids.size() / dim),
+      centroids_(std::move(centroids)) {
+  RPQ_CHECK(nlist_ > 0);
+  lists_.resize(nlist_);
+  for (auto& list : lists_) {
+    list.packed = quant::PackedCodes::Pack(nullptr, 0, quantizer_.code_size());
+  }
+}
+
+std::unique_ptr<IvfIndex> IvfIndex::Build(
+    const Dataset& base, const quant::VectorQuantizer& quantizer,
+    const IvfOptions& options) {
+  RPQ_CHECK(!base.empty());
+  RPQ_CHECK_EQ(base.dim(), quantizer.dim());
+  RPQ_CHECK(quantizer.num_centroids() <= 16 &&
+            "IVF FastScan lists need a 4-bit quantizer (K <= 16)");
+
+  quant::KMeansOptions kopt;
+  kopt.k = std::max<size_t>(1, options.nlist);
+  kopt.max_iters = options.kmeans_iters;
+  kopt.seed = options.seed;
+  size_t train_n = base.size();
+  if (options.train_sample > 0) {
+    train_n = std::min(train_n, options.train_sample);
+  }
+  auto km = quant::RunKMeans(base.data(), train_n, base.dim(), kopt);
+  const size_t nlist = km.centroids.size() / base.dim();
+
+  std::unique_ptr<IvfIndex> index(
+      new IvfIndex(quantizer, options, base.dim(), std::move(km.centroids)));
+
+  // Assignment is one NearestCentroid pass over the FINAL centroids — not
+  // the k-means result's assignment, which is stale by one update step. A
+  // vector must live in the cell query-time routing maps it to, or a
+  // nprobe = 1 probe of the right centroid could miss it.
+  std::vector<uint32_t> assign(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    assign[i] = quant::NearestCentroid(base[i], index->centroids_.data(), nlist,
+                                       base.dim());
+  }
+
+  std::vector<uint8_t> codes = quantizer.EncodeDataset(base);
+  const size_t m = quantizer.code_size();
+
+  std::vector<size_t> counts(nlist, 0);
+  for (uint32_t a : assign) ++counts[a];
+  for (size_t l = 0; l < nlist; ++l) {
+    auto& list = index->lists_[l];
+    list.ids.reserve(counts[l]);
+    list.codes.reserve(counts[l] * m);
+    if (options.store_vectors) list.vectors.reserve(counts[l] * base.dim());
+  }
+  for (size_t i = 0; i < base.size(); ++i) {
+    auto& list = index->lists_[assign[i]];
+    list.ids.push_back(static_cast<uint32_t>(i));
+    list.codes.insert(list.codes.end(), codes.begin() + i * m,
+                      codes.begin() + (i + 1) * m);
+    if (options.store_vectors) {
+      list.vectors.insert(list.vectors.end(), base[i], base[i] + base.dim());
+    }
+  }
+  for (auto& list : index->lists_) {
+    list.packed = quant::PackedCodes::Pack(list.codes.data(), list.ids.size(), m);
+  }
+  index->num_codes_ = base.size();
+  return index;
+}
+
+std::unique_ptr<IvfIndex> IvfIndex::CreateEmpty(
+    std::vector<float> centroids, size_t dim,
+    const quant::VectorQuantizer& quantizer, const IvfOptions& options) {
+  RPQ_CHECK(dim > 0);
+  RPQ_CHECK_EQ(dim, quantizer.dim());
+  RPQ_CHECK(!centroids.empty() && centroids.size() % dim == 0);
+  RPQ_CHECK(quantizer.num_centroids() <= 16 &&
+            "IVF FastScan lists need a 4-bit quantizer (K <= 16)");
+  return std::unique_ptr<IvfIndex>(
+      new IvfIndex(quantizer, options, dim, std::move(centroids)));
+}
+
+uint32_t IvfIndex::Insert(const float* vec) {
+  // Encode and route outside the lock — both read immutable state only.
+  thread_local std::vector<uint8_t> code;
+  code.resize(quantizer_.code_size());
+  quantizer_.Encode(vec, code.data());
+  const uint32_t l =
+      quant::NearestCentroid(vec, centroids_.data(), nlist_, dim_);
+
+  std::unique_lock<WriterPriorityMutex> lock(mu_);
+  InvertedList& list = lists_[l];
+  const uint32_t id = static_cast<uint32_t>(num_codes_++);
+  list.ids.push_back(id);
+  list.codes.insert(list.codes.end(), code.begin(), code.end());
+  list.packed.Append(code.data());
+  if (options_.store_vectors) {
+    list.vectors.insert(list.vectors.end(), vec, vec + dim_);
+  }
+  return id;
+}
+
+size_t IvfIndex::EffectiveNprobe(const IvfSearchOptions& options) const {
+  size_t nprobe = options.nprobe > 0 ? options.nprobe : options_.default_nprobe;
+  return std::min(std::max<size_t>(nprobe, 1), nlist_);
+}
+
+size_t IvfIndex::EffectiveRerank(const IvfSearchOptions& options, size_t k) {
+  const size_t rerank =
+      options.rerank > 0 ? options.rerank : std::max(2 * k, size_t{32});
+  return std::max(rerank, k);
+}
+
+void IvfIndex::RouteLists(const float* query, size_t nprobe,
+                          std::vector<uint32_t>* out) const {
+  thread_local std::vector<float> d2;
+  d2.resize(nlist_);
+  simd::L2ToMany(query, centroids_.data(), nlist_, dim_, d2.data());
+  out->resize(nlist_);
+  for (uint32_t l = 0; l < nlist_; ++l) (*out)[l] = l;
+  std::partial_sort(out->begin(), out->begin() + nprobe, out->end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return CandBefore(d2[a], a, d2[b], b);
+                    });
+  out->resize(nprobe);
+}
+
+void IvfIndex::PushCandidates(const quant::FastScanTable& table,
+                              const uint16_t* sums, uint32_t list, size_t count,
+                              const std::vector<uint32_t>& ids, size_t limit,
+                              std::vector<Candidate>* heap) {
+  // Bounded max-heap on (est, id): the root is the worst kept candidate.
+  auto worse = [](const Candidate& a, const Candidate& b) {
+    return CandBefore(a.est, a.id, b.est, b.id);
+  };
+  const float bias = table.bias(), scale = table.scale();
+  for (size_t i = 0; i < count; ++i) {
+    const float est = bias + scale * static_cast<float>(sums[i]);
+    const uint32_t id = ids[i];
+    if (heap->size() < limit) {
+      heap->push_back({est, id, list, static_cast<uint32_t>(i)});
+      std::push_heap(heap->begin(), heap->end(), worse);
+      continue;
+    }
+    const Candidate& root = heap->front();
+    if (!CandBefore(est, id, root.est, root.id)) continue;
+    std::pop_heap(heap->begin(), heap->end(), worse);
+    heap->back() = {est, id, list, static_cast<uint32_t>(i)};
+    std::push_heap(heap->begin(), heap->end(), worse);
+  }
+}
+
+IvfSearchResult IvfIndex::FinishQuery(const float* query,
+                                      const quant::DistanceLut& lut,
+                                      std::vector<Candidate>& heap, size_t k,
+                                      IvfStats stats) const {
+  TopK top(k);
+  const size_t m = quantizer_.code_size();
+  for (const Candidate& c : heap) {
+    const InvertedList& list = lists_[c.list];
+    float dist;
+    if (options_.store_vectors) {
+      dist = simd::SquaredL2(query, list.vectors.data() + size_t{c.pos} * dim_,
+                             dim_);
+    } else {
+      dist = lut.Distance(list.codes.data() + size_t{c.pos} * m);
+    }
+    top.Push(dist, c.id);
+  }
+  IvfSearchResult out;
+  out.results = top.Take();
+  out.stats = stats;
+  return out;
+}
+
+IvfSearchResult IvfIndex::Search(const float* query, size_t k,
+                                 const IvfSearchOptions& options) const {
+  quant::AdcTable lut(quantizer_, query);
+  quant::FastScanTable table(lut);
+  thread_local std::vector<uint32_t> probe;
+  thread_local std::vector<uint16_t> sums;
+  RouteLists(query, EffectiveNprobe(options), &probe);
+
+  const size_t limit = EffectiveRerank(options, k);
+  std::vector<Candidate> heap;
+  heap.reserve(limit + 1);
+  IvfStats stats;
+
+  std::shared_lock<WriterPriorityMutex> lock(mu_);
+  for (uint32_t l : probe) {
+    const InvertedList& list = lists_[l];
+    ++stats.lists_probed;
+    if (list.ids.empty()) continue;
+    stats.codes_scanned += list.ids.size();
+    const size_t n_blocks = list.packed.num_blocks();
+    sums.resize(n_blocks * quant::PackedCodes::kBlockCodes);
+    table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
+    PushCandidates(table, sums.data(), l, list.ids.size(), list.ids, limit,
+                   &heap);
+  }
+  return FinishQuery(query, lut, heap, k, stats);
+}
+
+std::vector<IvfSearchResult> IvfIndex::SearchBatch(
+    const float* const* queries, size_t nq, size_t k,
+    const IvfSearchOptions& options) const {
+  std::vector<IvfSearchResult> out(nq);
+  if (nq == 0) return out;
+
+  // All lookup tables are built before any scan (codebook stays
+  // cache-resident — the same amortization MemoryIndex::SearchBatch does).
+  std::vector<quant::AdcTable> luts;
+  std::vector<quant::FastScanTable> tables;
+  luts.reserve(nq);
+  tables.reserve(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    luts.emplace_back(quantizer_, queries[q]);
+    tables.emplace_back(luts.back());
+  }
+  const size_t m2 = tables.front().padded_chunks();
+
+  const size_t limit = EffectiveRerank(options, k);
+  std::vector<std::vector<Candidate>> heaps(nq);
+  for (auto& h : heaps) h.reserve(limit + 1);
+  std::vector<IvfStats> stats(nq);
+
+  std::shared_lock<WriterPriorityMutex> lock(mu_);
+  const size_t nprobe = EffectiveNprobe(options);
+
+  // Invert the routing into sorted (list, query) pairs — nq*nprobe of them,
+  // grouped by list with one sort — so every probed list is scanned once
+  // against all of its queries' LUTs. (A per-list bucket array would cost
+  // nlist allocations per call and dominate small batches.) Scan scratch is
+  // thread-local like Search's, so steady-state batches allocate only their
+  // per-query state (tables, heaps, results).
+  thread_local std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.clear();
+  pairs.reserve(nq * nprobe);
+  {
+    thread_local std::vector<uint32_t> probe;
+    for (size_t q = 0; q < nq; ++q) {
+      RouteLists(queries[q], nprobe, &probe);
+      for (uint32_t l : probe) pairs.emplace_back(l, static_cast<uint32_t>(q));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  thread_local std::vector<uint8_t> luts_buf;
+  thread_local std::vector<uint16_t> sums;
+  for (size_t p0 = 0; p0 < pairs.size();) {
+    const uint32_t l = pairs[p0].first;
+    size_t p1 = p0;
+    while (p1 < pairs.size() && pairs[p1].first == l) ++p1;
+    const size_t group = p1 - p0;
+    const InvertedList& list = lists_[l];
+    for (size_t i = p0; i < p1; ++i) ++stats[pairs[i].second].lists_probed;
+    if (list.ids.empty()) {
+      p0 = p1;
+      continue;
+    }
+    for (size_t i = p0; i < p1; ++i) {
+      stats[pairs[i].second].codes_scanned += list.ids.size();
+    }
+
+    const size_t n_blocks = list.packed.num_blocks();
+    const size_t stride = n_blocks * quant::PackedCodes::kBlockCodes;
+    sums.resize(group * stride);
+    if (group == 1) {
+      tables[pairs[p0].second].ScanBlocks(list.packed.data.data(), n_blocks,
+                                          sums.data());
+    } else {
+      luts_buf.resize(group * m2 * 16);
+      for (size_t i = 0; i < group; ++i) {
+        std::memcpy(luts_buf.data() + i * m2 * 16,
+                    tables[pairs[p0 + i].second].lut8(), m2 * 16);
+      }
+      simd::AdcFastScanMulti(luts_buf.data(), group, m2,
+                             list.packed.data.data(), n_blocks, sums.data());
+    }
+    for (size_t i = 0; i < group; ++i) {
+      const uint32_t q = pairs[p0 + i].second;
+      PushCandidates(tables[q], sums.data() + i * stride, l, list.ids.size(),
+                     list.ids, limit, &heaps[q]);
+    }
+    p0 = p1;
+  }
+  for (size_t q = 0; q < nq; ++q) {
+    out[q] = FinishQuery(queries[q], luts[q], heaps[q], k, stats[q]);
+  }
+  return out;
+}
+
+size_t IvfIndex::size() const {
+  std::shared_lock<WriterPriorityMutex> lock(mu_);
+  return num_codes_;
+}
+
+size_t IvfIndex::list_size(size_t l) const {
+  std::shared_lock<WriterPriorityMutex> lock(mu_);
+  return lists_[l].ids.size();
+}
+
+size_t IvfIndex::MemoryBytes() const {
+  std::shared_lock<WriterPriorityMutex> lock(mu_);
+  size_t total = centroids_.size() * sizeof(float);
+  for (const auto& list : lists_) {
+    total += list.ids.size() * sizeof(uint32_t) + list.codes.size() +
+             list.packed.data.size() + list.vectors.size() * sizeof(float);
+  }
+  return total;
+}
+
+Status IvfIndex::Save(const std::string& path) const {
+  std::shared_lock<WriterPriorityMutex> lock(mu_);
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const uint32_t dim = static_cast<uint32_t>(dim_);
+  const uint32_t nlist = static_cast<uint32_t>(nlist_);
+  const uint32_t code_size = static_cast<uint32_t>(quantizer_.code_size());
+  const uint8_t store_vectors = options_.store_vectors ? 1 : 0;
+  const uint32_t default_nprobe = static_cast<uint32_t>(options_.default_nprobe);
+  const uint64_t num_codes = num_codes_;
+  if (!WriteAll(f.get(), kMagic, 4) || !WriteAll(f.get(), &kVersion, 4) ||
+      !WriteAll(f.get(), &dim, 4) || !WriteAll(f.get(), &nlist, 4) ||
+      !WriteAll(f.get(), &code_size, 4) ||
+      !WriteAll(f.get(), &store_vectors, 1) ||
+      !WriteAll(f.get(), &default_nprobe, 4) ||
+      !WriteAll(f.get(), &num_codes, 8) ||
+      !WriteAll(f.get(), centroids_.data(),
+                centroids_.size() * sizeof(float))) {
+    return Status::IOError(path + ": header write failed");
+  }
+  for (const auto& list : lists_) {
+    const uint64_t count = list.ids.size();
+    if (!WriteAll(f.get(), &count, 8) ||
+        !WriteAll(f.get(), list.ids.data(), count * sizeof(uint32_t)) ||
+        !WriteAll(f.get(), list.codes.data(), list.codes.size()) ||
+        (store_vectors != 0 &&
+         !WriteAll(f.get(), list.vectors.data(),
+                   list.vectors.size() * sizeof(float)))) {
+      return Status::IOError(path + ": list write failed");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
+    const std::string& path, const quant::VectorQuantizer& quantizer) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint32_t version = 0, dim = 0, nlist = 0, code_size = 0, default_nprobe = 0;
+  uint8_t store_vectors = 0;
+  uint64_t num_codes = 0;
+  if (!ReadAll(f.get(), magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::IOError(path + ": not an RPQ IVF index file");
+  }
+  if (!ReadAll(f.get(), &version, 4) || version != kVersion) {
+    return Status::IOError(path + ": unsupported version");
+  }
+  if (!ReadAll(f.get(), &dim, 4) || !ReadAll(f.get(), &nlist, 4) ||
+      !ReadAll(f.get(), &code_size, 4) ||
+      !ReadAll(f.get(), &store_vectors, 1) ||
+      !ReadAll(f.get(), &default_nprobe, 4) ||
+      !ReadAll(f.get(), &num_codes, 8)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  if (dim == 0 || nlist == 0 || code_size == 0) {
+    return Status::IOError(path + ": invalid index shape");
+  }
+  if (dim != quantizer.dim() || code_size != quantizer.code_size() ||
+      quantizer.num_centroids() > 16) {
+    return Status::InvalidArgument(path +
+                                   ": quantizer does not match saved index");
+  }
+  // Bound every header-declared size by what the file can actually hold
+  // BEFORE allocating from it — a corrupt count must surface as IOError,
+  // not as a std::length_error abort inside vector::resize.
+  const long long bytes_left = io::BytesRemaining(f.get());
+  const uint64_t row_bytes =
+      sizeof(uint32_t) + code_size +
+      (store_vectors != 0 ? uint64_t{dim} * sizeof(float) : 0);
+  if (bytes_left < 0 ||
+      num_codes > static_cast<uint64_t>(bytes_left) / row_bytes ||
+      size_t{nlist} * dim >
+          static_cast<uint64_t>(bytes_left) / sizeof(float)) {
+    return Status::IOError(path + ": header sizes exceed file contents");
+  }
+  std::vector<float> centroids(size_t{nlist} * dim);
+  if (!ReadAll(f.get(), centroids.data(), centroids.size() * sizeof(float))) {
+    return Status::IOError(path + ": truncated centroids");
+  }
+  IvfOptions options;
+  options.nlist = nlist;
+  options.store_vectors = store_vectors != 0;
+  options.default_nprobe = default_nprobe > 0 ? default_nprobe : 1;
+  std::unique_ptr<IvfIndex> index(
+      new IvfIndex(quantizer, options, dim, std::move(centroids)));
+  uint64_t total = 0;
+  for (auto& list : index->lists_) {
+    uint64_t count = 0;
+    if (!ReadAll(f.get(), &count, 8)) {
+      return Status::IOError(path + ": truncated list header");
+    }
+    if (count > num_codes - total) {
+      return Status::IOError(path + ": list counts exceed header total");
+    }
+    list.ids.resize(count);
+    list.codes.resize(count * code_size);
+    if (!ReadAll(f.get(), list.ids.data(), count * sizeof(uint32_t)) ||
+        !ReadAll(f.get(), list.codes.data(), list.codes.size())) {
+      return Status::IOError(path + ": truncated list data");
+    }
+    if (store_vectors != 0) {
+      list.vectors.resize(count * dim);
+      if (!ReadAll(f.get(), list.vectors.data(),
+                   list.vectors.size() * sizeof(float))) {
+        return Status::IOError(path + ": truncated list vectors");
+      }
+    }
+    list.packed =
+        quant::PackedCodes::Pack(list.codes.data(), count, code_size);
+    total += count;
+  }
+  if (total != num_codes) {
+    return Status::IOError(path + ": list totals disagree with header");
+  }
+  index->num_codes_ = num_codes;
+  return index;
+}
+
+}  // namespace rpq::ivf

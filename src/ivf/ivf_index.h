@@ -1,0 +1,183 @@
+// IVF (inverted-file) partitioned index — the first non-graph retrieval path.
+//
+// A k-means coarse quantizer splits the corpus into nlist cells; each cell
+// stores its members' 4-bit PQ codes in the FastScan blocked-transposed
+// layout (quant::PackedCodes) plus their global ids. A query routes to the
+// nprobe nearest cells (one fused simd::L2ToMany pass over the centroid
+// table) and scores every code in them with register-resident LUT shuffles
+// (simd::AdcFastScan) — the flat-scan regime where the blocked layout is at
+// its best (~8x per code over gathered float-ADC): no per-candidate
+// branching, no visited table, pure sequential blocks. The top `rerank`
+// candidates by u8 estimate are then re-scored with the float ADC table
+// (or, when the index retains raw vectors, exact squared L2) before top-k.
+//
+// Compared to the graph indexes this trades hops for scans: recall is
+// controlled by nprobe instead of beam width, inserts are O(m) list appends
+// with NO graph repair, and batches of queries probing the same cell share
+// each packed block while it is register-resident
+// (simd::AdcFastScanMulti — see SearchBatch).
+//
+// Concurrency: Search/SearchBatch are const and take the reader side of a
+// writer-priority rwlock; Insert takes the writer side. Any number of
+// threads may search while inserts interleave (the same contract FreshVamana
+// serves streaming updates under).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rwlock.h"
+#include "common/status.h"
+#include "common/topk.h"
+#include "data/dataset.h"
+#include "quant/fastscan.h"
+#include "quant/quantizer.h"
+
+namespace rpq::ivf {
+
+/// Build-time knobs.
+struct IvfOptions {
+  size_t nlist = 64;        ///< coarse cells (clamped to the corpus size)
+  size_t kmeans_iters = 20; ///< coarse-quantizer Lloyd iterations
+  uint64_t seed = 17;
+  /// Rows used to train the coarse quantizer (0 = all). Assignment always
+  /// covers every row; sampling only caps the k-means cost on large corpora.
+  size_t train_sample = 0;
+  /// Retain the raw float rows per list: ~4*dim bytes/vector buys an EXACT
+  /// rerank of the top candidates instead of the float-ADC one, lifting the
+  /// recall ceiling past what the 4-bit codes alone can reach.
+  bool store_vectors = false;
+  size_t default_nprobe = 8; ///< used when IvfSearchOptions.nprobe == 0
+};
+
+/// Query-time knobs.
+struct IvfSearchOptions {
+  size_t nprobe = 0;  ///< cells probed; 0 = index default, clamped to nlist
+  /// Candidates re-scored (float-ADC, or exact when vectors are stored)
+  /// before top-k; 0 = auto max(2k, 32). The pre-rerank candidate ranking
+  /// is bit-identical across SIMD backends (integer LUT sums).
+  size_t rerank = 0;
+};
+
+/// Per-query cost counters (the IVF analogue of graph::SearchStats).
+struct IvfStats {
+  size_t lists_probed = 0;
+  size_t codes_scanned = 0;  ///< codes scored with the u8 estimator
+};
+
+struct IvfSearchResult {
+  std::vector<Neighbor> results;  ///< ascending by (distance, id)
+  IvfStats stats;
+};
+
+/// Inverted-file index over a borrowed 4-bit-capable quantizer (K <= 16).
+class IvfIndex {
+ public:
+  /// Trains the coarse quantizer on `base`, encodes every row, and fills the
+  /// lists. Row i keeps global id i (Insert continues the sequence).
+  static std::unique_ptr<IvfIndex> Build(const Dataset& base,
+                                         const quant::VectorQuantizer& quantizer,
+                                         const IvfOptions& options = {});
+
+  /// Empty index over precomputed coarse centroids (nlist x dim, row-major)
+  /// — the streaming start: lists fill through Insert alone.
+  static std::unique_ptr<IvfIndex> CreateEmpty(
+      std::vector<float> centroids, size_t dim,
+      const quant::VectorQuantizer& quantizer, const IvfOptions& options = {});
+
+  /// Appends one vector (returns its global id). O(code_size) list append —
+  /// no graph repair; safe to interleave with concurrent Search calls.
+  uint32_t Insert(const float* vec);
+
+  IvfSearchResult Search(const float* query, size_t k,
+                         const IvfSearchOptions& options = {}) const;
+
+  /// Serves nq queries in one pass with multi-query LUT batching: queries
+  /// are routed first, then each probed list is scanned ONCE against all the
+  /// queries that routed to it (simd::AdcFastScanMulti keeps every packed
+  /// block register-resident across their LUTs). Results are identical to
+  /// per-query Search — candidate sums are bit-identical and selection is a
+  /// strict (distance, id) order, so grouping cannot change top-k.
+  std::vector<IvfSearchResult> SearchBatch(
+      const float* const* queries, size_t nq, size_t k,
+      const IvfSearchOptions& options = {}) const;
+
+  size_t nlist() const { return nlist_; }
+  size_t dim() const { return dim_; }
+  size_t size() const;  ///< total indexed vectors (locks)
+  size_t list_size(size_t l) const;
+  bool stores_vectors() const { return options_.store_vectors; }
+  const quant::VectorQuantizer& quantizer() const { return quantizer_; }
+  const std::vector<float>& centroids() const { return centroids_; }
+
+  /// Centroids + ids + codes (unpacked and packed) + retained vectors.
+  size_t MemoryBytes() const;
+
+  /// Persists centroids, options, and list contents (not the quantizer —
+  /// pair with quant::SaveQuantizer, as MemoryIndex deployments do).
+  /// Format (little-endian):
+  ///   magic "RPQI" | u32 version | u32 dim | u32 nlist | u32 code_size
+  ///   | u8 store_vectors | u32 default_nprobe | u64 num_codes
+  ///   | centroids f32[nlist*dim]
+  ///   | per list: u64 count | u32 ids[count] | u8 codes[count*code_size]
+  ///               | f32 vectors[count*dim] (iff store_vectors)
+  Status Save(const std::string& path) const;
+
+  /// Loads an index written by Save; `quantizer` must match the saved shape
+  /// (code_size, K <= 16) and is borrowed like in Build.
+  static Result<std::unique_ptr<IvfIndex>> Load(
+      const std::string& path, const quant::VectorQuantizer& quantizer);
+
+ private:
+  /// One coarse cell: ids + codes in both layouts (+ optional raw rows).
+  /// Unpacked codes serve the rerank pass and persistence; packed blocks
+  /// serve the scan. The tail block's padding slots are zero and simply
+  /// ignored (sums past list size are never read).
+  struct InvertedList {
+    std::vector<uint32_t> ids;
+    std::vector<uint8_t> codes;   ///< count x code_size, byte per chunk
+    quant::PackedCodes packed;
+    std::vector<float> vectors;   ///< count x dim iff store_vectors
+  };
+
+  /// A pre-rerank candidate: u8-LUT estimate plus where its code lives.
+  struct Candidate {
+    float est;
+    uint32_t id;
+    uint32_t list;
+    uint32_t pos;
+  };
+
+  IvfIndex(const quant::VectorQuantizer& quantizer, const IvfOptions& options,
+           size_t dim, std::vector<float> centroids);
+
+  size_t EffectiveNprobe(const IvfSearchOptions& options) const;
+  static size_t EffectiveRerank(const IvfSearchOptions& options, size_t k);
+
+  /// The `nprobe` nearest cells by (centroid distance, list id), ascending.
+  void RouteLists(const float* query, size_t nprobe,
+                  std::vector<uint32_t>* out) const;
+
+  /// Feeds one list's u16 sums into a bounded (est, id)-ordered max-heap.
+  static void PushCandidates(const quant::FastScanTable& table,
+                             const uint16_t* sums, uint32_t list, size_t count,
+                             const std::vector<uint32_t>& ids, size_t limit,
+                             std::vector<Candidate>* heap);
+
+  /// Re-scores the candidate heap (float ADC or exact) into sorted top-k.
+  IvfSearchResult FinishQuery(const float* query, const quant::DistanceLut& lut,
+                              std::vector<Candidate>& heap, size_t k,
+                              IvfStats stats) const;
+
+  const quant::VectorQuantizer& quantizer_;
+  IvfOptions options_;
+  size_t dim_;
+  size_t nlist_;
+  std::vector<float> centroids_;  ///< nlist x dim, immutable after creation
+  std::vector<InvertedList> lists_;
+  size_t num_codes_ = 0;
+  mutable WriterPriorityMutex mu_;  ///< readers: Search*, writer: Insert
+};
+
+}  // namespace rpq::ivf

@@ -40,6 +40,14 @@ PackedCodes PackedCodes::Pack(const uint8_t* codes, size_t n,
   return out;
 }
 
+void PackedCodes::Append(const uint8_t* code) {
+  RPQ_CHECK(m > 0 && "Append on a default-constructed PackedCodes");
+  if (num_codes % kBlockCodes == 0) data.resize(data.size() + block_bytes(), 0);
+  uint8_t* block = data.data() + (num_codes / kBlockCodes) * block_bytes();
+  PackCode(code, m, block, num_codes % kBlockCodes);
+  ++num_codes;
+}
+
 uint8_t PackedCodes::At(size_t i, size_t j) const {
   const uint8_t* block = data.data() + (i / kBlockCodes) * block_bytes();
   uint8_t cell = block[(j / 2) * 32 + (i % kBlockCodes)];

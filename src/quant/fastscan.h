@@ -42,7 +42,14 @@ struct PackedCodes {
   size_t num_blocks() const { return (num_codes + kBlockCodes - 1) / kBlockCodes; }
 
   /// Re-lays out n byte-per-chunk codes (every byte < 16) into blocks.
+  /// n = 0 yields an empty, appendable layout of the given code_size.
   static PackedCodes Pack(const uint8_t* codes, size_t n, size_t code_size);
+
+  /// Appends one byte-per-chunk code in place: the tail block's zero padding
+  /// becomes the new slot (a fresh zeroed block is grown when full), so
+  /// streaming inserts — IVF lists take cheap appends instead of the graph
+  /// repair a proximity-graph insert needs — never re-lay existing codes.
+  void Append(const uint8_t* code);
 
   /// Code i's index for sub-quantizer j (test/debug accessor).
   uint8_t At(size_t i, size_t j) const;

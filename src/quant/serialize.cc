@@ -4,6 +4,8 @@
 #include <cstring>
 #include <memory>
 
+#include "common/file_io.h"
+
 namespace rpq::quant {
 namespace {
 
@@ -11,20 +13,9 @@ constexpr char kMagic[4] = {'R', 'P', 'Q', 'Q'};
 constexpr char kCodesMagic[4] = {'R', 'P', 'Q', 'C'};
 constexpr uint32_t kVersion = 1;
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
-  return std::fwrite(data, 1, bytes, f) == bytes;
-}
-
-bool ReadAll(std::FILE* f, void* data, size_t bytes) {
-  return std::fread(data, 1, bytes, f) == bytes;
-}
+using io::FilePtr;
+using io::ReadAll;
+using io::WriteAll;
 
 }  // namespace
 

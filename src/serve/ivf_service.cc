@@ -1,0 +1,50 @@
+#include "serve/ivf_service.h"
+
+namespace rpq::serve {
+namespace {
+
+// IvfStats -> the serving layer's graph-shaped stats: probes are the
+// analogue of hops (routing decisions), scanned codes of dist_comps.
+QueryResult ToQueryResult(ivf::IvfSearchResult&& res) {
+  QueryResult out;
+  out.results = std::move(res.results);
+  out.stats.hops = res.stats.lists_probed;
+  out.stats.dist_comps = res.stats.codes_scanned;
+  return out;
+}
+
+}  // namespace
+
+ivf::IvfSearchOptions IvfService::OptionsFor(const QuerySpec& q) const {
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = q.beam_width;  // beam_width doubles as nprobe for IVF
+  opt.rerank = rerank_;
+  return opt;
+}
+
+QueryResult IvfService::Search(const QuerySpec& q) const {
+  return ToQueryResult(index_.Search(q.query, q.k, OptionsFor(q)));
+}
+
+void IvfService::SearchBatch(const QuerySpec* qs, size_t n,
+                             QueryResult* out) const {
+  // The index batch path amortizes across uniform (k, nprobe) runs; split
+  // the batch into maximal such runs (batcher batches almost always are one).
+  size_t i = 0;
+  std::vector<const float*> queries;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && qs[j].k == qs[i].k &&
+           qs[j].beam_width == qs[i].beam_width) {
+      ++j;
+    }
+    queries.clear();
+    for (size_t t = i; t < j; ++t) queries.push_back(qs[t].query);
+    auto res = index_.SearchBatch(queries.data(), queries.size(), qs[i].k,
+                                  OptionsFor(qs[i]));
+    for (size_t t = i; t < j; ++t) out[t] = ToQueryResult(std::move(res[t - i]));
+    i = j;
+  }
+}
+
+}  // namespace rpq::serve

@@ -54,6 +54,20 @@ struct KernelOps {
   /// (pshufb / vpshufb-512 / tbl).
   void (*adc_fastscan)(const uint8_t* lut8, size_t m2, const uint8_t* packed,
                        size_t n_blocks, uint16_t* out);
+
+  /// Multi-query FastScan: the same blocked code layout scored against `nq`
+  /// queries' u8 lookup tables in one pass. `luts8` holds the nq tables
+  /// contiguously (query q's m2 x 16 table at luts8 + q*m2*16); the kernel
+  /// writes query-major sums, out[q*n_blocks*32 + b*32 + i]. SIMD backends
+  /// load each 32-byte block row and extract its nibble indices ONCE, then
+  /// shuffle it against every query's LUT while it is register-resident —
+  /// the per-code win over nq independent adc_fastscan calls that makes
+  /// batched IVF list scans pay. Per-query accumulation is independent
+  /// integer adds, so results are bit-identical to nq single-query scans
+  /// (and to the scalar reference, which is exactly that loop).
+  void (*adc_fastscan_multi)(const uint8_t* luts8, size_t nq, size_t m2,
+                             const uint8_t* packed, size_t n_blocks,
+                             uint16_t* out);
 };
 
 namespace internal {

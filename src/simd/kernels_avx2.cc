@@ -96,15 +96,50 @@ void L2ToManySmallDAvx2(const float* q, const float* base, size_t n, size_t d,
   }
 }
 
+// Cross-row kernel for d in (8, 16): one full 8-float load plus one masked
+// load of the remaining d-8 lanes per row, then the same in-register 4-way
+// transpose-reduce as the small-d kernel — no per-row horizontal sum in the
+// hot loop. Closes the last L2ToMany dimension gap (sub-dims 9-15, e.g.
+// m = 10 chunks of a 128-dim space).
+void L2ToManyMidDAvx2(const float* q, const float* base, size_t n, size_t d,
+                      float* out) {
+  alignas(32) int32_t mask_arr[8];
+  const size_t tail = d - 8;
+  for (size_t l = 0; l < 8; ++l) mask_arr[l] = l < tail ? -1 : 0;
+  const __m256i mask = _mm256_load_si256(reinterpret_cast<__m256i*>(mask_arr));
+  const __m256 q0 = _mm256_loadu_ps(q);
+  const __m256 q1 = _mm256_maskload_ps(q + 8, mask);
+  auto row_sq = [&](const float* row) {
+    __m256 a = _mm256_sub_ps(_mm256_loadu_ps(row), q0);
+    __m256 b = _mm256_sub_ps(_mm256_maskload_ps(row + 8, mask), q1);
+    return _mm256_fmadd_ps(b, b, _mm256_mul_ps(a, a));
+  };
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256 t0 = _mm256_hadd_ps(row_sq(base + i * d), row_sq(base + (i + 1) * d));
+    __m256 t1 =
+        _mm256_hadd_ps(row_sq(base + (i + 2) * d), row_sq(base + (i + 3) * d));
+    __m256 t2 = _mm256_hadd_ps(t0, t1);
+    __m128 r = _mm_add_ps(_mm256_castps256_ps128(t2),
+                          _mm256_extractf128_ps(t2, 1));
+    _mm_storeu_ps(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = Hsum256(row_sq(base + i * d));
+}
+
 void L2ToManyAvx2(const float* q, const float* base, size_t n, size_t d,
                   float* out) {
   if (d >= 4 && d <= 8) {
     L2ToManySmallDAvx2(q, base, n, d, out);
     return;
   }
-  if (d < 16) {
-    // Below two vector widths the per-row hsum dominates; the unrolled scalar
-    // loop measures faster for the remaining small dims.
+  if (d > 8 && d < 16) {
+    L2ToManyMidDAvx2(q, base, n, d, out);
+    return;
+  }
+  if (d < 4) {
+    // d in {1, 2, 3}: below the narrowest useful vector the unrolled scalar
+    // loop measures faster than masked-load gymnastics.
     internal::ScalarKernels().l2_to_many(q, base, n, d, out);
     return;
   }
@@ -228,6 +263,88 @@ void AdcFastScanAvx2(const uint8_t* lut8, size_t m2, const uint8_t* packed,
   }
 }
 
+// One tile of QT queries over every block. The tile's LUT rows are staged as
+// broadcast registers up-front (lutv[row][t], filled by the caller's scratch
+// buffer); inside the block loop each 32-byte row is loaded and its nibble
+// indices extracted ONCE, then shuffled against all QT queries' LUTs while
+// register-resident. Per extra query a row costs only 2 shuffles + 4
+// widening adds — the multi-query amortization the IVF batched scan buys.
+template <int QT>
+void FastScanMultiTileAvx2(const uint8_t* luts8, size_t m2,
+                           const uint8_t* packed, size_t n_blocks,
+                           uint16_t* out, size_t out_stride, __m256i* lutv) {
+  const size_t rows = m2 / 2;
+  for (int t = 0; t < QT; ++t) {
+    const uint8_t* lut = luts8 + static_cast<size_t>(t) * m2 * 16;
+    for (size_t r = 0; r < 2 * rows; ++r) {
+      lutv[r * QT + t] = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(lut + r * 16)));
+    }
+  }
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8_t* block = packed + b * rows * 32;
+    __m256i acc_lo[QT], acc_hi[QT];
+    for (int t = 0; t < QT; ++t) {
+      acc_lo[t] = _mm256_setzero_si256();
+      acc_hi[t] = _mm256_setzero_si256();
+    }
+    for (size_t p = 0; p < rows; ++p) {
+      __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + p * 32));
+      __m256i lo = _mm256_and_si256(v, low_mask);
+      __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+      for (int t = 0; t < QT; ++t) {
+        __m256i v0 = _mm256_shuffle_epi8(lutv[(2 * p) * QT + t], lo);
+        __m256i v1 = _mm256_shuffle_epi8(lutv[(2 * p + 1) * QT + t], hi);
+        acc_lo[t] = _mm256_add_epi16(
+            acc_lo[t], _mm256_cvtepu8_epi16(_mm256_castsi256_si128(v0)));
+        acc_hi[t] = _mm256_add_epi16(
+            acc_hi[t], _mm256_cvtepu8_epi16(_mm256_extracti128_si256(v0, 1)));
+        acc_lo[t] = _mm256_add_epi16(
+            acc_lo[t], _mm256_cvtepu8_epi16(_mm256_castsi256_si128(v1)));
+        acc_hi[t] = _mm256_add_epi16(
+            acc_hi[t], _mm256_cvtepu8_epi16(_mm256_extracti128_si256(v1, 1)));
+      }
+    }
+    for (int t = 0; t < QT; ++t) {
+      uint16_t* o = out + static_cast<size_t>(t) * out_stride + b * 32;
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o), acc_lo[t]);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + 16), acc_hi[t]);
+    }
+  }
+}
+
+void AdcFastScanMultiAvx2(const uint8_t* luts8, size_t nq, size_t m2,
+                          const uint8_t* packed, size_t n_blocks,
+                          uint16_t* out) {
+  const size_t rows = m2 / 2;
+  constexpr size_t kMaxRows = 128;
+  if (rows > kMaxRows) {
+    internal::ScalarKernels().adc_fastscan_multi(luts8, nq, m2, packed,
+                                                 n_blocks, out);
+    return;
+  }
+  constexpr int kTile = 4;  // 8 u16 accumulators + shared row state in regs
+  __m256i lutv[2 * kMaxRows * kTile];
+  const size_t out_stride = n_blocks * 32;
+  const size_t lut_stride = m2 * 16;
+  size_t q = 0;
+  for (; q + kTile <= nq; q += kTile) {
+    FastScanMultiTileAvx2<kTile>(luts8 + q * lut_stride, m2, packed, n_blocks,
+                                 out + q * out_stride, out_stride, lutv);
+  }
+  if (q + 2 <= nq) {
+    FastScanMultiTileAvx2<2>(luts8 + q * lut_stride, m2, packed, n_blocks,
+                             out + q * out_stride, out_stride, lutv);
+    q += 2;
+  }
+  if (q < nq) {
+    AdcFastScanAvx2(luts8 + q * lut_stride, m2, packed, n_blocks,
+                    out + q * out_stride);
+  }
+}
+
 }  // namespace
 
 namespace internal {
@@ -236,7 +353,7 @@ const KernelOps& Avx2Kernels() {
   static const KernelOps ops = {
       "avx2",          SquaredL2Avx2, DotAvx2,      SquaredNormAvx2,
       L2ToManyAvx2,    AdcBatchAvx2,  AdcBatchGatherAvx2,
-      AdcFastScanAvx2,
+      AdcFastScanAvx2, AdcFastScanMultiAvx2,
   };
   return ops;
 }

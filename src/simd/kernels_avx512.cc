@@ -229,6 +229,114 @@ RPQ_BW_TARGET void AdcFastScanAvx512(const uint8_t* lut8, size_t m2,
   }
 }
 
+// Multi-query tile with 512-bit shuffles: each row-pair load (64 bytes, four
+// sub-quantizers of 32 codes) and its nibble extraction are shared by all QT
+// queries; per query a row-pair costs 2 vpshufb-512 + 4 widening adds into
+// one zmm accumulator. LUT registers for the whole tile are staged up-front
+// in the caller's scratch (lo/hi per row-pair per query, plus the odd
+// trailing row's 256-bit pair).
+template <int QT>
+RPQ_BW_TARGET void FastScanMultiTileAvx512(const uint8_t* luts8, size_t m2,
+                                           const uint8_t* packed,
+                                           size_t n_blocks, uint16_t* out,
+                                           size_t out_stride, __m512i* lut_lo,
+                                           __m512i* lut_hi) {
+  const size_t rows = m2 / 2;
+  const size_t row_pairs = rows / 2;
+  for (int t = 0; t < QT; ++t) {
+    const uint8_t* lut = luts8 + static_cast<size_t>(t) * m2 * 16;
+    for (size_t p = 0; p < row_pairs; ++p) {
+      lut_lo[p * QT + t] = _mm512_inserti64x4(
+          _mm512_castsi256_si512(Dup128Row(lut, 4 * p)),
+          Dup128Row(lut, 4 * p + 2), 1);
+      lut_hi[p * QT + t] = _mm512_inserti64x4(
+          _mm512_castsi256_si512(Dup128Row(lut, 4 * p + 1)),
+          Dup128Row(lut, 4 * p + 3), 1);
+    }
+  }
+  const __m512i low_mask = _mm512_set1_epi8(0x0f);
+  const __m256i low_mask256 = _mm256_set1_epi8(0x0f);
+  __m256i tail_lut0[QT], tail_lut1[QT];
+  if (rows % 2 != 0) {
+    for (int t = 0; t < QT; ++t) {
+      const uint8_t* lut = luts8 + static_cast<size_t>(t) * m2 * 16;
+      tail_lut0[t] = Dup128Row(lut, 2 * (rows - 1));
+      tail_lut1[t] = Dup128Row(lut, 2 * (rows - 1) + 1);
+    }
+  }
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8_t* block = packed + b * rows * 32;
+    __m512i acc[QT];
+    for (int t = 0; t < QT; ++t) acc[t] = _mm512_setzero_si512();
+    for (size_t p = 0; p < row_pairs; ++p) {
+      __m512i v = _mm512_loadu_si512(block + p * 64);
+      __m512i lo = _mm512_and_si512(v, low_mask);
+      __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low_mask);
+      for (int t = 0; t < QT; ++t) {
+        __m512i v0 = _mm512_shuffle_epi8(lut_lo[p * QT + t], lo);
+        __m512i v1 = _mm512_shuffle_epi8(lut_hi[p * QT + t], hi);
+        acc[t] = _mm512_add_epi16(
+            acc[t], _mm512_cvtepu8_epi16(_mm512_castsi512_si256(v0)));
+        acc[t] = _mm512_add_epi16(
+            acc[t], _mm512_cvtepu8_epi16(_mm512_extracti64x4_epi64(v0, 1)));
+        acc[t] = _mm512_add_epi16(
+            acc[t], _mm512_cvtepu8_epi16(_mm512_castsi512_si256(v1)));
+        acc[t] = _mm512_add_epi16(
+            acc[t], _mm512_cvtepu8_epi16(_mm512_extracti64x4_epi64(v1, 1)));
+      }
+    }
+    if (rows % 2 != 0) {
+      __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + (rows - 1) * 32));
+      __m256i lo = _mm256_and_si256(v, low_mask256);
+      __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask256);
+      for (int t = 0; t < QT; ++t) {
+        __m256i v0 = _mm256_shuffle_epi8(tail_lut0[t], lo);
+        __m256i v1 = _mm256_shuffle_epi8(tail_lut1[t], hi);
+        acc[t] = _mm512_add_epi16(acc[t], _mm512_cvtepu8_epi16(v0));
+        acc[t] = _mm512_add_epi16(acc[t], _mm512_cvtepu8_epi16(v1));
+      }
+    }
+    for (int t = 0; t < QT; ++t) {
+      _mm512_storeu_si512(out + static_cast<size_t>(t) * out_stride + b * 32,
+                          acc[t]);
+    }
+  }
+}
+
+RPQ_BW_TARGET void AdcFastScanMultiAvx512(const uint8_t* luts8, size_t nq,
+                                          size_t m2, const uint8_t* packed,
+                                          size_t n_blocks, uint16_t* out) {
+  const size_t rows = m2 / 2;
+  constexpr size_t kMaxRows = 128;
+  if (rows > kMaxRows) {
+    internal::ScalarKernels().adc_fastscan_multi(luts8, nq, m2, packed,
+                                                 n_blocks, out);
+    return;
+  }
+  constexpr int kTile = 4;
+  __m512i lut_lo[(kMaxRows / 2) * kTile];
+  __m512i lut_hi[(kMaxRows / 2) * kTile];
+  const size_t out_stride = n_blocks * 32;
+  const size_t lut_stride = m2 * 16;
+  size_t q = 0;
+  for (; q + kTile <= nq; q += kTile) {
+    FastScanMultiTileAvx512<kTile>(luts8 + q * lut_stride, m2, packed,
+                                   n_blocks, out + q * out_stride, out_stride,
+                                   lut_lo, lut_hi);
+  }
+  if (q + 2 <= nq) {
+    FastScanMultiTileAvx512<2>(luts8 + q * lut_stride, m2, packed, n_blocks,
+                               out + q * out_stride, out_stride, lut_lo,
+                               lut_hi);
+    q += 2;
+  }
+  if (q < nq) {
+    AdcFastScanAvx512(luts8 + q * lut_stride, m2, packed, n_blocks,
+                      out + q * out_stride);
+  }
+}
+
 #endif  // RPQ_HAVE_AVX512BW_KERNEL (GNUC/clang target attribute)
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -256,9 +364,12 @@ const KernelOps& Avx512Kernels() {
     o.adc_batch = AdcBatchAvx512;
     o.adc_batch_gather = AdcBatchGatherAvx512;
 #if defined(RPQ_HAVE_AVX512BW_KERNEL)
-    // The 512-bit shuffle kernel needs AVX-512BW; on F-only CPUs keep the
-    // inherited (AVX2 or scalar) FastScan implementation.
-    if (CpuHasAvx512bw()) o.adc_fastscan = AdcFastScanAvx512;
+    // The 512-bit shuffle kernels need AVX-512BW; on F-only CPUs keep the
+    // inherited (AVX2 or scalar) FastScan implementations.
+    if (CpuHasAvx512bw()) {
+      o.adc_fastscan = AdcFastScanAvx512;
+      o.adc_fastscan_multi = AdcFastScanMultiAvx512;
+    }
 #endif
     (void)CpuHasAvx512bw;
     return o;

@@ -142,6 +142,74 @@ void AdcFastScanNeon(const uint8_t* lut8, size_t m2, const uint8_t* packed,
   }
 }
 
+// Multi-query tile: the two 16-code block-row halves and their four nibble
+// index vectors are computed once and shuffled against QT queries' LUT
+// registers while resident. QT = 2 keeps the 4-accumulator-per-query layout
+// (8 of the 32 vector registers) plus shared row state comfortably in
+// registers; LUT rows are vld1q'd per use (L1-hot, one load each).
+template <int QT>
+void FastScanMultiTileNeon(const uint8_t* luts8, size_t m2,
+                           const uint8_t* packed, size_t n_blocks,
+                           uint16_t* out, size_t out_stride) {
+  const size_t rows = m2 / 2;
+  const uint8x16_t low_mask = vdupq_n_u8(0x0f);
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const uint8_t* block = packed + b * rows * 32;
+    uint16x8_t acc[QT][4];
+    for (int t = 0; t < QT; ++t) {
+      for (int h = 0; h < 4; ++h) acc[t][h] = vdupq_n_u16(0);
+    }
+    for (size_t p = 0; p < rows; ++p) {
+      uint8x16_t va = vld1q_u8(block + p * 32);       // codes 0..15
+      uint8x16_t vb = vld1q_u8(block + p * 32 + 16);  // codes 16..31
+      uint8x16_t lo_a = vandq_u8(va, low_mask);
+      uint8x16_t hi_a = vshrq_n_u8(va, 4);
+      uint8x16_t lo_b = vandq_u8(vb, low_mask);
+      uint8x16_t hi_b = vshrq_n_u8(vb, 4);
+      for (int t = 0; t < QT; ++t) {
+        const uint8_t* lut = luts8 + static_cast<size_t>(t) * m2 * 16;
+        const uint8x16_t lut0 = vld1q_u8(lut + 2 * p * 16);
+        const uint8x16_t lut1 = vld1q_u8(lut + (2 * p + 1) * 16);
+        uint8x16_t ta0 = vqtbl1q_u8(lut0, lo_a);
+        uint8x16_t ta1 = vqtbl1q_u8(lut1, hi_a);
+        uint8x16_t tb0 = vqtbl1q_u8(lut0, lo_b);
+        uint8x16_t tb1 = vqtbl1q_u8(lut1, hi_b);
+        acc[t][0] = vaddw_u8(acc[t][0], vget_low_u8(ta0));
+        acc[t][0] = vaddw_u8(acc[t][0], vget_low_u8(ta1));
+        acc[t][1] = vaddw_u8(acc[t][1], vget_high_u8(ta0));
+        acc[t][1] = vaddw_u8(acc[t][1], vget_high_u8(ta1));
+        acc[t][2] = vaddw_u8(acc[t][2], vget_low_u8(tb0));
+        acc[t][2] = vaddw_u8(acc[t][2], vget_low_u8(tb1));
+        acc[t][3] = vaddw_u8(acc[t][3], vget_high_u8(tb0));
+        acc[t][3] = vaddw_u8(acc[t][3], vget_high_u8(tb1));
+      }
+    }
+    for (int t = 0; t < QT; ++t) {
+      uint16_t* o = out + static_cast<size_t>(t) * out_stride + b * 32;
+      vst1q_u16(o, acc[t][0]);
+      vst1q_u16(o + 8, acc[t][1]);
+      vst1q_u16(o + 16, acc[t][2]);
+      vst1q_u16(o + 24, acc[t][3]);
+    }
+  }
+}
+
+void AdcFastScanMultiNeon(const uint8_t* luts8, size_t nq, size_t m2,
+                          const uint8_t* packed, size_t n_blocks,
+                          uint16_t* out) {
+  const size_t out_stride = n_blocks * 32;
+  const size_t lut_stride = m2 * 16;
+  size_t q = 0;
+  for (; q + 2 <= nq; q += 2) {
+    FastScanMultiTileNeon<2>(luts8 + q * lut_stride, m2, packed, n_blocks,
+                             out + q * out_stride, out_stride);
+  }
+  if (q < nq) {
+    AdcFastScanNeon(luts8 + q * lut_stride, m2, packed, n_blocks,
+                    out + q * out_stride);
+  }
+}
+
 }  // namespace
 
 namespace internal {
@@ -155,6 +223,7 @@ const KernelOps& NeonKernels() {
     o.squared_norm = SquaredNormNeon;
     o.l2_to_many = L2ToManyNeon;
     o.adc_fastscan = AdcFastScanNeon;
+    o.adc_fastscan_multi = AdcFastScanMultiNeon;
     return o;
   }();
   return ops;

@@ -123,6 +123,17 @@ void AdcFastScanScalar(const uint8_t* lut8, size_t m2, const uint8_t* packed,
   }
 }
 
+// Multi-query reference: literally nq independent single-query scans — the
+// baseline the batched SIMD kernels must match bit-for-bit and beat per code.
+void AdcFastScanMultiScalar(const uint8_t* luts8, size_t nq, size_t m2,
+                            const uint8_t* packed, size_t n_blocks,
+                            uint16_t* out) {
+  for (size_t q = 0; q < nq; ++q) {
+    AdcFastScanScalar(luts8 + q * m2 * 16, m2, packed, n_blocks,
+                      out + q * n_blocks * 32);
+  }
+}
+
 }  // namespace
 
 namespace internal {
@@ -131,7 +142,7 @@ const KernelOps& ScalarKernels() {
   static const KernelOps ops = {
       "scalar",          SquaredL2Scalar, DotScalar,
       SquaredNormScalar, L2ToManyScalar,  AdcBatchScalar,
-      AdcBatchGatherScalar, AdcFastScanScalar,
+      AdcBatchGatherScalar, AdcFastScanScalar, AdcFastScanMultiScalar,
   };
   return ops;
 }

@@ -64,4 +64,14 @@ inline void AdcFastScan(const uint8_t* lut8, size_t m2, const uint8_t* packed,
   Ops().adc_fastscan(lut8, m2, packed, n_blocks, out);
 }
 
+/// Multi-query FastScan: scores the same packed blocks against nq queries'
+/// u8 LUTs (contiguous, m2*16 bytes each) while each block row is
+/// register-resident; out is query-major (nq x n_blocks*32 u16 sums),
+/// bit-identical to nq single-query AdcFastScan calls.
+inline void AdcFastScanMulti(const uint8_t* luts8, size_t nq, size_t m2,
+                             const uint8_t* packed, size_t n_blocks,
+                             uint16_t* out) {
+  Ops().adc_fastscan_multi(luts8, nq, m2, packed, n_blocks, out);
+}
+
 }  // namespace rpq::simd

@@ -51,6 +51,56 @@ TEST(PackedCodesTest, LayoutRoundTrips) {
   }
 }
 
+// Streaming appends must land codes exactly where a bulk Pack would: the
+// tail block's zero padding becomes the new slot, block growth included
+// (IVF list inserts ride this).
+TEST(PackedCodesTest, AppendMatchesBulkPack) {
+  Rng rng(2);
+  for (size_t m : {size_t(1), size_t(7), size_t(16)}) {
+    for (size_t seed_n : {size_t(0), size_t(33)}) {
+      const size_t total = seed_n + 40;  // crosses at least one block boundary
+      auto codes = RandomCodes(total, m, 16, &rng);
+      auto grown = quant::PackedCodes::Pack(codes.data(), seed_n, m);
+      for (size_t i = seed_n; i < total; ++i) {
+        grown.Append(codes.data() + i * m);
+      }
+      auto bulk = quant::PackedCodes::Pack(codes.data(), total, m);
+      EXPECT_EQ(grown.num_codes, bulk.num_codes);
+      ASSERT_EQ(grown.data, bulk.data) << "m=" << m << " seed_n=" << seed_n;
+    }
+  }
+}
+
+// The tail block is zero-padded; a scan over n codes in ceil(n/32) blocks
+// must leave the padding sums untouched by any meaning — only the first n
+// outputs are defined, and they must equal the per-code estimates for every
+// n mod 32, including a lone code and an exactly-full block.
+TEST(FastScanTableTest, TailBlockLengthsScanExactly) {
+  Rng rng(4);
+  const size_t m = 8;
+  std::vector<float> table(m * 16);
+  for (auto& x : table) x = std::abs(rng.Gaussian()) * 2.f;
+  struct RawLut : quant::DistanceLut {
+    RawLut(size_t m, size_t k, const std::vector<float>& vals)
+        : DistanceLut(m, k) {
+      table_ = vals;
+    }
+  };
+  RawLut lut(m, 16, table);
+  quant::FastScanTable fast(lut);
+  for (size_t n : {size_t(1), size_t(31), size_t(32), size_t(33), size_t(64),
+                   size_t(65), size_t(95)}) {
+    auto codes = RandomCodes(n, m, 16, &rng);
+    auto packed = quant::PackedCodes::Pack(codes.data(), n, m);
+    std::vector<float> got(n);
+    fast.Scan(packed, got.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i], fast.Distance(codes.data() + i * m))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 // 4-bit training mode: nbits=4 caps K at 16 so codes are layout-ready.
 TEST(PqOptionsTest, FourBitModeCapsCentroids) {
   Dataset train = synthetic::MakeSiftLike(400, 3);

@@ -1,0 +1,387 @@
+// IVF subsystem tests: routing + flat FastScan list scans reproduce a
+// hand-rolled reference of the probed lists bit-for-bit (pre-rerank
+// estimates come from the same integer-sum estimator on every SIMD
+// backend), SearchBatch's multi-query LUT batching equals per-query Search,
+// edge cases (tail blocks, empty lists, k > candidates, nprobe > nlist) are
+// pinned, inserts match builds, save/load round-trips, and concurrent
+// Search/Insert hold under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "eval/recall.h"
+#include "ivf/ivf_index.h"
+#include "quant/adc.h"
+#include "quant/fastscan.h"
+#include "quant/kmeans.h"
+#include "quant/pq.h"
+#include "simd/simd.h"
+
+namespace rpq {
+namespace {
+
+struct Fixture {
+  Dataset base, queries;
+  std::unique_ptr<quant::PqQuantizer> pq;
+  std::unique_ptr<ivf::IvfIndex> index;
+  std::vector<std::vector<Neighbor>> gt;
+};
+
+Fixture MakeFixture(size_t n = 1333, size_t nq = 12, size_t nlist = 13,
+                    bool store_vectors = false, size_t m = 16) {
+  // n and nlist are chosen so list lengths straddle 32-code block tails.
+  Fixture f;
+  synthetic::MakeBaseAndQueries("sift", n, nq, /*seed=*/21, &f.base,
+                                &f.queries);
+  quant::PqOptions popt;
+  popt.m = m;
+  popt.nbits = 4;
+  popt.kmeans_iters = 4;
+  f.pq = quant::PqQuantizer::Train(f.base, popt);
+  ivf::IvfOptions opt;
+  opt.nlist = nlist;
+  opt.kmeans_iters = 8;
+  opt.store_vectors = store_vectors;
+  f.index = ivf::IvfIndex::Build(f.base, *f.pq, opt);
+  f.gt = ComputeGroundTruth(f.base, f.queries, 10);
+  return f;
+}
+
+// Reference implementation mirroring the index's contract with scalar code
+// only: route by (centroid distance, list id), estimate every code of the
+// probed lists with FastScanTable::Distance (bit-identical to the blocked
+// kernels), keep the top `rerank` by (estimate, id), re-score, top-k.
+std::vector<Neighbor> ReferenceSearch(const Fixture& f, const float* query,
+                                      size_t k, size_t nprobe, size_t rerank) {
+  const ivf::IvfIndex& ix = *f.index;
+  const size_t nlist = ix.nlist();
+  nprobe = std::min(nprobe, nlist);
+  std::vector<float> d2(nlist);
+  simd::L2ToMany(query, ix.centroids().data(), nlist, f.base.dim(), d2.data());
+  std::vector<uint32_t> order(nlist);
+  for (uint32_t l = 0; l < nlist; ++l) order[l] = l;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return d2[a] < d2[b] || (d2[a] == d2[b] && a < b);
+  });
+
+  // Probed rows, identified by re-encoding each base row (Build encodes the
+  // same way, so codes agree).
+  quant::AdcTable lut(*f.pq, query);
+  quant::FastScanTable fast(lut);
+  const size_t m = f.pq->code_size();
+  auto codes = f.pq->EncodeDataset(f.base);
+  std::vector<uint32_t> assign(f.base.size());
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    assign[i] = quant::NearestCentroid(f.base[i], ix.centroids().data(), nlist,
+                                       f.base.dim());
+  }
+  struct Est {
+    float est;
+    uint32_t id;
+  };
+  std::vector<Est> cands;
+  for (size_t p = 0; p < nprobe; ++p) {
+    for (size_t i = 0; i < f.base.size(); ++i) {
+      if (assign[i] != order[p]) continue;
+      cands.push_back({fast.Distance(codes.data() + i * m),
+                       static_cast<uint32_t>(i)});
+    }
+  }
+  std::sort(cands.begin(), cands.end(), [](const Est& a, const Est& b) {
+    return a.est < b.est || (a.est == b.est && a.id < b.id);
+  });
+  if (cands.size() > rerank) cands.resize(rerank);
+  TopK top(k);
+  for (const Est& c : cands) {
+    top.Push(lut.Distance(codes.data() + size_t{c.id} * m), c.id);
+  }
+  return top.Take();
+}
+
+// --------------------------------------------------------- correctness ----
+
+// The acceptance bar: the index's routed, kernel-scanned, reranked result
+// equals the scalar hand-rolled reference exactly — candidate estimates are
+// bit-identical, so ranking decisions are too (runs under both dispatched
+// SIMD and RPQ_DISABLE_SIMD=1 in CI).
+TEST(IvfIndexTest, SearchMatchesProbedListReferenceExactly) {
+  Fixture f = MakeFixture();
+  for (size_t nprobe : {size_t(1), size_t(3), size_t(7), size_t(13),
+                        size_t(50) /* > nlist: clamped */}) {
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      ivf::IvfSearchOptions opt;
+      opt.nprobe = nprobe;
+      auto got = f.index->Search(f.queries[q], 10, opt);
+      auto want = ReferenceSearch(f, f.queries[q], 10, nprobe, /*rerank=*/32);
+      ASSERT_EQ(got.results, want) << "nprobe=" << nprobe << " q=" << q;
+      EXPECT_EQ(got.stats.lists_probed, std::min(nprobe, f.index->nlist()));
+    }
+  }
+}
+
+TEST(IvfIndexTest, FullProbeRecallMatchesQuantizerBound) {
+  Fixture f = MakeFixture();
+  // nprobe = nlist scans everything: recall equals what a flat FastScan +
+  // float-ADC rerank over the whole corpus achieves (quantizer-bound).
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = f.index->nlist();
+  std::vector<std::vector<Neighbor>> results(f.queries.size());
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    auto out = f.index->Search(f.queries[q], 10, opt);
+    EXPECT_EQ(out.stats.codes_scanned, f.base.size());
+    EXPECT_TRUE(std::is_sorted(out.results.begin(), out.results.end()));
+    results[q] = std::move(out.results);
+  }
+  double full = eval::MeanRecallAtK(results, f.gt, 10);
+  // Narrow probes can only do worse or equal.
+  opt.nprobe = 2;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    results[q] = f.index->Search(f.queries[q], 10, opt).results;
+  }
+  EXPECT_LE(eval::MeanRecallAtK(results, f.gt, 10), full + 1e-9);
+  EXPECT_GT(full, 0.2);  // sanity: scanning everything finds something real
+}
+
+TEST(IvfIndexTest, ExactRerankLiftsRecallPastFloatAdc) {
+  Fixture fadc = MakeFixture(1333, 12, 13, /*store_vectors=*/false);
+  Fixture fexact = MakeFixture(1333, 12, 13, /*store_vectors=*/true);
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = fadc.index->nlist();
+  opt.rerank = 64;
+  auto recall_of = [&](Fixture& f) {
+    std::vector<std::vector<Neighbor>> results(f.queries.size());
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      results[q] = f.index->Search(f.queries[q], 10, opt).results;
+    }
+    return eval::MeanRecallAtK(results, f.gt, 10);
+  };
+  double adc = recall_of(fadc);
+  double exact = recall_of(fexact);
+  EXPECT_GE(exact, adc);
+  EXPECT_GT(exact, 0.9) << "exact rerank over a full probe should be near 1";
+}
+
+// -------------------------------------------------------- batch parity ----
+
+TEST(IvfIndexTest, SearchBatchMatchesPerQuerySearch) {
+  Fixture f = MakeFixture(1500, 16, 9);
+  std::vector<const float*> ptrs;
+  for (size_t q = 0; q < f.queries.size(); ++q) ptrs.push_back(f.queries[q]);
+  for (size_t nprobe : {size_t(1), size_t(4), size_t(9)}) {
+    ivf::IvfSearchOptions opt;
+    opt.nprobe = nprobe;
+    auto batch = f.index->SearchBatch(ptrs.data(), ptrs.size(), 10, opt);
+    ASSERT_EQ(batch.size(), f.queries.size());
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      auto single = f.index->Search(f.queries[q], 10, opt);
+      EXPECT_EQ(batch[q].results, single.results)
+          << "nprobe=" << nprobe << " q=" << q;
+      EXPECT_EQ(batch[q].stats.lists_probed, single.stats.lists_probed);
+      EXPECT_EQ(batch[q].stats.codes_scanned, single.stats.codes_scanned);
+    }
+  }
+}
+
+// Duplicate queries maximize list sharing (every probed list is scanned for
+// the whole batch through the multi-query kernel at once).
+TEST(IvfIndexTest, SearchBatchWithSharedListsMatchesSearch) {
+  Fixture f = MakeFixture(900, 4, 5);
+  std::vector<const float*> ptrs;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (size_t q = 0; q < f.queries.size(); ++q) ptrs.push_back(f.queries[q]);
+  }
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = 3;
+  auto batch = f.index->SearchBatch(ptrs.data(), ptrs.size(), 10, opt);
+  for (size_t i = 0; i < ptrs.size(); ++i) {
+    auto single = f.index->Search(ptrs[i], 10, opt);
+    EXPECT_EQ(batch[i].results, single.results) << "i=" << i;
+  }
+}
+
+// ----------------------------------------------------------- edge cases ----
+
+TEST(IvfIndexTest, EmptyListsAndSmallCorpus) {
+  // 8 centroids, 3 inserted vectors: most lists stay empty; searches must
+  // tolerate empty probes, k > corpus, and nprobe > nlist.
+  Dataset tiny = synthetic::MakeSiftLike(64, 3);
+  quant::PqOptions popt;
+  popt.m = 8;
+  popt.nbits = 4;
+  popt.kmeans_iters = 2;
+  auto pq = quant::PqQuantizer::Train(tiny, popt);
+
+  quant::KMeansOptions kopt;
+  kopt.k = 8;
+  auto km = quant::RunKMeans(tiny.data(), tiny.size(), tiny.dim(), kopt);
+  auto index = ivf::IvfIndex::CreateEmpty(km.centroids, tiny.dim(), *pq);
+
+  // Entirely empty index: no results, no crash.
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = 100;  // > nlist, clamped
+  auto empty = index->Search(tiny[0], 10, opt);
+  EXPECT_TRUE(empty.results.empty());
+  EXPECT_EQ(empty.stats.lists_probed, 8u);
+  EXPECT_EQ(empty.stats.codes_scanned, 0u);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(index->Insert(tiny[i]), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(index->size(), 3u);
+  auto out = index->Search(tiny[0], 10, opt);  // k > corpus
+  ASSERT_EQ(out.results.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(out.results.begin(), out.results.end()));
+  EXPECT_EQ(out.results[0].id, 0u);  // the query is an indexed vector
+
+  // Batch over the same edge state.
+  const float* qs[2] = {tiny[0], tiny[1]};
+  auto batch = index->SearchBatch(qs, 2, 10, opt);
+  EXPECT_EQ(batch[0].results, out.results);
+}
+
+TEST(IvfIndexTest, InsertsMatchBuildLayout) {
+  // An empty clone of a built index (same centroids) filled through Insert
+  // must search identically: appends hit the packed tail-block path at every
+  // length mod 32.
+  Fixture f = MakeFixture(777, 6, 6);
+  auto streamed = ivf::IvfIndex::CreateEmpty(f.index->centroids(),
+                                             f.base.dim(), *f.pq);
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    EXPECT_EQ(streamed->Insert(f.base[i]), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(streamed->size(), f.index->size());
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = 4;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    EXPECT_EQ(streamed->Search(f.queries[q], 10, opt).results,
+              f.index->Search(f.queries[q], 10, opt).results)
+        << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------- persistence ----
+
+TEST(IvfIndexTest, SaveLoadRoundTrips) {
+  for (bool store_vectors : {false, true}) {
+    Fixture f = MakeFixture(600, 5, 7, store_vectors);
+    std::string path = testing::TempDir() + "/ivf_roundtrip.bin";
+    ASSERT_TRUE(f.index->Save(path).ok());
+    auto loaded = ivf::IvfIndex::Load(path, *f.pq);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value()->nlist(), f.index->nlist());
+    EXPECT_EQ(loaded.value()->size(), f.index->size());
+    EXPECT_EQ(loaded.value()->stores_vectors(), store_vectors);
+    ivf::IvfSearchOptions opt;
+    opt.nprobe = 5;
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      EXPECT_EQ(loaded.value()->Search(f.queries[q], 10, opt).results,
+                f.index->Search(f.queries[q], 10, opt).results);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// A corrupt per-list count must come back as a Status error, not abort the
+// process inside vector::resize (counts are bounded by the header total and
+// the header total by the file size, before any allocation trusts them).
+TEST(IvfIndexTest, LoadRejectsCorruptListCounts) {
+  Fixture f = MakeFixture(400, 3, 4);
+  std::string path = testing::TempDir() + "/ivf_corrupt.bin";
+  ASSERT_TRUE(f.index->Save(path).ok());
+  // The first list-count u64 sits right after the fixed header + centroids.
+  const long count_off =
+      4 + 4 + 4 + 4 + 4 + 1 + 4 + 8 +
+      static_cast<long>(f.index->nlist() * f.base.dim() * sizeof(float));
+  for (uint64_t bad :
+       {uint64_t{0x7fffffffffffffff}, uint64_t{f.base.size() + 1}}) {
+    std::FILE* fp = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fseek(fp, count_off, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&bad, sizeof(bad), 1, fp), 1u);
+    std::fclose(fp);
+    auto loaded = ivf::IvfIndex::Load(path, *f.pq);
+    EXPECT_FALSE(loaded.ok()) << "count=" << bad;
+  }
+  // Garbage header total (bounded by file size, checked before centroids).
+  std::FILE* fp = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(fp, nullptr);
+  const uint64_t bad_total = uint64_t{1} << 60;
+  ASSERT_EQ(std::fseek(fp, 4 + 4 + 4 + 4 + 4 + 1 + 4, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&bad_total, sizeof(bad_total), 1, fp), 1u);
+  std::fclose(fp);
+  EXPECT_FALSE(ivf::IvfIndex::Load(path, *f.pq).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IvfIndexTest, LoadRejectsMismatchedQuantizer) {
+  Fixture f = MakeFixture(400, 3, 4);
+  std::string path = testing::TempDir() + "/ivf_mismatch.bin";
+  ASSERT_TRUE(f.index->Save(path).ok());
+  quant::PqOptions popt;
+  popt.m = 8;  // different code size
+  popt.nbits = 4;
+  popt.kmeans_iters = 2;
+  auto other = quant::PqQuantizer::Train(f.base, popt);
+  EXPECT_FALSE(ivf::IvfIndex::Load(path, *other).ok());
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- concurrency ----
+
+// Readers and a writer interleave under the index's rwlock; run under the
+// CI ThreadSanitizer job. Results of concurrent reads are not asserted
+// against a serial oracle (the corpus is mutating) — only invariants.
+TEST(IvfConcurrencyTest, ConcurrentSearchAndInsert) {
+  Dataset base = synthetic::MakeSiftLike(600, 11);
+  quant::PqOptions popt;
+  popt.m = 8;
+  popt.nbits = 4;
+  popt.kmeans_iters = 2;
+  auto pq = quant::PqQuantizer::Train(base, popt);
+  quant::KMeansOptions kopt;
+  kopt.k = 8;
+  auto km = quant::RunKMeans(base.data(), 200, base.dim(), kopt);
+  auto index = ivf::IvfIndex::CreateEmpty(km.centroids, base.dim(), *pq);
+  for (size_t i = 0; i < 100; ++i) index->Insert(base[i]);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> searches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      ivf::IvfSearchOptions opt;
+      opt.nprobe = 4;
+      size_t q = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto out = index->Search(base[q % 100], 5, opt);
+        ASSERT_TRUE(std::is_sorted(out.results.begin(), out.results.end()));
+        ASSERT_LE(out.results.size(), 5u);
+        ++q;
+        ++searches;
+      }
+    });
+  }
+  for (size_t i = 100; i < base.size(); ++i) index->Insert(base[i]);
+  // On few-core boxes the writer can finish before any reader completes a
+  // search; let the readers get at least a few in before stopping.
+  while (searches.load() < 3) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(index->size(), base.size());
+  EXPECT_GT(searches.load(), 0u);
+  // Post-quiescence: every vector is findable again.
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = 8;
+  auto out = index->Search(base[base.size() - 1], 1, opt);
+  ASSERT_EQ(out.results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rpq

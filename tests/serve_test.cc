@@ -19,9 +19,11 @@
 #include "eval/recall.h"
 #include "graph/fresh_vamana.h"
 #include "graph/vamana.h"
+#include "ivf/ivf_index.h"
 #include "quant/pq.h"
 #include "serve/batcher.h"
 #include "serve/engine.h"
+#include "serve/ivf_service.h"
 #include "serve/loadgen.h"
 #include "serve/sharded.h"
 
@@ -375,6 +377,55 @@ TEST(FreshVamanaServeTest, ReadersMakeProgressDuringMutation) {
   auto via = service.Search({queries[0], 10, 64});
   EXPECT_EQ(direct, via.results);
   for (const auto& nb : direct) EXPECT_FALSE(index.IsDeleted(nb.id));
+}
+
+// ------------------------------------------------------ IVF backend ------
+
+// The IVF flat-scan backend behind the same serving interface: engine
+// replay (parallel), micro-batched submission (which rides
+// IvfIndex::SearchBatch and its multi-query LUT kernel), and direct index
+// calls must all agree. A QuerySpec's beam_width carries nprobe for IVF.
+TEST(IvfServiceTest, EngineAndBatcherMatchDirectSearch) {
+  Dataset base, queries;
+  synthetic::MakeBaseAndQueries("sift", 1200, 10, /*seed=*/19, &base,
+                                &queries);
+  quant::PqOptions popt;
+  popt.m = 8;
+  popt.nbits = 4;
+  popt.kmeans_iters = 3;
+  auto pq = quant::PqQuantizer::Train(base, popt);
+  ivf::IvfOptions iopt;
+  iopt.nlist = 8;
+  auto index = ivf::IvfIndex::Build(base, *pq, iopt);
+  IvfService service(*index);
+
+  const size_t k = 10, nprobe = 4;
+  std::vector<std::vector<Neighbor>> direct(queries.size());
+  ivf::IvfSearchOptions sopt;
+  sopt.nprobe = nprobe;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto res = index->Search(queries[q], k, sopt);
+    direct[q] = std::move(res.results);
+  }
+
+  ServingEngine engine(service, {3});
+  auto via_engine = engine.SearchAll(queries, k, nprobe);
+  ASSERT_EQ(via_engine.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(via_engine[q].results, direct[q]) << "q=" << q;
+    EXPECT_EQ(via_engine[q].stats.hops, nprobe);  // lists probed
+  }
+
+  MicroBatcher batcher(engine, {4, std::chrono::microseconds(500)});
+  std::vector<std::future<QueryResult>> futures;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    futures.push_back(batcher.Submit({queries[q], k, nprobe}));
+  }
+  batcher.Flush();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(futures[q].get().results, direct[q]) << "q=" << q;
+  }
+  EXPECT_EQ(batcher.queries_submitted(), queries.size());
 }
 
 }  // namespace

@@ -84,10 +84,13 @@ TEST(SimdKernelTest, UnalignedPointersMatchScalar) {
 
 TEST(SimdKernelTest, L2ToManyMatchesScalar) {
   Rng rng(5);
-  // 4, 5, 7, 8 exercise the cross-row small-dim kernel; the rest cover the
-  // scalar fallback and the wide per-row path.
+  // 4-8 exercise the cross-row small-dim kernel, 9-15 the mid-dim cross-row
+  // kernel (two loads per row); the rest cover the scalar fallback (d < 4)
+  // and the wide per-row path.
   for (size_t d : {size_t(1), size_t(3), size_t(4), size_t(5), size_t(6),
-                   size_t(7), size_t(8), size_t(96), size_t(128)}) {
+                   size_t(7), size_t(8), size_t(9), size_t(10), size_t(11),
+                   size_t(12), size_t(13), size_t(14), size_t(15), size_t(16),
+                   size_t(96), size_t(128)}) {
     for (size_t n : {size_t(1), size_t(3), size_t(17), size_t(64)}) {
       auto q = RandomVec(d, &rng);
       auto base = RandomVec(n * d, &rng);
@@ -179,6 +182,56 @@ TEST(SimdKernelTest, AdcFastScanMatchesScalarBitExactly) {
         ASSERT_EQ(got[i], want[i])
             << "m2=" << m2 << " blocks=" << n_blocks << " i=" << i;
       }
+    }
+  }
+}
+
+// Multi-query FastScan: query-major sums must match the scalar reference —
+// which is literally nq single-query scans — bit-for-bit, across query
+// counts straddling every tile width (4/2/1 on x86, 2/1 on NEON).
+TEST(SimdKernelTest, AdcFastScanMultiMatchesScalarBitExactly) {
+  Rng rng(11);
+  for (size_t m2 : {size_t(2), size_t(8), size_t(16), size_t(34)}) {
+    for (size_t nq : {size_t(1), size_t(2), size_t(3), size_t(4), size_t(5),
+                      size_t(7), size_t(8), size_t(9)}) {
+      for (size_t n_blocks : {size_t(1), size_t(3)}) {
+        std::vector<uint8_t> luts(nq * m2 * 16);
+        for (auto& v : luts) v = static_cast<uint8_t>(rng.UniformIndex(256));
+        std::vector<uint8_t> packed(n_blocks * 16 * m2);
+        for (auto& v : packed) v = static_cast<uint8_t>(rng.UniformIndex(256));
+        std::vector<uint16_t> got(nq * n_blocks * 32), want(nq * n_blocks * 32);
+        Ops().adc_fastscan_multi(luts.data(), nq, m2, packed.data(), n_blocks,
+                                 got.data());
+        ScalarOps().adc_fastscan_multi(luts.data(), nq, m2, packed.data(),
+                                       n_blocks, want.data());
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], want[i])
+              << "m2=" << m2 << " nq=" << nq << " blocks=" << n_blocks
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// And against the dispatched single-query kernel: batching queries must not
+// change any query's sums.
+TEST(SimdKernelTest, AdcFastScanMultiMatchesSingleQueryScans) {
+  Rng rng(12);
+  const size_t m2 = 16, nq = 6, n_blocks = 4;
+  std::vector<uint8_t> luts(nq * m2 * 16);
+  for (auto& v : luts) v = static_cast<uint8_t>(rng.UniformIndex(256));
+  std::vector<uint8_t> packed(n_blocks * 16 * m2);
+  for (auto& v : packed) v = static_cast<uint8_t>(rng.UniformIndex(256));
+  std::vector<uint16_t> multi(nq * n_blocks * 32), single(n_blocks * 32);
+  Ops().adc_fastscan_multi(luts.data(), nq, m2, packed.data(), n_blocks,
+                           multi.data());
+  for (size_t q = 0; q < nq; ++q) {
+    Ops().adc_fastscan(luts.data() + q * m2 * 16, m2, packed.data(), n_blocks,
+                       single.data());
+    for (size_t i = 0; i < single.size(); ++i) {
+      ASSERT_EQ(multi[q * n_blocks * 32 + i], single[i])
+          << "q=" << q << " i=" << i;
     }
   }
 }

@@ -9,15 +9,21 @@
 //                         --out model.rpqq
 //   rpq_tool encode       --base data/base.fvecs --model model.rpqq
 //                         --out codes.bin
+//   rpq_tool build-ivf    --base data/base.fvecs --model model.rpqq
+//                         --out ivf.bin [--nlist 64] [--nprobe 8]
+//                         [--store-vectors] [--train-sample 0]
 //   rpq_tool search       --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         --k 10 --beam 64 [--mode adc|sdc|fastscan]
 //                         [--rerank N] [--hybrid] [--dump-top1 path]
+//                         [--index graph|ivf] [--ivf ivf.bin] [--nlist 64]
+//                         [--nprobe 8] [--sweep-nprobe 1,2,4,...]
 //   rpq_tool serve-bench  --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         [--threads 4] [--shards 1] [--parallel-shards]
 //                         [--k 10] [--beam 64] [--total 0] [--rate 0]
-//                         [--hybrid]
+//                         [--hybrid] [--index graph|ivf] [--nlist 64]
+//                         [--nprobe 8]
 //
 // --nbits 4 trains a 4-bit model (K = 16); searching such a model with
 // --mode fastscan routes through the shuffle-kernel scan path with float-ADC
@@ -26,6 +32,14 @@
 // ulps across SIMD backends); the CI smoke job compares the dump between
 // RPQ_SIMD=scalar and the dispatched backend to catch FastScan kernel
 // divergence end-to-end.
+//
+// --index ivf serves the non-graph backend: coarse k-means routing over
+// --nlist cells, flat FastScan scans of the --nprobe nearest (requires a
+// 4-bit model; --graph is unused). search builds the index in memory or
+// loads one saved by build-ivf (--ivf); --sweep-nprobe prints a recall/QPS
+// operating curve over the given comma-separated nprobe values. serve-bench
+// with --index ivf drives the same concurrent load tests over IvfService,
+// where a query's beam_width slot carries its nprobe.
 //
 // serve-bench drives the concurrent serving subsystem (src/serve/): a
 // closed-loop load test with --threads clients (and, when --rate is given,
@@ -49,13 +63,16 @@
 #include "data/lid.h"
 #include "data/synthetic.h"
 #include "disk/disk_index.h"
+#include "eval/harness.h"
 #include "eval/recall.h"
 #include "graph/hnsw.h"
+#include "ivf/ivf_index.h"
 #include "graph/nsg.h"
 #include "graph/vamana.h"
 #include "quant/opq.h"
 #include "quant/serialize.h"
 #include "serve/engine.h"
+#include "serve/ivf_service.h"
 #include "serve/loadgen.h"
 #include "serve/sharded.h"
 
@@ -239,17 +256,89 @@ int CmdEncode(const Flags& flags) {
   return 0;
 }
 
+// IVF build knobs shared by build-ivf, search --index ivf, serve-bench.
+rpq::ivf::IvfOptions IvfOptionsFrom(const Flags& flags) {
+  rpq::ivf::IvfOptions opt;
+  opt.nlist = flags.GetSize("nlist", 64);
+  opt.default_nprobe = flags.GetSize("nprobe", 8);
+  opt.store_vectors = flags.Has("store-vectors");
+  opt.train_sample = flags.GetSize("train-sample", 0);
+  return opt;
+}
+
+// Loads a saved IVF index (--ivf path) or builds one over the base in memory.
+rpq::Result<std::unique_ptr<rpq::ivf::IvfIndex>> MakeIvfIndex(
+    const Flags& flags, const Dataset& base,
+    const rpq::quant::PqQuantizer& model) {
+  if (const char* path = flags.Get("ivf")) {
+    return rpq::ivf::IvfIndex::Load(path, model);
+  }
+  if (model.num_centroids() > 16) {
+    return rpq::Status::InvalidArgument(
+        "--index ivf needs a 4-bit model (train with --nbits 4)");
+  }
+  return rpq::Result<std::unique_ptr<rpq::ivf::IvfIndex>>(
+      rpq::ivf::IvfIndex::Build(base, model, IvfOptionsFrom(flags)));
+}
+
+std::vector<size_t> ParseSizeList(const char* s) {
+  std::vector<size_t> out;
+  while (s != nullptr && *s != '\0') {
+    char* end = nullptr;
+    size_t v = std::strtoull(s, &end, 10);
+    if (end == s) break;
+    out.push_back(v);
+    s = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+int CmdBuildIvf(const Flags& flags) {
+  auto base = LoadBase(flags);
+  if (!base.ok()) return Fail(base.status().ToString());
+  const char* mpath = flags.Get("model");
+  const char* out = flags.Get("out");
+  if (mpath == nullptr || out == nullptr) {
+    return Fail("--model and --out are required");
+  }
+  auto model = rpq::quant::LoadQuantizer(mpath);
+  if (!model.ok()) return Fail(model.status().ToString());
+  if (model.value()->num_centroids() > 16) {
+    return Fail("build-ivf needs a 4-bit model (train with --nbits 4)");
+  }
+  rpq::Timer timer;
+  auto index =
+      rpq::ivf::IvfIndex::Build(base.value(), *model.value(), IvfOptionsFrom(flags));
+  std::printf("ivf index: %zu lists over %zu vectors in %.1fs (%.1f MB)\n",
+              index->nlist(), index->size(), timer.ElapsedSeconds(),
+              index->MemoryBytes() / 1e6);
+  auto s = index->Save(out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::printf("saved to %s\n", out);
+  return 0;
+}
+
 int CmdSearch(const Flags& flags) {
   auto base = LoadBase(flags);
   if (!base.ok()) return Fail(base.status().ToString());
+  const std::string index_kind = flags.Get("index", "graph");
+  const bool use_ivf = index_kind == "ivf";
+  if (!use_ivf && index_kind != "graph") {
+    return Fail("unknown --index: " + index_kind + " (graph|ivf)");
+  }
   const char* gpath = flags.Get("graph");
   const char* mpath = flags.Get("model");
   const char* qpath = flags.Get("queries");
-  if (gpath == nullptr || mpath == nullptr || qpath == nullptr) {
-    return Fail("--graph, --model, --queries are required");
+  if (mpath == nullptr || qpath == nullptr || (gpath == nullptr && !use_ivf)) {
+    return Fail(use_ivf ? "--model and --queries are required"
+                        : "--graph, --model, --queries are required");
   }
-  auto g = rpq::graph::ProximityGraph::Load(gpath);
-  if (!g.ok()) return Fail(g.status().ToString());
+  rpq::graph::ProximityGraph graph;
+  if (!use_ivf) {
+    auto g = rpq::graph::ProximityGraph::Load(gpath);
+    if (!g.ok()) return Fail(g.status().ToString());
+    graph = std::move(g.value());
+  }
   auto model = rpq::quant::LoadQuantizer(mpath);
   if (!model.ok()) return Fail(model.status().ToString());
   auto queries = rpq::io::ReadFvecs(qpath);
@@ -259,12 +348,44 @@ int CmdSearch(const Flags& flags) {
   size_t beam = flags.GetSize("beam", 64);
   auto gt = rpq::ComputeGroundTruth(base.value(), queries.value(), k);
 
+  // The IVF index is assembled (or loaded) before the timed loop, like the
+  // graph artifacts; --sweep-nprobe prints its recall/QPS curve first.
+  std::unique_ptr<rpq::ivf::IvfIndex> ivf_index;
+  rpq::ivf::IvfSearchOptions ivf_opt;
+  if (use_ivf) {
+    auto made = MakeIvfIndex(flags, base.value(), *model.value());
+    if (!made.ok()) return Fail(made.status().ToString());
+    ivf_index = std::move(made.value());
+    ivf_opt.nprobe = flags.GetSize("nprobe", 0);
+    ivf_opt.rerank = flags.GetSize("rerank", 0);
+    if (const char* sweep = flags.Get("sweep-nprobe")) {
+      auto nprobes = ParseSizeList(sweep);
+      if (nprobes.empty()) return Fail("--sweep-nprobe expects n1,n2,...");
+      const rpq::ivf::IvfIndex& ix = *ivf_index;
+      const size_t rerank = ivf_opt.rerank;
+      rpq::eval::SearchFn fn = [&ix, rerank](const float* q, size_t kk,
+                                             size_t nprobe) {
+        rpq::eval::SearchOutcome out;
+        auto res = ix.Search(q, kk, {nprobe, rerank});
+        out.results = std::move(res.results);
+        out.hops = res.stats.lists_probed;
+        return out;
+      };
+      rpq::eval::PrintCurve(
+          "ivf", rpq::eval::SweepNprobe(fn, queries.value(), gt, k, nprobes));
+    }
+  }
+
   std::vector<std::vector<rpq::Neighbor>> results(queries.value().size());
   rpq::Timer timer;
   double io_seconds = 0;
-  if (flags.Has("hybrid")) {
-    auto index = rpq::disk::DiskIndex::Build(base.value(), g.value(),
-                                             *model.value());
+  if (use_ivf) {
+    for (size_t q = 0; q < queries.value().size(); ++q) {
+      results[q] = ivf_index->Search(queries.value()[q], k, ivf_opt).results;
+    }
+  } else if (flags.Has("hybrid")) {
+    auto index =
+        rpq::disk::DiskIndex::Build(base.value(), graph, *model.value());
     for (size_t q = 0; q < queries.value().size(); ++q) {
       auto out = index->Search(queries.value()[q], k, {beam, k});
       results[q] = std::move(out.results);
@@ -276,7 +397,7 @@ int CmdSearch(const Flags& flags) {
     if (mode_name == "sdc") mode = rpq::core::DistanceMode::kSdc;
     if (mode_name == "fastscan") mode = rpq::core::DistanceMode::kFastScan;
     auto index =
-        rpq::core::MemoryIndex::Build(base.value(), g.value(), *model.value());
+        rpq::core::MemoryIndex::Build(base.value(), graph, *model.value());
     if (mode == rpq::core::DistanceMode::kFastScan) {
       if (!index->fastscan_capable()) {
         return Fail("--mode fastscan needs a 4-bit model (train with --nbits 4)");
@@ -335,16 +456,31 @@ int CmdServeBench(const Flags& flags) {
   const size_t shards = flags.GetSize("shards", 1);
   const double rate = std::strtod(flags.Get("rate", "0"), nullptr);
 
-  // Assemble the backend: sharded in-memory, hybrid disk, or single-shard
-  // in-memory over a prebuilt graph.
+  // Assemble the backend: IVF flat-scan, sharded in-memory, hybrid disk, or
+  // single-shard in-memory over a prebuilt graph.
   std::unique_ptr<rpq::core::MemoryIndex> mem_index;
   std::unique_ptr<rpq::disk::DiskIndex> disk_index;
+  std::unique_ptr<rpq::ivf::IvfIndex> ivf_index;
   std::unique_ptr<rpq::serve::SearchService> owned_service;
   rpq::serve::ShardedMemoryIndex sharded;
   const rpq::serve::SearchService* service = nullptr;
   rpq::graph::ProximityGraph graph;
 
-  if (shards > 1) {
+  const std::string index_kind = flags.Get("index", "graph");
+  if (index_kind == "ivf") {
+    rpq::Timer build;
+    auto made = MakeIvfIndex(flags, base.value(), *model.value());
+    if (!made.ok()) return Fail(made.status().ToString());
+    ivf_index = std::move(made.value());
+    // For IVF backends the QuerySpec beam_width slot carries nprobe.
+    opt.beam_width = flags.GetSize("nprobe", 8);
+    std::printf("built ivf index: %zu lists, %zu vectors in %.1fs (%.1f MB)\n",
+                ivf_index->nlist(), ivf_index->size(), build.ElapsedSeconds(),
+                ivf_index->MemoryBytes() / 1e6);
+    owned_service = std::make_unique<rpq::serve::IvfService>(
+        *ivf_index, flags.GetSize("rerank", 0));
+    service = owned_service.get();
+  } else if (shards > 1) {
     rpq::graph::VamanaOptions vopt;
     vopt.degree = flags.GetSize("degree", 32);
     vopt.build_beam = flags.GetSize("build-beam", 64);
@@ -408,9 +544,9 @@ int CmdServeBench(const Flags& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: rpq_tool <gen|stats|build-graph|train|encode|search|"
-               "serve-bench> [--flags]\nsee the header of tools/rpq_tool.cc "
-               "for the full pipeline\n");
+               "usage: rpq_tool <gen|stats|build-graph|train|encode|build-ivf|"
+               "search|serve-bench> [--flags]\nsee the header of "
+               "tools/rpq_tool.cc for the full pipeline\n");
   return 2;
 }
 
@@ -425,6 +561,7 @@ int main(int argc, char** argv) {
   if (cmd == "build-graph") return CmdBuildGraph(flags);
   if (cmd == "train") return CmdTrain(flags);
   if (cmd == "encode") return CmdEncode(flags);
+  if (cmd == "build-ivf") return CmdBuildIvf(flags);
   if (cmd == "search") return CmdSearch(flags);
   if (cmd == "serve-bench") return CmdServeBench(flags);
   return Usage();
