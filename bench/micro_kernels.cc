@@ -17,7 +17,9 @@
 #include "quant/adc.h"
 #include "quant/fastscan.h"
 #include "quant/kmeans.h"
+#include "quant/linkcode.h"
 #include "quant/pq.h"
+#include "refine/refine.h"
 #include "simd/simd.h"
 
 namespace {
@@ -352,6 +354,83 @@ void BM_BeamSearchFastScan(benchmark::State& state) {
   BM_BeamSearchFourBit(state, core::DistanceMode::kFastScan);
 }
 BENCHMARK(BM_BeamSearchFastScan)->Arg(16)->Arg(64);
+
+// Per-candidate cost of the refinement stages (src/refine/): the float-ADC
+// batched gather, the exact raw-row squared L2, and the Link&Code
+// neighbor-regression reconstruction, each re-scoring the same 64-candidate
+// set one epilogue would. Items = candidates, so items/s ranks the stages'
+// per-candidate cost directly; recall-wise they rank the other way (exact >
+// linkcode > adc) — the trade the --rerank-mode knob exposes.
+struct RerankStageFixture {
+  Dataset base, queries;
+  graph::ProximityGraph graph;
+  std::unique_ptr<quant::PqQuantizer> pq;
+  std::vector<uint8_t> codes;
+  std::unique_ptr<quant::LinkCodeIndex> linkcode;
+  std::vector<refine::Candidate> cands;
+};
+
+RerankStageFixture& RerankFixture() {
+  // Built in place behind a pointer: linkcode holds references into base
+  // and graph, so the fixture must never be moved after construction.
+  static RerankStageFixture* f = [] {
+    auto* x = new RerankStageFixture;
+    synthetic::MakeBaseAndQueries("sift", 20000, 8, 19, &x->base, &x->queries);
+    graph::VamanaOptions vopt;
+    vopt.degree = 16;
+    vopt.build_beam = 32;
+    x->graph = graph::BuildVamana(x->base, vopt);
+    quant::PqOptions popt;
+    popt.m = 16;
+    popt.nbits = 4;
+    popt.kmeans_iters = 4;
+    x->pq = quant::PqQuantizer::Train(x->base, popt);
+    x->codes = x->pq->EncodeDataset(x->base);
+    quant::LinkCodeOptions lopt;
+    lopt.pq = popt;
+    lopt.num_links = 8;
+    x->linkcode = quant::LinkCodeIndex::Build(x->base, x->graph, lopt);
+    Rng rng(29);
+    for (int i = 0; i < 64; ++i) {
+      x->cands.push_back(
+          {0.f, static_cast<uint32_t>(rng.UniformIndex(x->base.size())), 0});
+    }
+    return x;
+  }();
+  return *f;
+}
+
+void BM_RerankStage(benchmark::State& state, int stage) {
+  RerankStageFixture& f = RerankFixture();
+  const float* query = f.queries[0];
+  quant::AdcTable lut(*f.pq, query);
+  std::vector<float> out(f.cands.size());
+  std::unique_ptr<refine::Refiner> refiner;
+  if (stage == 0) {
+    refiner = std::make_unique<refine::AdcRefiner>(lut, f.codes.data(),
+                                                   f.pq->code_size());
+  } else if (stage == 1) {
+    refiner = std::make_unique<refine::ExactRefiner>(query, f.base.dim(),
+                                                     f.base.data());
+  } else {
+    refiner = std::make_unique<refine::LinkCodeRefiner>(query, *f.linkcode);
+  }
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    refiner->Refine(f.cands.data(), f.cands.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.cands.size());
+}
+
+void BM_RerankStageAdc(benchmark::State& state) { BM_RerankStage(state, 0); }
+BENCHMARK(BM_RerankStageAdc);
+void BM_RerankStageExact(benchmark::State& state) { BM_RerankStage(state, 1); }
+BENCHMARK(BM_RerankStageExact);
+void BM_RerankStageLinkCode(benchmark::State& state) {
+  BM_RerankStage(state, 2);
+}
+BENCHMARK(BM_RerankStageLinkCode);
 
 // Multi-query FastScan (the IVF batched list scan): one pass over the packed
 // blocks scores Q queries' LUTs while each block row is register-resident.

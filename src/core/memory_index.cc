@@ -2,36 +2,51 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "quant/adc.h"
 
 namespace rpq::core {
 
 std::unique_ptr<MemoryIndex> MemoryIndex::Build(
     const Dataset& base, const graph::ProximityGraph& graph,
-    const quant::VectorQuantizer& quantizer, bool fastscan_layout) {
+    const quant::VectorQuantizer& quantizer,
+    const MemoryIndexOptions& options) {
   auto index = std::unique_ptr<MemoryIndex>(new MemoryIndex(graph, quantizer));
   index->codes_ = quantizer.EncodeDataset(base);
-  if (fastscan_layout && quantizer.num_centroids() <= 16) {
+  index->dim_ = base.dim();
+  if (options.fastscan_layout && quantizer.num_centroids() <= 16) {
     // 4-bit-capable quantizer: lay out every vertex's neighbor codes as
     // packed FastScan blocks so kFastScan searches score whole expansions
     // with register-resident shuffles.
     index->fastscan_ = quant::PackedNeighborBlocks::Build(
         graph, index->codes_.data(), quantizer.code_size());
   }
+  if (options.store_vectors) {
+    index->vectors_.assign(base.data(), base.data() + base.size() * base.dim());
+  }
   return index;
 }
 
+refine::RerankMode MemoryIndex::ResolveRerankMode(
+    refine::RerankMode requested) const {
+  const refine::RerankMode mode =
+      requested != refine::RerankMode::kAuto ? requested : rerank_mode_;
+  return refine::ResolveAutoMode(mode, stores_vectors());
+}
+
 MemorySearchResult MemoryIndex::SearchFastScan(
-    const quant::AdcTable& table, size_t k,
-    const graph::BeamSearchOptions& opt, graph::VisitedTable* visited) const {
+    const float* query, const quant::AdcTable& table, size_t k,
+    const graph::BeamSearchOptions& opt, const refine::RerankSpec& rerank,
+    graph::VisitedTable* visited) const {
   RPQ_CHECK(fastscan_.has_value() &&
             "FastScan needs a quantizer with K <= 16 (see PqOptions.nbits)");
   MemorySearchResult out;
   const size_t code_size = quantizer_.code_size();
 
-  // Navigate on the u8-quantized table; the float table (already built — it
-  // is what the u8 one was quantized from) reranks the widened candidate
-  // list to undo the u8 rounding error.
+  // Navigate on the u8-quantized table; the refinement stage (float ADC by
+  // default — the float table is what the u8 one was quantized from — or
+  // exact / Link&Code when the index carries that state) re-scores the
+  // widened candidate list to undo the u8 rounding error.
   quant::FastScanTable ftable(table);
   quant::FastScanNeighborOracle oracle(ftable, codes_.data(), code_size,
                                        *fastscan_);
@@ -39,35 +54,51 @@ MemorySearchResult MemoryIndex::SearchFastScan(
   // beam width — widening it never widens the traversal (the A/B against
   // the float-ADC path stays beam-for-beam fair).
   const size_t beam_width = std::max(opt.beam_width, k);
-  const size_t rerank = std::min(
-      beam_width,
-      std::max(fastscan_rerank_ == 0 ? std::max(2 * k, size_t{32})
-                                     : fastscan_rerank_,
-               k));
+  const size_t width =
+      std::min(beam_width,
+               refine::EffectiveRerankWidth(
+                   rerank.width > 0 ? rerank.width : rerank_width_, k));
   std::vector<Neighbor> cands =
       graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                        {beam_width, rerank}, visited, &out.stats);
+                        {beam_width, width}, visited, &out.stats);
 
-  // Float-ADC rerank of the candidate list, batched through the gather
-  // kernel (one call for all candidates).
-  std::vector<uint32_t> ids(cands.size());
-  std::vector<float> exact(cands.size());
-  for (size_t i = 0; i < cands.size(); ++i) ids[i] = cands[i].id;
-  table.DistanceBatchGather(codes_.data(), code_size, ids.data(), ids.size(),
-                            exact.data());
-  out.results.reserve(cands.size());
-  for (size_t i = 0; i < cands.size(); ++i) {
-    out.results.push_back({exact[i], ids[i]});
+  // Shared refinement epilogue: the beam's survivors become a
+  // CandidateBuffer (bulk-fed — the beam was invoked with result count =
+  // width, so nothing can evict), one Refiner stage re-scores them, top-k
+  // comes back sorted by (refined distance, id).
+  refine::CandidateBuffer buffer(width);
+  buffer.PushBounded(cands.data(), cands.size());
+  out.stats.dist_comps += buffer.size();
+  switch (ResolveRerankMode(rerank.mode)) {
+    case refine::RerankMode::kExact: {
+      RPQ_CHECK(stores_vectors() &&
+                "RerankMode::kExact needs MemoryIndexOptions.store_vectors");
+      refine::ExactRefiner refiner(query, dim_, vectors_.data());
+      out.results = refine::RefineTopK(buffer, refiner, k);
+      break;
+    }
+    case refine::RerankMode::kLinkCode: {
+      RPQ_CHECK(linkcode_ != nullptr &&
+                "RerankMode::kLinkCode needs set_linkcode()");
+      refine::LinkCodeRefiner refiner(query, *linkcode_);
+      out.results = refine::RefineTopK(buffer, refiner, k);
+      break;
+    }
+    default: {
+      // Float-ADC: batched through the gather kernel (one call for all
+      // candidates).
+      refine::AdcRefiner refiner(table, codes_.data(), code_size);
+      out.results = refine::RefineTopK(buffer, refiner, k);
+      break;
+    }
   }
-  out.stats.dist_comps += cands.size();
-  std::sort(out.results.begin(), out.results.end());
-  if (out.results.size() > k) out.results.resize(k);
   return out;
 }
 
 MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
                                        const graph::BeamSearchOptions& opt,
-                                       DistanceMode mode) const {
+                                       DistanceMode mode,
+                                       const refine::RerankSpec& rerank) const {
   MemorySearchResult out;
   graph::VisitedTable* visited = graph::TlsVisitedTable(graph_.num_vertices());
   const size_t code_size = quantizer_.code_size();
@@ -82,7 +113,7 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
   }
   quant::AdcTable table(quantizer_, query);
   if (mode == DistanceMode::kFastScan) {
-    return SearchFastScan(table, k, opt, visited);
+    return SearchFastScan(query, table, k, opt, rerank, visited);
   }
   quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
   out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
@@ -92,7 +123,8 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
 
 std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
     const float* const* queries, size_t nq, size_t k,
-    const graph::BeamSearchOptions& opt, DistanceMode mode) const {
+    const graph::BeamSearchOptions& opt, DistanceMode mode,
+    const refine::RerankSpec& rerank) const {
   std::vector<MemorySearchResult> out(nq);
   if (nq == 0) return out;
   if (mode == DistanceMode::kSdc) {
@@ -118,7 +150,8 @@ std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
     }
     for (size_t i = 0; i < tile; ++i) {
       if (mode == DistanceMode::kFastScan) {
-        out[base + i] = SearchFastScan(tables[i], k, opt, visited);
+        out[base + i] = SearchFastScan(queries[base + i], tables[i], k, opt,
+                                       rerank, visited);
         continue;
       }
       quant::AdcBatchOracle oracle{tables[i], codes_.data(), code_size};
@@ -133,6 +166,7 @@ std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
 size_t MemoryIndex::MemoryBytes() const {
   size_t bytes = codes_.size() + quantizer_.ModelSizeBytes();
   if (fastscan_.has_value()) bytes += fastscan_->MemoryBytes();
+  bytes += vectors_.size() * sizeof(float);
   return bytes;
 }
 

@@ -1,6 +1,8 @@
 // PQ-integrated in-memory graph index (paper §7, in-memory scenario):
 // memory holds the PG plus compact codes + codebook only — original vectors
-// are NOT consulted at query time; ranking and results both use ADC.
+// are NOT consulted at query time; ranking and results both use ADC. (A
+// deployment that opts into MemoryIndexOptions.store_vectors trades that
+// memory floor for an exact refinement stage, like the IVF backend does.)
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,7 @@
 #include "graph/graph.h"
 #include "quant/fastscan.h"
 #include "quant/quantizer.h"
+#include "refine/refine.h"
 
 namespace rpq::core {
 
@@ -25,9 +28,23 @@ struct MemorySearchResult {
 
 /// Distance estimation mode (§3.1): ADC (default, lower error), SDC (both
 /// sides quantized; requires a PQ-family quantizer), or FastScan (4-bit
-/// codes scored through register-resident u8 LUT shuffles, with a float-ADC
-/// rerank of the top candidates; requires a quantizer with K <= 16).
+/// codes scored through register-resident u8 LUT shuffles, with a
+/// refine::Refiner rerank of the top candidates; requires a quantizer with
+/// K <= 16).
 enum class DistanceMode { kAdc, kSdc, kFastScan };
+
+/// Build-time knobs.
+struct MemoryIndexOptions {
+  /// Lay out per-vertex packed neighbor blocks for DistanceMode::kFastScan
+  /// when the quantizer is 4-bit capable (K <= 16) — ~deg * m/2 extra bytes
+  /// per vertex; deployments that only search kAdc/kSdc can opt out.
+  bool fastscan_layout = true;
+  /// Retain the raw float rows (~4*dim bytes/vector): enables the exact
+  /// refinement stage (refine::RerankMode::kExact), lifting the FastScan
+  /// recall ceiling past what the codes alone can reach — the same knob
+  /// IvfOptions carries.
+  bool store_vectors = false;
+};
 
 /// Graph + codes index; the graph and quantizer are borrowed.
 ///
@@ -36,18 +53,27 @@ enum class DistanceMode { kAdc, kSdc, kFastScan };
 /// threads may search one index concurrently with no shared mutable state.
 class MemoryIndex {
  public:
-  /// `fastscan_layout` controls whether a 4-bit-capable quantizer (K <= 16)
-  /// also gets per-vertex packed neighbor blocks for DistanceMode::kFastScan
-  /// — they cost ~deg * m/2 extra bytes per vertex, so deployments that only
-  /// ever search with kAdc/kSdc can opt out.
   static std::unique_ptr<MemoryIndex> Build(const Dataset& base,
                                             const graph::ProximityGraph& graph,
                                             const quant::VectorQuantizer& quantizer,
-                                            bool fastscan_layout = true);
+                                            const MemoryIndexOptions& options);
 
+  /// Back-compat shorthand for Build with only the FastScan-layout knob.
+  static std::unique_ptr<MemoryIndex> Build(
+      const Dataset& base, const graph::ProximityGraph& graph,
+      const quant::VectorQuantizer& quantizer, bool fastscan_layout = true) {
+    MemoryIndexOptions options;
+    options.fastscan_layout = fastscan_layout;
+    return Build(base, graph, quantizer, options);
+  }
+
+  /// `rerank` overrides the index-level refinement defaults for this query
+  /// (width 0 / kAuto fields defer to the configured setters below); it only
+  /// applies to DistanceMode::kFastScan, the mode with a rerank epilogue.
   MemorySearchResult Search(const float* query, size_t k,
                             const graph::BeamSearchOptions& options,
-                            DistanceMode mode = DistanceMode::kAdc) const;
+                            DistanceMode mode = DistanceMode::kAdc,
+                            const refine::RerankSpec& rerank = {}) const;
 
   /// Scores `nq` queries back-to-back on the calling thread. All ADC lookup
   /// tables are built up-front, before any graph traversal, which keeps the
@@ -56,10 +82,12 @@ class MemoryIndex {
   std::vector<MemorySearchResult> SearchBatch(
       const float* const* queries, size_t nq, size_t k,
       const graph::BeamSearchOptions& options,
-      DistanceMode mode = DistanceMode::kAdc) const;
+      DistanceMode mode = DistanceMode::kAdc,
+      const refine::RerankSpec& rerank = {}) const;
 
   /// Codes + model bytes (the in-memory footprint the paper constrains),
-  /// including the packed FastScan neighbor blocks when built.
+  /// including the packed FastScan neighbor blocks and retained raw rows
+  /// when built with them.
   size_t MemoryBytes() const;
   const std::vector<uint8_t>& codes() const { return codes_; }
   size_t num_vertices() const { return graph_.num_vertices(); }
@@ -67,29 +95,54 @@ class MemoryIndex {
   /// True when Build laid out packed neighbor blocks (quantizer K <= 16),
   /// i.e. DistanceMode::kFastScan is available.
   bool fastscan_capable() const { return fastscan_.has_value(); }
+  /// True when Build retained the raw rows (RerankMode::kExact available).
+  bool stores_vectors() const { return !vectors_.empty(); }
 
-  /// How many beam candidates the FastScan path re-scores with the float ADC
-  /// table before returning top-k. 0 (default) = auto: max(2k, 32). Larger
-  /// values trade rerank work for recall; the u8 quantization error this
-  /// recovers is bounded by FastScanTable::ErrorBound().
-  void set_fastscan_rerank(size_t width) { fastscan_rerank_ = width; }
-  size_t fastscan_rerank() const { return fastscan_rerank_; }
+  /// How many beam candidates the FastScan path re-scores before returning
+  /// top-k. 0 (default) = auto: refine::EffectiveRerankWidth's max(2k, 32)
+  /// rule, capped at the beam width. Larger values trade rerank work for
+  /// recall; the u8 quantization error the ADC stage recovers is bounded by
+  /// FastScanTable::ErrorBound().
+  void set_fastscan_rerank(size_t width) { rerank_width_ = width; }
+  size_t fastscan_rerank() const { return rerank_width_; }
+
+  /// Default refinement stage for the FastScan epilogue. kAuto = exact when
+  /// raw rows are stored, float-ADC otherwise. kExact requires
+  /// MemoryIndexOptions.store_vectors; kLinkCode requires set_linkcode().
+  void set_rerank_mode(refine::RerankMode mode) { rerank_mode_ = mode; }
+  refine::RerankMode rerank_mode() const { return rerank_mode_; }
+
+  /// Attaches a Link&Code refinement model (borrowed; must outlive the
+  /// index) — enables refine::RerankMode::kLinkCode, which reranks with
+  /// graph-neighbor-regression reconstructions instead of raw rows.
+  void set_linkcode(const quant::LinkCodeIndex* linkcode) {
+    linkcode_ = linkcode;
+  }
+  const quant::LinkCodeIndex* linkcode() const { return linkcode_; }
 
  private:
   MemoryIndex(const graph::ProximityGraph& graph,
               const quant::VectorQuantizer& quantizer)
       : graph_(graph), quantizer_(quantizer) {}
 
-  MemorySearchResult SearchFastScan(const quant::AdcTable& table,
-                                    size_t k,
+  MemorySearchResult SearchFastScan(const float* query,
+                                    const quant::AdcTable& table, size_t k,
                                     const graph::BeamSearchOptions& options,
+                                    const refine::RerankSpec& rerank,
                                     graph::VisitedTable* visited) const;
+
+  /// Resolves a query-level mode request against the index defaults.
+  refine::RerankMode ResolveRerankMode(refine::RerankMode requested) const;
 
   const graph::ProximityGraph& graph_;
   const quant::VectorQuantizer& quantizer_;
   std::vector<uint8_t> codes_;
   std::optional<quant::PackedNeighborBlocks> fastscan_;
-  size_t fastscan_rerank_ = 0;
+  std::vector<float> vectors_;  ///< n x dim iff store_vectors
+  size_t dim_ = 0;
+  size_t rerank_width_ = 0;
+  refine::RerankMode rerank_mode_ = refine::RerankMode::kAuto;
+  const quant::LinkCodeIndex* linkcode_ = nullptr;
 };
 
 }  // namespace rpq::core

@@ -6,6 +6,7 @@
 #include "common/distance.h"
 #include "common/logging.h"
 #include "quant/adc.h"
+#include "refine/refine.h"
 
 namespace rpq::disk {
 namespace {
@@ -88,7 +89,12 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
   std::vector<float> cand_dists;
   cand_ids.reserve(max_degree_);
   cand_dists.reserve(max_degree_);
-  TopK rerank(k);  // exact distances from fetched vectors
+  // The shared refinement buffer, fed exact distances from fetched vectors:
+  // the disk path refines DURING traversal (re-fetching blocks afterwards
+  // would double the I/O), so no separate Refiner stage runs — the buffer's
+  // (distance, id) selection is the whole epilogue, bit-identical to the
+  // TopK it replaces.
+  refine::CandidateBuffer rerank(k);
 
   const float entry_dist =
       fast.has_value()
@@ -156,7 +162,7 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
     }
   }
 
-  out.results = rerank.Take();
+  out.results = rerank.TakeSortedNeighbors(k);
   return out;
 }
 

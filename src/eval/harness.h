@@ -21,6 +21,11 @@ struct SearchOutcome {
 };
 
 /// Callable evaluated by the sweep: (query ptr, k, beam width) -> outcome.
+/// Fixed per-sweep knobs that are not the swept axis — a refinement request
+/// (refine::RerankSpec width/mode), an IVF rerank width, a distance mode —
+/// are captured inside the closure at the call site, so one sweep compares
+/// operating points at otherwise-identical settings (see rpq_tool's
+/// --sweep-nprobe and --rerank-mode plumbing).
 using SearchFn =
     std::function<SearchOutcome(const float* query, size_t k, size_t beam)>;
 

@@ -14,12 +14,11 @@
 namespace rpq::ivf {
 namespace {
 
-// Strict total order on (estimate, id) — candidate selection is therefore a
-// set, independent of scan order, which is what lets SearchBatch's grouped
-// list traversal reproduce per-query Search exactly.
-inline bool CandBefore(float est_a, uint32_t id_a, float est_b, uint32_t id_b) {
-  return est_a < est_b || (est_a == est_b && id_a < id_b);
-}
+// Candidate selection rides refine::CandidateBefore's strict total order on
+// (estimate, id) — the kept set is independent of scan order, which is what
+// lets SearchBatch's grouped list traversal reproduce per-query Search
+// exactly.
+using refine::CandidateBefore;
 
 using io::FilePtr;
 using io::ReadAll;
@@ -141,12 +140,6 @@ size_t IvfIndex::EffectiveNprobe(const IvfSearchOptions& options) const {
   return std::min(std::max<size_t>(nprobe, 1), nlist_);
 }
 
-size_t IvfIndex::EffectiveRerank(const IvfSearchOptions& options, size_t k) {
-  const size_t rerank =
-      options.rerank > 0 ? options.rerank : std::max(2 * k, size_t{32});
-  return std::max(rerank, k);
-}
-
 void IvfIndex::RouteLists(const float* query, size_t nprobe,
                           std::vector<uint32_t>* out) const {
   thread_local std::vector<float> d2;
@@ -156,56 +149,49 @@ void IvfIndex::RouteLists(const float* query, size_t nprobe,
   for (uint32_t l = 0; l < nlist_; ++l) (*out)[l] = l;
   std::partial_sort(out->begin(), out->begin() + nprobe, out->end(),
                     [&](uint32_t a, uint32_t b) {
-                      return CandBefore(d2[a], a, d2[b], b);
+                      return CandidateBefore(d2[a], a, d2[b], b);
                     });
   out->resize(nprobe);
 }
 
 void IvfIndex::PushCandidates(const quant::FastScanTable& table,
                               const uint16_t* sums, uint32_t list, size_t count,
-                              const std::vector<uint32_t>& ids, size_t limit,
-                              std::vector<Candidate>* heap) {
-  // Bounded max-heap on (est, id): the root is the worst kept candidate.
-  auto worse = [](const Candidate& a, const Candidate& b) {
-    return CandBefore(a.est, a.id, b.est, b.id);
-  };
+                              const std::vector<uint32_t>& ids,
+                              refine::CandidateBuffer* buffer) {
   const float bias = table.bias(), scale = table.scale();
   for (size_t i = 0; i < count; ++i) {
     const float est = bias + scale * static_cast<float>(sums[i]);
-    const uint32_t id = ids[i];
-    if (heap->size() < limit) {
-      heap->push_back({est, id, list, static_cast<uint32_t>(i)});
-      std::push_heap(heap->begin(), heap->end(), worse);
-      continue;
-    }
-    const Candidate& root = heap->front();
-    if (!CandBefore(est, id, root.est, root.id)) continue;
-    std::pop_heap(heap->begin(), heap->end(), worse);
-    heap->back() = {est, id, list, static_cast<uint32_t>(i)};
-    std::push_heap(heap->begin(), heap->end(), worse);
+    buffer->Push(est, ids[i], (uint64_t{list} << 32) | i);
   }
 }
 
 IvfSearchResult IvfIndex::FinishQuery(const float* query,
                                       const quant::DistanceLut& lut,
-                                      std::vector<Candidate>& heap, size_t k,
+                                      refine::CandidateBuffer& buffer, size_t k,
+                                      refine::RerankMode mode,
                                       IvfStats stats) const {
-  TopK top(k);
-  const size_t m = quantizer_.code_size();
-  for (const Candidate& c : heap) {
-    const InvertedList& list = lists_[c.list];
-    float dist;
-    if (options_.store_vectors) {
-      dist = simd::SquaredL2(query, list.vectors.data() + size_t{c.pos} * dim_,
-                             dim_);
-    } else {
-      dist = lut.Distance(list.codes.data() + size_t{c.pos} * m);
-    }
-    top.Push(dist, c.id);
-  }
   IvfSearchResult out;
-  out.results = top.Take();
   out.stats = stats;
+  mode = refine::ResolveAutoMode(mode, options_.store_vectors);
+  if (mode == refine::RerankMode::kExact) {
+    RPQ_CHECK(options_.store_vectors &&
+              "RerankMode::kExact needs IvfOptions.store_vectors");
+    refine::ExactRefiner refiner(
+        query, dim_, [this](const refine::Candidate& c) {
+          const InvertedList& list = lists_[c.tag >> 32];
+          return list.vectors.data() + (c.tag & 0xffffffffu) * dim_;
+        });
+    out.results = refine::RefineTopK(buffer, refiner, k);
+    return out;
+  }
+  RPQ_CHECK(mode == refine::RerankMode::kAdc &&
+            "IVF refinement stages: adc or exact (LinkCode needs a graph)");
+  const size_t m = quantizer_.code_size();
+  refine::AdcRefiner refiner(lut, m, [this, m](const refine::Candidate& c) {
+    const InvertedList& list = lists_[c.tag >> 32];
+    return list.codes.data() + (c.tag & 0xffffffffu) * m;
+  });
+  out.results = refine::RefineTopK(buffer, refiner, k);
   return out;
 }
 
@@ -217,9 +203,7 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
   thread_local std::vector<uint16_t> sums;
   RouteLists(query, EffectiveNprobe(options), &probe);
 
-  const size_t limit = EffectiveRerank(options, k);
-  std::vector<Candidate> heap;
-  heap.reserve(limit + 1);
+  refine::CandidateBuffer buffer(refine::EffectiveRerankWidth(options.rerank, k));
   IvfStats stats;
 
   std::shared_lock<WriterPriorityMutex> lock(mu_);
@@ -231,10 +215,9 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
     const size_t n_blocks = list.packed.num_blocks();
     sums.resize(n_blocks * quant::PackedCodes::kBlockCodes);
     table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
-    PushCandidates(table, sums.data(), l, list.ids.size(), list.ids, limit,
-                   &heap);
+    PushCandidates(table, sums.data(), l, list.ids.size(), list.ids, &buffer);
   }
-  return FinishQuery(query, lut, heap, k, stats);
+  return FinishQuery(query, lut, buffer, k, options.rerank_mode, stats);
 }
 
 std::vector<IvfSearchResult> IvfIndex::SearchBatch(
@@ -255,9 +238,10 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
   }
   const size_t m2 = tables.front().padded_chunks();
 
-  const size_t limit = EffectiveRerank(options, k);
-  std::vector<std::vector<Candidate>> heaps(nq);
-  for (auto& h : heaps) h.reserve(limit + 1);
+  const size_t limit = refine::EffectiveRerankWidth(options.rerank, k);
+  std::vector<refine::CandidateBuffer> buffers;
+  buffers.reserve(nq);
+  for (size_t q = 0; q < nq; ++q) buffers.emplace_back(limit);
   std::vector<IvfStats> stats(nq);
 
   std::shared_lock<WriterPriorityMutex> lock(mu_);
@@ -316,12 +300,13 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
     for (size_t i = 0; i < group; ++i) {
       const uint32_t q = pairs[p0 + i].second;
       PushCandidates(tables[q], sums.data() + i * stride, l, list.ids.size(),
-                     list.ids, limit, &heaps[q]);
+                     list.ids, &buffers[q]);
     }
     p0 = p1;
   }
   for (size_t q = 0; q < nq; ++q) {
-    out[q] = FinishQuery(queries[q], luts[q], heaps[q], k, stats[q]);
+    out[q] = FinishQuery(queries[q], luts[q], buffers[q], k,
+                         options.rerank_mode, stats[q]);
   }
   return out;
 }

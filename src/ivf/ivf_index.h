@@ -33,6 +33,7 @@
 #include "data/dataset.h"
 #include "quant/fastscan.h"
 #include "quant/quantizer.h"
+#include "refine/refine.h"
 
 namespace rpq::ivf {
 
@@ -54,10 +55,15 @@ struct IvfOptions {
 /// Query-time knobs.
 struct IvfSearchOptions {
   size_t nprobe = 0;  ///< cells probed; 0 = index default, clamped to nlist
-  /// Candidates re-scored (float-ADC, or exact when vectors are stored)
-  /// before top-k; 0 = auto max(2k, 32). The pre-rerank candidate ranking
-  /// is bit-identical across SIMD backends (integer LUT sums).
+  /// Candidates re-scored before top-k; 0 = the shared auto rule
+  /// (refine::EffectiveRerankWidth: max(2k, 32)). The pre-rerank candidate
+  /// ranking is bit-identical across SIMD backends (integer LUT sums).
   size_t rerank = 0;
+  /// Refinement stage for the kept candidates. kAuto = exact when the index
+  /// stores raw rows, float-ADC otherwise; kExact requires
+  /// IvfOptions.store_vectors; kLinkCode is a graph-side stage and is
+  /// rejected here (IVF cells carry no adjacency to regress over).
+  refine::RerankMode rerank_mode = refine::RerankMode::kAuto;
 };
 
 /// Per-query cost counters (the IVF analogue of graph::SearchStats).
@@ -141,34 +147,28 @@ class IvfIndex {
     std::vector<float> vectors;   ///< count x dim iff store_vectors
   };
 
-  /// A pre-rerank candidate: u8-LUT estimate plus where its code lives.
-  struct Candidate {
-    float est;
-    uint32_t id;
-    uint32_t list;
-    uint32_t pos;
-  };
-
   IvfIndex(const quant::VectorQuantizer& quantizer, const IvfOptions& options,
            size_t dim, std::vector<float> centroids);
 
   size_t EffectiveNprobe(const IvfSearchOptions& options) const;
-  static size_t EffectiveRerank(const IvfSearchOptions& options, size_t k);
 
   /// The `nprobe` nearest cells by (centroid distance, list id), ascending.
   void RouteLists(const float* query, size_t nprobe,
                   std::vector<uint32_t>* out) const;
 
-  /// Feeds one list's u16 sums into a bounded (est, id)-ordered max-heap.
+  /// Feeds one list's u16 sums into the shared bounded candidate buffer;
+  /// each candidate's tag records (list << 32) | position so the refinement
+  /// stage can find its code / raw row.
   static void PushCandidates(const quant::FastScanTable& table,
                              const uint16_t* sums, uint32_t list, size_t count,
-                             const std::vector<uint32_t>& ids, size_t limit,
-                             std::vector<Candidate>* heap);
+                             const std::vector<uint32_t>& ids,
+                             refine::CandidateBuffer* buffer);
 
-  /// Re-scores the candidate heap (float ADC or exact) into sorted top-k.
+  /// Shared refinement epilogue: re-scores the kept candidates with the
+  /// requested refine::Refiner stage into sorted top-k.
   IvfSearchResult FinishQuery(const float* query, const quant::DistanceLut& lut,
-                              std::vector<Candidate>& heap, size_t k,
-                              IvfStats stats) const;
+                              refine::CandidateBuffer& buffer, size_t k,
+                              refine::RerankMode mode, IvfStats stats) const;
 
   const quant::VectorQuantizer& quantizer_;
   IvfOptions options_;

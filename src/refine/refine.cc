@@ -1,0 +1,92 @@
+#include "refine/refine.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "simd/simd.h"
+
+namespace rpq::refine {
+
+const char* RerankModeName(RerankMode mode) {
+  switch (mode) {
+    case RerankMode::kAuto:
+      return "auto";
+    case RerankMode::kAdc:
+      return "adc";
+    case RerankMode::kExact:
+      return "exact";
+    case RerankMode::kLinkCode:
+      return "linkcode";
+  }
+  return "?";
+}
+
+bool ParseRerankMode(const char* name, RerankMode* out) {
+  if (name == nullptr || out == nullptr) return false;
+  for (RerankMode mode : {RerankMode::kAuto, RerankMode::kAdc,
+                          RerankMode::kExact, RerankMode::kLinkCode}) {
+    if (std::strcmp(name, RerankModeName(mode)) == 0) {
+      *out = mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Neighbor> CandidateBuffer::TakeSortedNeighbors(size_t k) {
+  std::vector<Candidate> sorted = TakeSorted();
+  if (sorted.size() > k) sorted.resize(k);
+  std::vector<Neighbor> out;
+  out.reserve(sorted.size());
+  for (const Candidate& c : sorted) out.push_back({c.est, c.id});
+  return out;
+}
+
+void AdcRefiner::Refine(const Candidate* cands, size_t n, float* out) const {
+  if (n == 0) return;
+  if (codes_ != nullptr) {
+    // Flat layout: one vectorized gather over the candidate ids.
+    ids_.resize(n);
+    for (size_t i = 0; i < n; ++i) ids_[i] = cands[i].id;
+    lut_.DistanceBatchGather(codes_, code_size_, ids_.data(), n, out);
+    return;
+  }
+  // Scattered storage: resolve each candidate's code and pack the batch
+  // contiguously, then scan with the same batched kernel (bit-identical to
+  // per-code Distance(), so backend parity pins survive the indirection).
+  packed_.resize(n * code_size_);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(packed_.data() + i * code_size_, code_fn_(cands[i]),
+                code_size_);
+  }
+  lut_.DistanceBatch(packed_.data(), n, out);
+}
+
+void ExactRefiner::Refine(const Candidate* cands, size_t n, float* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const float* vec = vectors_ != nullptr
+                           ? vectors_ + static_cast<size_t>(cands[i].id) * dim_
+                           : vector_fn_(cands[i]);
+    out[i] = simd::SquaredL2(query_, vec, dim_);
+  }
+}
+
+void LinkCodeRefiner::Refine(const Candidate* cands, size_t n,
+                             float* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = index_.RefinedDistance(query_, cands[i].id);
+  }
+}
+
+std::vector<Neighbor> RefineTopK(const CandidateBuffer& buffer,
+                                 const Refiner& refiner, size_t k) {
+  const std::vector<Candidate>& cands = buffer.entries();
+  thread_local std::vector<float> dists;
+  dists.resize(cands.size());
+  refiner.Refine(cands.data(), cands.size(), dists.data());
+  TopK top(k);
+  for (size_t i = 0; i < cands.size(); ++i) top.Push(dists[i], cands[i].id);
+  return top.Take();
+}
+
+}  // namespace rpq::refine

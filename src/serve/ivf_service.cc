@@ -18,7 +18,12 @@ QueryResult ToQueryResult(ivf::IvfSearchResult&& res) {
 ivf::IvfSearchOptions IvfService::OptionsFor(const QuerySpec& q) const {
   ivf::IvfSearchOptions opt;
   opt.nprobe = q.beam_width;  // beam_width doubles as nprobe for IVF
-  opt.rerank = rerank_;
+  opt.rerank = q.rerank > 0 ? q.rerank : rerank_;
+  // Query-level request over service-level default, then degraded to kAuto
+  // where the index cannot serve it (linkcode has no IVF analogue).
+  opt.rerank_mode = refine::SanitizeRequestedMode(
+      q.rerank_mode != refine::RerankMode::kAuto ? q.rerank_mode : mode_,
+      index_.stores_vectors(), /*has_linkcode=*/false);
   return opt;
 }
 
@@ -28,14 +33,17 @@ QueryResult IvfService::Search(const QuerySpec& q) const {
 
 void IvfService::SearchBatch(const QuerySpec* qs, size_t n,
                              QueryResult* out) const {
-  // The index batch path amortizes across uniform (k, nprobe) runs; split
-  // the batch into maximal such runs (batcher batches almost always are one).
+  // The index batch path amortizes across uniform (k, nprobe, rerank
+  // request) runs; split the batch into maximal such runs (batcher batches
+  // almost always are one).
   size_t i = 0;
   std::vector<const float*> queries;
   while (i < n) {
     size_t j = i;
     while (j < n && qs[j].k == qs[i].k &&
-           qs[j].beam_width == qs[i].beam_width) {
+           qs[j].beam_width == qs[i].beam_width &&
+           qs[j].rerank == qs[i].rerank &&
+           qs[j].rerank_mode == qs[i].rerank_mode) {
       ++j;
     }
     queries.clear();

@@ -22,9 +22,11 @@ namespace rpq::serve {
 /// IVF flat-scan backend (ivf::IvfIndex is borrowed).
 class IvfService : public SearchService {
  public:
-  /// `rerank` is forwarded to every query (0 = the index's auto default).
-  explicit IvfService(const ivf::IvfIndex& index, size_t rerank = 0)
-      : index_(index), rerank_(rerank) {}
+  /// `rerank` / `mode` are the service-level refinement defaults, used when
+  /// a QuerySpec does not carry its own (0 / kAuto = the shared auto rules).
+  explicit IvfService(const ivf::IvfIndex& index, size_t rerank = 0,
+                      refine::RerankMode mode = refine::RerankMode::kAuto)
+      : index_(index), rerank_(rerank), mode_(mode) {}
 
   QueryResult Search(const QuerySpec& q) const override;
   void SearchBatch(const QuerySpec* qs, size_t n,
@@ -35,6 +37,7 @@ class IvfService : public SearchService {
 
   const ivf::IvfIndex& index_;
   size_t rerank_;
+  refine::RerankMode mode_;
 };
 
 }  // namespace rpq::serve

@@ -4,27 +4,38 @@
 
 namespace rpq::serve {
 
+refine::RerankSpec MemoryIndexService::SpecFor(const QuerySpec& q) const {
+  return {q.rerank,
+          refine::SanitizeRequestedMode(q.rerank_mode, index_.stores_vectors(),
+                                        index_.linkcode() != nullptr)};
+}
+
 QueryResult MemoryIndexService::Search(const QuerySpec& q) const {
-  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k}, mode_);
+  auto res =
+      index_.Search(q.query, q.k, {q.beam_width, q.k}, mode_, SpecFor(q));
   return {std::move(res.results), res.stats, 0.0};
 }
 
 void MemoryIndexService::SearchBatch(const QuerySpec* qs, size_t n,
                                      QueryResult* out) const {
-  // The index's batch path only amortizes across uniform (k, beam) runs;
-  // split the batch into maximal such runs (batcher batches almost always
-  // are one run).
+  // The index's batch path only amortizes across uniform
+  // (k, beam, rerank request) runs; split the batch into maximal such runs
+  // (batcher batches almost always are one run).
   size_t i = 0;
   std::vector<const float*> queries;
   while (i < n) {
     size_t j = i;
-    while (j < n && qs[j].k == qs[i].k && qs[j].beam_width == qs[i].beam_width) {
+    while (j < n && qs[j].k == qs[i].k &&
+           qs[j].beam_width == qs[i].beam_width &&
+           qs[j].rerank == qs[i].rerank &&
+           qs[j].rerank_mode == qs[i].rerank_mode) {
       ++j;
     }
     queries.clear();
     for (size_t t = i; t < j; ++t) queries.push_back(qs[t].query);
     auto res = index_.SearchBatch(queries.data(), queries.size(), qs[i].k,
-                                  {qs[i].beam_width, qs[i].k}, mode_);
+                                  {qs[i].beam_width, qs[i].k}, mode_,
+                                  SpecFor(qs[i]));
     for (size_t t = i; t < j; ++t) {
       out[t] = {std::move(res[t - i].results), res[t - i].stats, 0.0};
     }

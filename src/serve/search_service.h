@@ -27,7 +27,12 @@ namespace rpq::serve {
 struct QuerySpec {
   const float* query = nullptr;
   size_t k = 10;
-  size_t beam_width = 64;
+  size_t beam_width = 64;  ///< beam for graph backends, nprobe for IVF
+  /// Refinement request (width + stage), forwarded to backends with a
+  /// rerank epilogue (FastScan memory, IVF); zero/kAuto defers to the
+  /// backend's configured defaults. Other backends ignore it.
+  size_t rerank = 0;
+  refine::RerankMode rerank_mode = refine::RerankMode::kAuto;
 };
 
 /// What one served query returned, plus its costs.
@@ -66,6 +71,10 @@ class MemoryIndexService : public SearchService {
                    QueryResult* out) const override;
 
  private:
+  /// The query's refinement request, with stages the index cannot serve
+  /// degraded to kAuto (bad per-query knobs must not abort the server).
+  refine::RerankSpec SpecFor(const QuerySpec& q) const;
+
   const core::MemoryIndex& index_;
   core::DistanceMode mode_;
 };

@@ -3,11 +3,15 @@
 #include <cmath>
 
 #include "common/distance.h"
+#include "core/memory_index.h"
+#include "data/ground_truth.h"
 #include "data/synthetic.h"
+#include "eval/recall.h"
 #include "graph/vamana.h"
 #include "quant/adc.h"
 #include "quant/catalyst.h"
 #include "quant/linkcode.h"
+#include "refine/refine.h"
 
 namespace rpq::quant {
 namespace {
@@ -132,6 +136,59 @@ TEST(LinkCodeTest, RefinementReducesReconstructionError) {
   }
   // The least-squares fit guarantees improvement in expectation.
   EXPECT_LT(err_refined, err_plain * 1.001);
+}
+
+// LinkCode as a live refinement stage: on the clustered synthetic fixture,
+// reranking FastScan candidates with the neighbor-regression reconstructions
+// lands between the float-ADC stage (same codes, no correction) and the
+// exact stage (raw rows) — the fidelity/memory slot Link&Code exists to
+// fill. The bounds get a small slack because the three stages re-rank the
+// same candidates with differently-biased estimators.
+TEST(LinkCodeTest, RefinedRerankRecallBetweenAdcAndExact) {
+  Dataset base = SmallData(2000, 7);
+  Dataset queries = SmallData(64, 99);
+  auto gt = ComputeGroundTruth(base, queries, 10);
+
+  graph::VamanaOptions vopt;
+  vopt.degree = 16;
+  vopt.build_beam = 32;
+  auto g = graph::BuildVamana(base, vopt);
+
+  PqOptions popt;
+  popt.m = 4;  // coarse codes: room for the refinement to matter
+  popt.nbits = 4;
+  auto pq = PqQuantizer::Train(base, popt);
+
+  LinkCodeOptions lopt;
+  lopt.pq = popt;  // same codebook shape as the navigation quantizer
+  lopt.num_links = 8;
+  auto lc = LinkCodeIndex::Build(base, g, lopt);
+
+  core::MemoryIndexOptions mopt;
+  mopt.store_vectors = true;
+  auto index = core::MemoryIndex::Build(base, g, *pq, mopt);
+  index->set_linkcode(lc.get());
+
+  auto recall = [&](refine::RerankMode mode) {
+    std::vector<std::vector<Neighbor>> results(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      results[q] = index
+                       ->Search(queries[q], 10, {64, 10},
+                                core::DistanceMode::kFastScan, {0, mode})
+                       .results;
+    }
+    return eval::MeanRecallAtK(results, gt, 10);
+  };
+  double adc = recall(refine::RerankMode::kAdc);
+  double linkcode = recall(refine::RerankMode::kLinkCode);
+  double exact = recall(refine::RerankMode::kExact);
+  EXPECT_GE(linkcode, adc - 0.01)
+      << "linkcode rerank must not lose to ADC: adc=" << adc
+      << " linkcode=" << linkcode;
+  EXPECT_GE(exact, linkcode - 0.01)
+      << "exact rerank must not lose to linkcode: linkcode=" << linkcode
+      << " exact=" << exact;
+  EXPECT_GT(exact, adc) << "fixture must separate the stages to be meaningful";
 }
 
 TEST(LinkCodeTest, BetaIsFiniteAndBounded) {

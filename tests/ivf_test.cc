@@ -166,6 +166,31 @@ TEST(IvfIndexTest, ExactRerankLiftsRecallPastFloatAdc) {
   double exact = recall_of(fexact);
   EXPECT_GE(exact, adc);
   EXPECT_GT(exact, 0.9) << "exact rerank over a full probe should be near 1";
+
+  // The refinement stage is a query-time knob: forcing kAdc on the
+  // store_vectors index reproduces the no-vectors index exactly (identical
+  // seeds give identical centroids/codes), and kExact equals its kAuto.
+  opt.rerank_mode = refine::RerankMode::kAdc;
+  for (size_t q = 0; q < fexact.queries.size(); ++q) {
+    EXPECT_EQ(fexact.index->Search(fexact.queries[q], 10, opt).results,
+              fadc.index->Search(fadc.queries[q], 10, opt).results)
+        << "q=" << q;
+  }
+  opt.rerank_mode = refine::RerankMode::kExact;
+  EXPECT_EQ(recall_of(fexact), exact);
+}
+
+// The shared auto-rerank rule (refine::EffectiveRerankWidth) governs how
+// many candidates survive to the refinement stage: with fewer candidates
+// than the width, every scanned code is eligible, so k > width behaves.
+TEST(IvfIndexTest, RerankWidthNeverBelowK) {
+  Fixture f = MakeFixture(300, 3, 4);
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = 4;
+  opt.rerank = 1;  // clamped up to k by the shared rule
+  auto out = f.index->Search(f.queries[0], 20, opt);
+  EXPECT_EQ(out.results.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(out.results.begin(), out.results.end()));
 }
 
 // -------------------------------------------------------- batch parity ----

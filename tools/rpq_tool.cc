@@ -15,15 +15,18 @@
 //   rpq_tool search       --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         --k 10 --beam 64 [--mode adc|sdc|fastscan]
-//                         [--rerank N] [--hybrid] [--dump-top1 path]
-//                         [--index graph|ivf] [--ivf ivf.bin] [--nlist 64]
-//                         [--nprobe 8] [--sweep-nprobe 1,2,4,...]
+//                         [--rerank N] [--rerank-mode adc|exact|linkcode]
+//                         [--store-vectors] [--hybrid] [--dump-top1 path]
+//                         [--index memory|disk|ivf] [--ivf ivf.bin]
+//                         [--nlist 64] [--nprobe 8]
+//                         [--sweep-nprobe 1,2,4,...]
 //   rpq_tool serve-bench  --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         [--threads 4] [--shards 1] [--parallel-shards]
 //                         [--k 10] [--beam 64] [--total 0] [--rate 0]
-//                         [--hybrid] [--index graph|ivf] [--nlist 64]
-//                         [--nprobe 8]
+//                         [--index memory|disk|ivf] [--mode adc|sdc|fastscan]
+//                         [--rerank N] [--rerank-mode adc|exact|linkcode]
+//                         [--nlist 64] [--nprobe 8]
 //
 // --nbits 4 trains a 4-bit model (K = 16); searching such a model with
 // --mode fastscan routes through the shuffle-kernel scan path with float-ADC
@@ -39,7 +42,18 @@
 // loads one saved by build-ivf (--ivf); --sweep-nprobe prints a recall/QPS
 // operating curve over the given comma-separated nprobe values. serve-bench
 // with --index ivf drives the same concurrent load tests over IvfService,
-// where a query's beam_width slot carries its nprobe.
+// where a query's beam_width slot carries its nprobe. --index memory is the
+// in-memory graph backend (alias: graph); --index disk the hybrid one
+// (alias: --hybrid).
+//
+// --rerank / --rerank-mode drive the shared refinement pipeline
+// (src/refine/): how many candidates the estimate keeps and which stage
+// re-scores them — adc (float lookup tables), exact (raw rows; implies
+// --store-vectors for indexes built here), or linkcode (graph-regression
+// reconstructions; memory backend only). The disk backend reranks every
+// fetched vector exactly by construction: --rerank is ignored there,
+// --rerank-mode exact/auto is accepted, and the other stages are rejected
+// rather than silently serving something else.
 //
 // serve-bench drives the concurrent serving subsystem (src/serve/): a
 // closed-loop load test with --threads clients (and, when --rate is given,
@@ -69,8 +83,10 @@
 #include "ivf/ivf_index.h"
 #include "graph/nsg.h"
 #include "graph/vamana.h"
+#include "quant/linkcode.h"
 #include "quant/opq.h"
 #include "quant/serialize.h"
+#include "refine/refine.h"
 #include "serve/engine.h"
 #include "serve/ivf_service.h"
 #include "serve/loadgen.h"
@@ -256,12 +272,119 @@ int CmdEncode(const Flags& flags) {
   return 0;
 }
 
+// Parses --rerank-mode (absent = auto); false on unknown names.
+bool GetRerankMode(const Flags& flags, rpq::refine::RerankMode* mode) {
+  return rpq::refine::ParseRerankMode(flags.Get("rerank-mode", "auto"), mode);
+}
+
+// Builds a Link&Code refinement model shaped like `model` (same m/K, its
+// own least-squares neighbor weights) for --rerank-mode linkcode.
+std::unique_ptr<rpq::quant::LinkCodeIndex> BuildLinkCode(
+    const Dataset& base, const rpq::graph::ProximityGraph& graph,
+    const rpq::quant::PqQuantizer& model) {
+  rpq::quant::LinkCodeOptions opt;
+  opt.pq.m = model.num_chunks();
+  opt.pq.k = model.num_centroids();
+  opt.pq.nbits = model.num_centroids() <= 16 ? 4 : 8;
+  return rpq::quant::LinkCodeIndex::Build(base, graph, opt);
+}
+
+// The memory (graph) backend with its refinement epilogue configured from
+// the flags — one implementation shared by search and serve-bench so the
+// two commands cannot drift: distance-mode parse, the rerank-mode-requires-
+// fastscan rule, --rerank-mode exact implying retained rows, and Link&Code
+// model wiring.
+struct MemoryBackend {
+  std::unique_ptr<rpq::core::MemoryIndex> index;
+  std::unique_ptr<rpq::quant::LinkCodeIndex> linkcode;  ///< kLinkCode only
+  rpq::core::DistanceMode mode = rpq::core::DistanceMode::kAdc;
+};
+
+rpq::Result<MemoryBackend> MakeMemoryBackend(
+    const Flags& flags, const Dataset& base,
+    const rpq::graph::ProximityGraph& graph,
+    const rpq::quant::PqQuantizer& model, rpq::refine::RerankMode rmode) {
+  MemoryBackend b;
+  const std::string mode_name = flags.Get("mode", "adc");
+  if (mode_name == "sdc") {
+    b.mode = rpq::core::DistanceMode::kSdc;
+  } else if (mode_name == "fastscan") {
+    b.mode = rpq::core::DistanceMode::kFastScan;
+  } else if (mode_name != "adc") {
+    // A typo'd mode must not silently benchmark plain ADC.
+    return rpq::Status::InvalidArgument("unknown --mode: " + mode_name +
+                                        " (adc|sdc|fastscan)");
+  }
+  if (rmode != rpq::refine::RerankMode::kAuto &&
+      b.mode != rpq::core::DistanceMode::kFastScan) {
+    return rpq::Status::InvalidArgument(
+        "--rerank-mode applies to --mode fastscan (the mode with a "
+        "refinement epilogue)");
+  }
+  rpq::core::MemoryIndexOptions mopt;
+  mopt.store_vectors = flags.Has("store-vectors") ||
+                       rmode == rpq::refine::RerankMode::kExact;
+  b.index = rpq::core::MemoryIndex::Build(base, graph, model, mopt);
+  if (b.mode == rpq::core::DistanceMode::kFastScan) {
+    if (!b.index->fastscan_capable()) {
+      return rpq::Status::InvalidArgument(
+          "--mode fastscan needs a 4-bit model (train with --nbits 4)");
+    }
+    b.index->set_fastscan_rerank(flags.GetSize("rerank", 0));
+    b.index->set_rerank_mode(rmode);
+    if (rmode == rpq::refine::RerankMode::kLinkCode) {
+      rpq::Timer lc_timer;
+      b.linkcode = BuildLinkCode(base, graph, model);
+      b.index->set_linkcode(b.linkcode.get());
+      std::printf("linkcode model fit in %.1fs\n", lc_timer.ElapsedSeconds());
+    }
+  }
+  return rpq::Result<MemoryBackend>(std::move(b));
+}
+
+// IVF refinement-stage validation shared by search, serve-bench, and
+// build-ivf. Called with index == nullptr before any index work (the
+// stages IVF can never serve) and again with the built/loaded index
+// (exact needs the raw rows this particular index retains).
+rpq::Status CheckIvfRerankMode(rpq::refine::RerankMode rmode,
+                               const rpq::ivf::IvfIndex* index) {
+  if (rmode == rpq::refine::RerankMode::kLinkCode) {
+    return rpq::Status::InvalidArgument(
+        "--rerank-mode linkcode needs a graph backend "
+        "(IVF cells have no adjacency to regress over)");
+  }
+  if (index != nullptr && rmode == rpq::refine::RerankMode::kExact &&
+      !index->stores_vectors()) {
+    return rpq::Status::InvalidArgument(
+        "--rerank-mode exact needs an IVF index with raw rows "
+        "(rebuild with --store-vectors)");
+  }
+  return rpq::Status::OK();
+}
+
+// The disk backend's exact-on-fetch rerank is inherent; any other requested
+// stage is a flag error (shared by search and serve-bench).
+rpq::Status CheckDiskRerankMode(rpq::refine::RerankMode rmode) {
+  if (rmode == rpq::refine::RerankMode::kAuto ||
+      rmode == rpq::refine::RerankMode::kExact) {
+    return rpq::Status::OK();
+  }
+  return rpq::Status::InvalidArgument(
+      "the disk backend reranks every fetched vector exactly; --rerank-mode " +
+      std::string(rpq::refine::RerankModeName(rmode)) + " does not apply");
+}
+
 // IVF build knobs shared by build-ivf, search --index ivf, serve-bench.
+// --rerank-mode exact implies --store-vectors: the exact stage needs the
+// raw rows resident.
 rpq::ivf::IvfOptions IvfOptionsFrom(const Flags& flags) {
   rpq::ivf::IvfOptions opt;
+  rpq::refine::RerankMode rmode = rpq::refine::RerankMode::kAuto;
+  GetRerankMode(flags, &rmode);
   opt.nlist = flags.GetSize("nlist", 64);
   opt.default_nprobe = flags.GetSize("nprobe", 8);
-  opt.store_vectors = flags.Has("store-vectors");
+  opt.store_vectors = flags.Has("store-vectors") ||
+                      rmode == rpq::refine::RerankMode::kExact;
   opt.train_sample = flags.GetSize("train-sample", 0);
   return opt;
 }
@@ -301,6 +424,14 @@ int CmdBuildIvf(const Flags& flags) {
   if (mpath == nullptr || out == nullptr) {
     return Fail("--model and --out are required");
   }
+  // Validate up front: a typo'd --rerank-mode must not silently build an
+  // index without the raw rows the intended exact stage needs.
+  rpq::refine::RerankMode rmode = rpq::refine::RerankMode::kAuto;
+  if (!GetRerankMode(flags, &rmode)) {
+    return Fail("--rerank-mode must be adc, exact, or linkcode");
+  }
+  auto mode_ok = CheckIvfRerankMode(rmode, nullptr);
+  if (!mode_ok.ok()) return Fail(mode_ok.ToString());
   auto model = rpq::quant::LoadQuantizer(mpath);
   if (!model.ok()) return Fail(model.status().ToString());
   if (model.value()->num_centroids() > 16) {
@@ -321,10 +452,16 @@ int CmdBuildIvf(const Flags& flags) {
 int CmdSearch(const Flags& flags) {
   auto base = LoadBase(flags);
   if (!base.ok()) return Fail(base.status().ToString());
-  const std::string index_kind = flags.Get("index", "graph");
+  std::string index_kind = flags.Get("index", "graph");
+  if (index_kind == "memory") index_kind = "graph";  // alias
   const bool use_ivf = index_kind == "ivf";
-  if (!use_ivf && index_kind != "graph") {
-    return Fail("unknown --index: " + index_kind + " (graph|ivf)");
+  const bool use_disk = index_kind == "disk" || flags.Has("hybrid");
+  if (!use_ivf && !use_disk && index_kind != "graph") {
+    return Fail("unknown --index: " + index_kind + " (memory|disk|ivf)");
+  }
+  rpq::refine::RerankMode rmode = rpq::refine::RerankMode::kAuto;
+  if (!GetRerankMode(flags, &rmode)) {
+    return Fail("--rerank-mode must be adc, exact, or linkcode");
   }
   const char* gpath = flags.Get("graph");
   const char* mpath = flags.Get("model");
@@ -353,20 +490,31 @@ int CmdSearch(const Flags& flags) {
   std::unique_ptr<rpq::ivf::IvfIndex> ivf_index;
   rpq::ivf::IvfSearchOptions ivf_opt;
   if (use_ivf) {
+    // Impossible stages are rejected before the (potentially expensive)
+    // index build; exact-needs-rows is re-checked against the built index.
+    auto mode_ok = CheckIvfRerankMode(rmode, nullptr);
+    if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     auto made = MakeIvfIndex(flags, base.value(), *model.value());
     if (!made.ok()) return Fail(made.status().ToString());
     ivf_index = std::move(made.value());
+    mode_ok = CheckIvfRerankMode(rmode, ivf_index.get());
+    if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     ivf_opt.nprobe = flags.GetSize("nprobe", 0);
     ivf_opt.rerank = flags.GetSize("rerank", 0);
+    ivf_opt.rerank_mode = rmode;
     if (const char* sweep = flags.Get("sweep-nprobe")) {
       auto nprobes = ParseSizeList(sweep);
       if (nprobes.empty()) return Fail("--sweep-nprobe expects n1,n2,...");
       const rpq::ivf::IvfIndex& ix = *ivf_index;
-      const size_t rerank = ivf_opt.rerank;
-      rpq::eval::SearchFn fn = [&ix, rerank](const float* q, size_t kk,
-                                             size_t nprobe) {
+      // The sweep axis is nprobe; the refinement request rides inside the
+      // closure so every operating point reranks the same way.
+      const rpq::ivf::IvfSearchOptions base_opt = ivf_opt;
+      rpq::eval::SearchFn fn = [&ix, base_opt](const float* q, size_t kk,
+                                               size_t nprobe) {
+        rpq::ivf::IvfSearchOptions opt = base_opt;
+        opt.nprobe = nprobe;
         rpq::eval::SearchOutcome out;
-        auto res = ix.Search(q, kk, {nprobe, rerank});
+        auto res = ix.Search(q, kk, opt);
         out.results = std::move(res.results);
         out.hops = res.stats.lists_probed;
         return out;
@@ -383,7 +531,9 @@ int CmdSearch(const Flags& flags) {
     for (size_t q = 0; q < queries.value().size(); ++q) {
       results[q] = ivf_index->Search(queries.value()[q], k, ivf_opt).results;
     }
-  } else if (flags.Has("hybrid")) {
+  } else if (use_disk) {
+    auto mode_ok = CheckDiskRerankMode(rmode);
+    if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     auto index =
         rpq::disk::DiskIndex::Build(base.value(), graph, *model.value());
     for (size_t q = 0; q < queries.value().size(); ++q) {
@@ -392,20 +542,14 @@ int CmdSearch(const Flags& flags) {
       io_seconds += out.io.simulated_seconds;
     }
   } else {
-    const std::string mode_name = flags.Get("mode", "adc");
-    rpq::core::DistanceMode mode = rpq::core::DistanceMode::kAdc;
-    if (mode_name == "sdc") mode = rpq::core::DistanceMode::kSdc;
-    if (mode_name == "fastscan") mode = rpq::core::DistanceMode::kFastScan;
-    auto index =
-        rpq::core::MemoryIndex::Build(base.value(), graph, *model.value());
-    if (mode == rpq::core::DistanceMode::kFastScan) {
-      if (!index->fastscan_capable()) {
-        return Fail("--mode fastscan needs a 4-bit model (train with --nbits 4)");
-      }
-      index->set_fastscan_rerank(flags.GetSize("rerank", 0));
-    }
+    auto made =
+        MakeMemoryBackend(flags, base.value(), graph, *model.value(), rmode);
+    if (!made.ok()) return Fail(made.status().ToString());
+    MemoryBackend backend = std::move(made.value());
     for (size_t q = 0; q < queries.value().size(); ++q) {
-      results[q] = index->Search(queries.value()[q], k, {beam, k}, mode).results;
+      results[q] =
+          backend.index->Search(queries.value()[q], k, {beam, k}, backend.mode)
+              .results;
     }
   }
   double total = timer.ElapsedSeconds() + io_seconds;
@@ -455,10 +599,18 @@ int CmdServeBench(const Flags& flags) {
   opt.total_queries = flags.GetSize("total", 0);
   const size_t shards = flags.GetSize("shards", 1);
   const double rate = std::strtod(flags.Get("rate", "0"), nullptr);
+  rpq::refine::RerankMode rmode = rpq::refine::RerankMode::kAuto;
+  if (!GetRerankMode(flags, &rmode)) {
+    return Fail("--rerank-mode must be adc, exact, or linkcode");
+  }
 
   // Assemble the backend: IVF flat-scan, sharded in-memory, hybrid disk, or
-  // single-shard in-memory over a prebuilt graph.
+  // single-shard in-memory over a prebuilt graph. --rerank/--rerank-mode
+  // configure the refinement pipeline uniformly across memory|disk|ivf (the
+  // disk backend's exact-on-fetch rerank is inherent, so they are no-ops
+  // there).
   std::unique_ptr<rpq::core::MemoryIndex> mem_index;
+  std::unique_ptr<rpq::quant::LinkCodeIndex> linkcode;
   std::unique_ptr<rpq::disk::DiskIndex> disk_index;
   std::unique_ptr<rpq::ivf::IvfIndex> ivf_index;
   std::unique_ptr<rpq::serve::SearchService> owned_service;
@@ -466,19 +618,39 @@ int CmdServeBench(const Flags& flags) {
   const rpq::serve::SearchService* service = nullptr;
   rpq::graph::ProximityGraph graph;
 
-  const std::string index_kind = flags.Get("index", "graph");
+  std::string index_kind = flags.Get("index", "graph");
+  if (index_kind == "memory") index_kind = "graph";  // alias
+  const bool use_disk = index_kind == "disk" || flags.Has("hybrid");
+  if (use_disk) index_kind = "graph";
+  // The sharded deployment builds plain ADC memory shards; flags it cannot
+  // honor must fail loudly, not silently benchmark something else.
+  // (--mode adc is what it serves anyway, so an explicit request passes.)
+  const std::string shard_mode = flags.Get("mode", "adc");
+  if (shards > 1 && index_kind == "graph" &&
+      (use_disk || shard_mode != "adc" || flags.Has("rerank") ||
+       flags.Has("rerank-mode") || flags.Has("store-vectors"))) {
+    return Fail("--shards > 1 serves plain ADC memory shards; --index disk, "
+                "--mode sdc|fastscan, --rerank, --rerank-mode, and "
+                "--store-vectors are not supported there");
+  }
   if (index_kind == "ivf") {
+    // Impossible stages are rejected before the (potentially expensive)
+    // index build; exact-needs-rows is re-checked against the built index.
+    auto mode_ok = CheckIvfRerankMode(rmode, nullptr);
+    if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     rpq::Timer build;
     auto made = MakeIvfIndex(flags, base.value(), *model.value());
     if (!made.ok()) return Fail(made.status().ToString());
     ivf_index = std::move(made.value());
+    mode_ok = CheckIvfRerankMode(rmode, ivf_index.get());
+    if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     // For IVF backends the QuerySpec beam_width slot carries nprobe.
     opt.beam_width = flags.GetSize("nprobe", 8);
     std::printf("built ivf index: %zu lists, %zu vectors in %.1fs (%.1f MB)\n",
                 ivf_index->nlist(), ivf_index->size(), build.ElapsedSeconds(),
                 ivf_index->MemoryBytes() / 1e6);
     owned_service = std::make_unique<rpq::serve::IvfService>(
-        *ivf_index, flags.GetSize("rerank", 0));
+        *ivf_index, flags.GetSize("rerank", 0), rmode);
     service = owned_service.get();
   } else if (shards > 1) {
     rpq::graph::VamanaOptions vopt;
@@ -500,16 +672,22 @@ int CmdServeBench(const Flags& flags) {
     auto g = rpq::graph::ProximityGraph::Load(gpath);
     if (!g.ok()) return Fail(g.status().ToString());
     graph = std::move(g.value());
-    if (flags.Has("hybrid")) {
+    if (use_disk) {
+      auto mode_ok = CheckDiskRerankMode(rmode);
+      if (!mode_ok.ok()) return Fail(mode_ok.ToString());
       disk_index =
           rpq::disk::DiskIndex::Build(base.value(), graph, *model.value());
       owned_service =
           std::make_unique<rpq::serve::DiskIndexService>(*disk_index);
     } else {
-      mem_index =
-          rpq::core::MemoryIndex::Build(base.value(), graph, *model.value());
-      owned_service =
-          std::make_unique<rpq::serve::MemoryIndexService>(*mem_index);
+      auto made =
+          MakeMemoryBackend(flags, base.value(), graph, *model.value(), rmode);
+      if (!made.ok()) return Fail(made.status().ToString());
+      MemoryBackend backend = std::move(made.value());
+      mem_index = std::move(backend.index);
+      linkcode = std::move(backend.linkcode);
+      owned_service = std::make_unique<rpq::serve::MemoryIndexService>(
+          *mem_index, backend.mode);
     }
     service = owned_service.get();
   }
