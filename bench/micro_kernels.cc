@@ -19,6 +19,7 @@
 #include "quant/kmeans.h"
 #include "quant/linkcode.h"
 #include "quant/pq.h"
+#include "quant/split.h"
 #include "refine/refine.h"
 #include "simd/simd.h"
 
@@ -165,6 +166,86 @@ void BM_AdcFastScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * d.size());
 }
 BENCHMARK(BM_AdcFastScan)->Arg(16)->Arg(32);
+
+// Split-table flat scan: K = 256 codes scored as two nibble planes through
+// the same shuffle kernels, plus the per-vector cross-constant add. The
+// per-code gap vs BM_AdcFastScan/16 is the price of the 8-bit regime —
+// exactly 2x the LUT rows, so items/s should land near half (the acceptance
+// bar is within 2.5x per-code cost).
+void BM_AdcFastScanSplit(benchmark::State& state) {
+  Dataset d = synthetic::MakeSiftLike(2000, 5);
+  quant::PqOptions opt;
+  opt.m = static_cast<size_t>(state.range(0));
+  opt.nbits = 8;
+  opt.kmeans_iters = 4;
+  auto pq = quant::TrainSplitPq(d, opt);
+  auto codes = pq->EncodeDataset(d);
+  const size_t m = pq->code_size();
+  std::vector<uint8_t> expanded(d.size() * 2 * m);
+  for (size_t i = 0; i < d.size(); ++i) {
+    quant::ExpandSplitCode(codes.data() + i * m, m,
+                           expanded.data() + i * 2 * m);
+  }
+  auto packed = quant::PackedCodes::Pack(expanded.data(), d.size(), 2 * m);
+  quant::SplitFastScanTable table(*pq, d[0]);
+  const quant::SplitPqModel* model = pq->split_model();
+  std::vector<float> cross(d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    cross[i] = model->CrossSum(codes.data() + i * m);
+  }
+  std::vector<uint16_t> sums(packed.num_blocks() * 32);
+  std::vector<float> dists(d.size());
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    table.ScanBlocks(packed.data.data(), packed.num_blocks(), sums.data());
+    for (size_t i = 0; i < d.size(); ++i) {
+      dists[i] = table.DecodeSum(sums[i]) + cross[i];
+    }
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_AdcFastScanSplit)->Arg(16);
+
+// The residual regime's per-(query, probed cell) overhead: subtract the
+// owning centroid and rebuild the split u8 table from q - centroid. Search
+// pays this once per probe; SearchBatch amortizes it across every query in
+// the batch probing the same cell.
+void BM_IvfResidualLutBuild(benchmark::State& state) {
+  Dataset d = synthetic::MakeSiftLike(2000, 5);
+  quant::KMeansOptions kopt;
+  kopt.k = 64;
+  auto km = quant::RunKMeans(d.data(), d.size(), d.dim(), kopt);
+  // Model trained on the residuals, as the index requires.
+  std::vector<float> resid(d.size() * d.dim());
+  for (size_t i = 0; i < d.size(); ++i) {
+    uint32_t c = quant::NearestCentroid(d[i], km.centroids.data(), kopt.k,
+                                        d.dim());
+    const float* cen = km.centroids.data() + size_t{c} * d.dim();
+    for (size_t j = 0; j < d.dim(); ++j) {
+      resid[i * d.dim() + j] = d[i][j] - cen[j];
+    }
+  }
+  Dataset rset(d.size(), d.dim(), std::move(resid));
+  quant::PqOptions opt;
+  opt.m = 16;
+  opt.nbits = 8;
+  opt.kmeans_iters = 4;
+  auto pq = quant::TrainSplitPq(rset, opt);
+  const quant::SplitPqModel& model = *pq->split_model();
+  std::vector<float> resq(d.dim());
+  size_t probe = 0;
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    const float* q = d[probe % 128];
+    const float* cen = km.centroids.data() + (probe % kopt.k) * d.dim();
+    for (size_t j = 0; j < d.dim(); ++j) resq[j] = q[j] - cen[j];
+    quant::SplitFastScanTable table(model, resq.data());
+    benchmark::DoNotOptimize(table.lut8());
+    ++probe;
+  }
+}
+BENCHMARK(BM_IvfResidualLutBuild);
 
 void BM_AdcTableBuildScalar(benchmark::State& state) {
   Dataset d = synthetic::MakeSiftLike(1500, 3);

@@ -112,6 +112,19 @@ double HopsAtRecall(const std::vector<OperatingPoint>& curve,
   return pts.back().mean_hops;
 }
 
+Status WriteCurveCsv(const std::string& path, const std::string& knob,
+                     const std::vector<OperatingPoint>& curve) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  std::fprintf(f, "%s,recall@10,us_per_query\n", knob.c_str());
+  for (const auto& pt : curve) {
+    const double us = pt.qps > 0 ? 1e6 / pt.qps : 0.0;
+    std::fprintf(f, "%zu,%.4f,%.2f\n", pt.beam, pt.recall, us);
+  }
+  if (std::fclose(f) != 0) return Status::IOError(path + ": close failed");
+  return Status::OK();
+}
+
 void PrintCurve(const std::string& method,
                 const std::vector<OperatingPoint>& curve) {
   for (const auto& pt : curve) {

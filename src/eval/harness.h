@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/topk.h"
 #include "data/dataset.h"
 
@@ -76,5 +77,14 @@ double HopsAtRecall(const std::vector<OperatingPoint>& curve, double target_reca
 
 /// Prints a curve as aligned columns (method name as the row prefix).
 void PrintCurve(const std::string& method, const std::vector<OperatingPoint>& curve);
+
+/// Writes a curve as machine-readable CSV: one header line
+/// `<knob>,recall@10,us_per_query` then one row per operating point, where
+/// the knob column carries OperatingPoint.beam under the caller's name
+/// ("nprobe" for IVF sweeps) and us_per_query = 1e6 / qps. The format feeds
+/// the checked-in BENCH_ivf.json comparisons and external plotting without
+/// scraping the aligned-column output.
+Status WriteCurveCsv(const std::string& path, const std::string& knob,
+                     const std::vector<OperatingPoint>& curve);
 
 }  // namespace rpq::eval

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "quant/adc.h"
 #include "quant/kmeans.h"
+#include "quant/split.h"
 #include "simd/simd.h"
 
 namespace rpq::ivf {
@@ -25,7 +26,24 @@ using io::ReadAll;
 using io::WriteAll;
 
 constexpr char kMagic[4] = {'R', 'P', 'Q', 'I'};
-constexpr uint32_t kVersion = 1;
+// v2 adds one u8 residual flag to the header; v1 files (no flag, residual
+// regime did not exist) still load. List payloads are identical across
+// versions — packed blocks and split cross constants are derived state.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
+
+// Every distance estimate in the index flows through a FastScan-capable
+// quantizer: plain 4-bit (K <= 16) or the K = 256 split regime.
+bool FastScanCapable(const quant::VectorQuantizer& quantizer) {
+  return quantizer.num_centroids() <= 16 ||
+         quantizer.split_model() != nullptr;
+}
+
+// q - centroid, the query every residual-regime table is built from.
+inline void ResidualQuery(const float* query, const float* centroid,
+                          size_t dim, float* out) {
+  for (size_t d = 0; d < dim; ++d) out[d] = query[d] - centroid[d];
+}
 
 }  // namespace
 
@@ -38,20 +56,47 @@ IvfIndex::IvfIndex(const quant::VectorQuantizer& quantizer,
       nlist_(centroids.size() / dim),
       centroids_(std::move(centroids)) {
   RPQ_CHECK(nlist_ > 0);
+  const size_t packed_size =
+      split() ? 2 * quantizer_.code_size() : quantizer_.code_size();
   lists_.resize(nlist_);
   for (auto& list : lists_) {
-    list.packed = quant::PackedCodes::Pack(nullptr, 0, quantizer_.code_size());
+    list.packed = quant::PackedCodes::Pack(nullptr, 0, packed_size);
   }
 }
 
-std::unique_ptr<IvfIndex> IvfIndex::Build(
-    const Dataset& base, const quant::VectorQuantizer& quantizer,
-    const IvfOptions& options) {
-  RPQ_CHECK(!base.empty());
-  RPQ_CHECK_EQ(base.dim(), quantizer.dim());
-  RPQ_CHECK(quantizer.num_centroids() <= 16 &&
-            "IVF FastScan lists need a 4-bit quantizer (K <= 16)");
+void IvfIndex::RepackList(InvertedList& list) const {
+  const size_t m = quantizer_.code_size();
+  const size_t count = list.ids.size();
+  if (const quant::SplitPqModel* model = quantizer_.split_model()) {
+    std::vector<uint8_t> expanded(count * 2 * m);
+    list.cross.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint8_t* code = list.codes.data() + i * m;
+      quant::ExpandSplitCode(code, m, expanded.data() + i * 2 * m);
+      list.cross[i] = model->CrossSum(code);
+    }
+    list.packed = quant::PackedCodes::Pack(expanded.data(), count, 2 * m);
+  } else {
+    list.packed = quant::PackedCodes::Pack(list.codes.data(), count, m);
+  }
+}
 
+void IvfIndex::AppendPacked(InvertedList& list, const uint8_t* code) const {
+  if (const quant::SplitPqModel* model = quantizer_.split_model()) {
+    thread_local std::vector<uint8_t> expanded;
+    const size_t m = quantizer_.code_size();
+    expanded.resize(2 * m);
+    quant::ExpandSplitCode(code, m, expanded.data());
+    list.packed.Append(expanded.data());
+    list.cross.push_back(model->CrossSum(code));
+  } else {
+    list.packed.Append(code);
+  }
+}
+
+std::vector<float> IvfIndex::TrainCoarse(const Dataset& base,
+                                         const IvfOptions& options) {
+  RPQ_CHECK(!base.empty());
   quant::KMeansOptions kopt;
   kopt.k = std::max<size_t>(1, options.nlist);
   kopt.max_iters = options.kmeans_iters;
@@ -61,10 +106,29 @@ std::unique_ptr<IvfIndex> IvfIndex::Build(
     train_n = std::min(train_n, options.train_sample);
   }
   auto km = quant::RunKMeans(base.data(), train_n, base.dim(), kopt);
-  const size_t nlist = km.centroids.size() / base.dim();
+  return std::move(km.centroids);
+}
+
+std::unique_ptr<IvfIndex> IvfIndex::Build(
+    const Dataset& base, const quant::VectorQuantizer& quantizer,
+    const IvfOptions& options) {
+  return BuildWithCentroids(base, TrainCoarse(base, options), quantizer,
+                            options);
+}
+
+std::unique_ptr<IvfIndex> IvfIndex::BuildWithCentroids(
+    const Dataset& base, std::vector<float> centroids,
+    const quant::VectorQuantizer& quantizer, const IvfOptions& options) {
+  RPQ_CHECK(!base.empty());
+  RPQ_CHECK_EQ(base.dim(), quantizer.dim());
+  RPQ_CHECK(FastScanCapable(quantizer) &&
+            "IVF FastScan lists need a 4-bit quantizer (K <= 16) or a "
+            "split-trained K = 256 one (quant/split.h)");
+  RPQ_CHECK(!centroids.empty() && centroids.size() % base.dim() == 0);
+  const size_t nlist = centroids.size() / base.dim();
 
   std::unique_ptr<IvfIndex> index(
-      new IvfIndex(quantizer, options, base.dim(), std::move(km.centroids)));
+      new IvfIndex(quantizer, options, base.dim(), std::move(centroids)));
 
   // Assignment is one NearestCentroid pass over the FINAL centroids — not
   // the k-means result's assignment, which is stale by one update step. A
@@ -76,7 +140,21 @@ std::unique_ptr<IvfIndex> IvfIndex::Build(
                                        base.dim());
   }
 
-  std::vector<uint8_t> codes = quantizer.EncodeDataset(base);
+  std::vector<uint8_t> codes;
+  if (options.residual) {
+    // Residual IVFADC: every row quantizes against its OWN cell's centroid,
+    // so the quantizer sees the tight residual ball instead of the corpus.
+    const size_t dim = base.dim();
+    std::vector<float> resid(base.size() * dim);
+    for (size_t i = 0; i < base.size(); ++i) {
+      ResidualQuery(base[i], index->centroids_.data() + assign[i] * dim, dim,
+                    resid.data() + i * dim);
+    }
+    Dataset residual_set(base.size(), dim, std::move(resid));
+    codes = quantizer.EncodeDataset(residual_set);
+  } else {
+    codes = quantizer.EncodeDataset(base);
+  }
   const size_t m = quantizer.code_size();
 
   std::vector<size_t> counts(nlist, 0);
@@ -97,7 +175,7 @@ std::unique_ptr<IvfIndex> IvfIndex::Build(
     }
   }
   for (auto& list : index->lists_) {
-    list.packed = quant::PackedCodes::Pack(list.codes.data(), list.ids.size(), m);
+    index->RepackList(list);
   }
   index->num_codes_ = base.size();
   return index;
@@ -109,26 +187,37 @@ std::unique_ptr<IvfIndex> IvfIndex::CreateEmpty(
   RPQ_CHECK(dim > 0);
   RPQ_CHECK_EQ(dim, quantizer.dim());
   RPQ_CHECK(!centroids.empty() && centroids.size() % dim == 0);
-  RPQ_CHECK(quantizer.num_centroids() <= 16 &&
-            "IVF FastScan lists need a 4-bit quantizer (K <= 16)");
+  RPQ_CHECK(FastScanCapable(quantizer) &&
+            "IVF FastScan lists need a 4-bit quantizer (K <= 16) or a "
+            "split-trained K = 256 one (quant/split.h)");
   return std::unique_ptr<IvfIndex>(
       new IvfIndex(quantizer, options, dim, std::move(centroids)));
 }
 
 uint32_t IvfIndex::Insert(const float* vec) {
   // Encode and route outside the lock — both read immutable state only.
+  // Residual mode must route FIRST: the code quantizes the offset from the
+  // owning cell's centroid.
   thread_local std::vector<uint8_t> code;
   code.resize(quantizer_.code_size());
-  quantizer_.Encode(vec, code.data());
   const uint32_t l =
       quant::NearestCentroid(vec, centroids_.data(), nlist_, dim_);
+  if (options_.residual) {
+    thread_local std::vector<float> resid;
+    resid.resize(dim_);
+    ResidualQuery(vec, centroids_.data() + size_t{l} * dim_, dim_,
+                  resid.data());
+    quantizer_.Encode(resid.data(), code.data());
+  } else {
+    quantizer_.Encode(vec, code.data());
+  }
 
   std::unique_lock<WriterPriorityMutex> lock(mu_);
   InvertedList& list = lists_[l];
   const uint32_t id = static_cast<uint32_t>(num_codes_++);
   list.ids.push_back(id);
   list.codes.insert(list.codes.end(), code.begin(), code.end());
-  list.packed.Append(code.data());
+  AppendPacked(list, code.data());
   if (options_.store_vectors) {
     list.vectors.insert(list.vectors.end(), vec, vec + dim_);
   }
@@ -154,19 +243,27 @@ void IvfIndex::RouteLists(const float* query, size_t nprobe,
   out->resize(nprobe);
 }
 
-void IvfIndex::PushCandidates(const quant::FastScanTable& table,
-                              const uint16_t* sums, uint32_t list, size_t count,
+void IvfIndex::PushCandidates(float bias, float scale, const uint16_t* sums,
+                              const float* cross, uint32_t list, size_t count,
                               const std::vector<uint32_t>& ids,
                               refine::CandidateBuffer* buffer) {
-  const float bias = table.bias(), scale = table.scale();
+  if (cross == nullptr) {
+    for (size_t i = 0; i < count; ++i) {
+      const float est = bias + scale * static_cast<float>(sums[i]);
+      buffer->Push(est, ids[i], (uint64_t{list} << 32) | i);
+    }
+    return;
+  }
+  // Split regime: the query-independent cross term rejoins the estimate as
+  // the stored per-vector float (see quant/split.h).
   for (size_t i = 0; i < count; ++i) {
-    const float est = bias + scale * static_cast<float>(sums[i]);
+    const float est = bias + scale * static_cast<float>(sums[i]) + cross[i];
     buffer->Push(est, ids[i], (uint64_t{list} << 32) | i);
   }
 }
 
 IvfSearchResult IvfIndex::FinishQuery(const float* query,
-                                      const quant::DistanceLut& lut,
+                                      const quant::DistanceLut* lut,
                                       refine::CandidateBuffer& buffer, size_t k,
                                       refine::RerankMode mode,
                                       IvfStats stats) const {
@@ -187,18 +284,28 @@ IvfSearchResult IvfIndex::FinishQuery(const float* query,
   RPQ_CHECK(mode == refine::RerankMode::kAdc &&
             "IVF refinement stages: adc or exact (LinkCode needs a graph)");
   const size_t m = quantizer_.code_size();
-  refine::AdcRefiner refiner(lut, m, [this, m](const refine::Candidate& c) {
+  auto code_fn = [this, m](const refine::Candidate& c) {
     const InvertedList& list = lists_[c.tag >> 32];
     return list.codes.data() + (c.tag & 0xffffffffu) * m;
-  });
+  };
+  if (options_.residual) {
+    // Residual kAdc: no single lookup table covers all cells, so the
+    // float-fidelity stage reconstructs decode(code) + centroid instead.
+    refine::ResidualAdcRefiner refiner(
+        query, quantizer_, code_fn, [this](const refine::Candidate& c) {
+          return centroids_.data() + (c.tag >> 32) * dim_;
+        });
+    out.results = refine::RefineTopK(buffer, refiner, k);
+    return out;
+  }
+  RPQ_CHECK(lut != nullptr);
+  refine::AdcRefiner refiner(*lut, m, code_fn);
   out.results = refine::RefineTopK(buffer, refiner, k);
   return out;
 }
 
 IvfSearchResult IvfIndex::Search(const float* query, size_t k,
                                  const IvfSearchOptions& options) const {
-  quant::AdcTable lut(quantizer_, query);
-  quant::FastScanTable table(lut);
   thread_local std::vector<uint32_t> probe;
   thread_local std::vector<uint16_t> sums;
   RouteLists(query, EffectiveNprobe(options), &probe);
@@ -206,18 +313,78 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
   refine::CandidateBuffer buffer(refine::EffectiveRerankWidth(options.rerank, k));
   IvfStats stats;
 
+  if (!options_.residual) {
+    if (!split()) {
+      // The float table is computed once and shared between the u8 scan
+      // estimates and the kAdc refinement stage.
+      quant::AdcTable lut(quantizer_, query);
+      quant::FastScanTable table(lut);
+      std::shared_lock<WriterPriorityMutex> lock(mu_);
+      for (uint32_t l : probe) {
+        const InvertedList& list = lists_[l];
+        ++stats.lists_probed;
+        if (list.ids.empty()) continue;
+        stats.codes_scanned += list.ids.size();
+        const size_t n_blocks = list.packed.num_blocks();
+        sums.resize(n_blocks * quant::PackedCodes::kBlockCodes);
+        table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
+        PushCandidates(table.bias(), table.scale(), sums.data(), nullptr, l,
+                       list.ids.size(), list.ids, &buffer);
+      }
+      return FinishQuery(query, &lut, buffer, k, options.rerank_mode, stats);
+    }
+    // Split, non-residual: one split table serves every cell; the kAdc
+    // rerank (exact float ADC over the materialized 256-word codebook) only
+    // needs the full lut when that stage is actually selected.
+    quant::SplitFastScanTable table(*quantizer_.split_model(), query);
+    std::shared_lock<WriterPriorityMutex> lock(mu_);
+    for (uint32_t l : probe) {
+      const InvertedList& list = lists_[l];
+      ++stats.lists_probed;
+      if (list.ids.empty()) continue;
+      stats.codes_scanned += list.ids.size();
+      const size_t n_blocks = list.packed.num_blocks();
+      sums.resize(n_blocks * quant::PackedCodes::kBlockCodes);
+      table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
+      PushCandidates(table.bias(), table.scale(), sums.data(),
+                     list.cross.data(), l, list.ids.size(), list.ids, &buffer);
+    }
+    const refine::RerankMode resolved =
+        refine::ResolveAutoMode(options.rerank_mode, options_.store_vectors);
+    if (resolved == refine::RerankMode::kAdc) {
+      quant::AdcTable lut(quantizer_, query);
+      return FinishQuery(query, &lut, buffer, k, options.rerank_mode, stats);
+    }
+    return FinishQuery(query, nullptr, buffer, k, options.rerank_mode, stats);
+  }
+
+  // Residual regime: one table per probed cell, built from q - centroid so
+  // every cell's estimates approximate the same || q - x_hat ||^2.
+  thread_local std::vector<float> resq;
+  resq.resize(dim_);
   std::shared_lock<WriterPriorityMutex> lock(mu_);
   for (uint32_t l : probe) {
     const InvertedList& list = lists_[l];
     ++stats.lists_probed;
-    if (list.ids.empty()) continue;
+    if (list.ids.empty()) continue;  // skip the LUT build, not just the scan
     stats.codes_scanned += list.ids.size();
+    ResidualQuery(query, centroids_.data() + size_t{l} * dim_, dim_,
+                  resq.data());
     const size_t n_blocks = list.packed.num_blocks();
     sums.resize(n_blocks * quant::PackedCodes::kBlockCodes);
-    table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
-    PushCandidates(table, sums.data(), l, list.ids.size(), list.ids, &buffer);
+    if (split()) {
+      quant::SplitFastScanTable table(*quantizer_.split_model(), resq.data());
+      table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
+      PushCandidates(table.bias(), table.scale(), sums.data(),
+                     list.cross.data(), l, list.ids.size(), list.ids, &buffer);
+    } else {
+      quant::FastScanTable table(quantizer_, resq.data());
+      table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
+      PushCandidates(table.bias(), table.scale(), sums.data(), nullptr, l,
+                     list.ids.size(), list.ids, &buffer);
+    }
   }
-  return FinishQuery(query, lut, buffer, k, options.rerank_mode, stats);
+  return FinishQuery(query, nullptr, buffer, k, options.rerank_mode, stats);
 }
 
 std::vector<IvfSearchResult> IvfIndex::SearchBatch(
@@ -226,17 +393,44 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
   std::vector<IvfSearchResult> out(nq);
   if (nq == 0) return out;
 
-  // All lookup tables are built before any scan (codebook stays
-  // cache-resident — the same amortization MemoryIndex::SearchBatch does).
+  const refine::RerankMode resolved =
+      refine::ResolveAutoMode(options.rerank_mode, options_.store_vectors);
+  const size_t m = quantizer_.code_size();
+
+  // Shared per-query tables (non-residual regimes), built before any scan
+  // (codebook stays cache-resident — the same amortization
+  // MemoryIndex::SearchBatch does). The residual regime cannot share tables
+  // across cells — each depends on q - centroid — so it builds them per
+  // (list, query) inside the group loop; grouping still amortizes the scan.
+  // `luts` backs the non-residual kAdc refinement stage and is skipped when
+  // the resolved stage will not read it.
   std::vector<quant::AdcTable> luts;
   std::vector<quant::FastScanTable> tables;
-  luts.reserve(nq);
-  tables.reserve(nq);
-  for (size_t q = 0; q < nq; ++q) {
-    luts.emplace_back(quantizer_, queries[q]);
-    tables.emplace_back(luts.back());
+  std::vector<quant::SplitFastScanTable> stables;
+  if (!options_.residual) {
+    if (!split()) {
+      luts.reserve(nq);
+      tables.reserve(nq);
+      for (size_t q = 0; q < nq; ++q) {
+        luts.emplace_back(quantizer_, queries[q]);
+        tables.emplace_back(luts.back());
+      }
+    } else {
+      stables.reserve(nq);
+      for (size_t q = 0; q < nq; ++q) {
+        stables.emplace_back(*quantizer_.split_model(), queries[q]);
+      }
+      if (resolved == refine::RerankMode::kAdc) {
+        luts.reserve(nq);
+        for (size_t q = 0; q < nq; ++q) {
+          luts.emplace_back(quantizer_, queries[q]);
+        }
+      }
+    }
   }
-  const size_t m2 = tables.front().padded_chunks();
+  // u8 LUT row stride: 4-bit tables pad odd m to even; split tables carry
+  // 2m interleaved nibble rows.
+  const size_t m2 = split() ? 2 * m : m + (m % 2);
 
   const size_t limit = refine::EffectiveRerankWidth(options.rerank, k);
   std::vector<refine::CandidateBuffer> buffers;
@@ -267,6 +461,10 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
 
   thread_local std::vector<uint8_t> luts_buf;
   thread_local std::vector<uint16_t> sums;
+  thread_local std::vector<float> resq;
+  // Residual per-group scratch: the tables for this (cell, queries) group.
+  std::vector<quant::FastScanTable> group_tables;
+  std::vector<quant::SplitFastScanTable> group_stables;
   for (size_t p0 = 0; p0 < pairs.size();) {
     const uint32_t l = pairs[p0].first;
     size_t p1 = p0;
@@ -285,28 +483,88 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
     const size_t n_blocks = list.packed.num_blocks();
     const size_t stride = n_blocks * quant::PackedCodes::kBlockCodes;
     sums.resize(group * stride);
+
+    if (options_.residual) {
+      // Build this cell's tables from q - centroid for every grouped query,
+      // then scan the cell's blocks ONCE for all of them — the LUT-build
+      // cost is per (query, cell) either way, but grouping keeps each packed
+      // block register-resident across the whole group.
+      resq.resize(dim_);
+      const float* centroid = centroids_.data() + size_t{l} * dim_;
+      group_tables.clear();
+      group_stables.clear();
+      luts_buf.resize(group * m2 * 16);
+      for (size_t i = 0; i < group; ++i) {
+        const uint32_t q = pairs[p0 + i].second;
+        ResidualQuery(queries[q], centroid, dim_, resq.data());
+        const uint8_t* lut8;
+        if (split()) {
+          group_stables.emplace_back(*quantizer_.split_model(), resq.data());
+          lut8 = group_stables.back().lut8();
+        } else {
+          group_tables.emplace_back(quantizer_, resq.data());
+          lut8 = group_tables.back().lut8();
+        }
+        std::memcpy(luts_buf.data() + i * m2 * 16, lut8, m2 * 16);
+      }
+      if (split()) {
+        simd::AdcFastScanSplitMulti(luts_buf.data(), group, m,
+                                    list.packed.data.data(), n_blocks,
+                                    sums.data());
+      } else {
+        simd::AdcFastScanMulti(luts_buf.data(), group, m2,
+                               list.packed.data.data(), n_blocks, sums.data());
+      }
+      for (size_t i = 0; i < group; ++i) {
+        const uint32_t q = pairs[p0 + i].second;
+        const float bias =
+            split() ? group_stables[i].bias() : group_tables[i].bias();
+        const float scale =
+            split() ? group_stables[i].scale() : group_tables[i].scale();
+        PushCandidates(bias, scale, sums.data() + i * stride,
+                       split() ? list.cross.data() : nullptr, l,
+                       list.ids.size(), list.ids, &buffers[q]);
+      }
+      p0 = p1;
+      continue;
+    }
+
     if (group == 1) {
-      tables[pairs[p0].second].ScanBlocks(list.packed.data.data(), n_blocks,
-                                          sums.data());
+      const uint32_t q = pairs[p0].second;
+      if (split()) {
+        stables[q].ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
+      } else {
+        tables[q].ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
+      }
     } else {
       luts_buf.resize(group * m2 * 16);
       for (size_t i = 0; i < group; ++i) {
+        const uint32_t q = pairs[p0 + i].second;
         std::memcpy(luts_buf.data() + i * m2 * 16,
-                    tables[pairs[p0 + i].second].lut8(), m2 * 16);
+                    split() ? stables[q].lut8() : tables[q].lut8(), m2 * 16);
       }
-      simd::AdcFastScanMulti(luts_buf.data(), group, m2,
-                             list.packed.data.data(), n_blocks, sums.data());
+      if (split()) {
+        simd::AdcFastScanSplitMulti(luts_buf.data(), group, m,
+                                    list.packed.data.data(), n_blocks,
+                                    sums.data());
+      } else {
+        simd::AdcFastScanMulti(luts_buf.data(), group, m2,
+                               list.packed.data.data(), n_blocks, sums.data());
+      }
     }
     for (size_t i = 0; i < group; ++i) {
       const uint32_t q = pairs[p0 + i].second;
-      PushCandidates(tables[q], sums.data() + i * stride, l, list.ids.size(),
+      const float bias = split() ? stables[q].bias() : tables[q].bias();
+      const float scale = split() ? stables[q].scale() : tables[q].scale();
+      PushCandidates(bias, scale, sums.data() + i * stride,
+                     split() ? list.cross.data() : nullptr, l, list.ids.size(),
                      list.ids, &buffers[q]);
     }
     p0 = p1;
   }
   for (size_t q = 0; q < nq; ++q) {
-    out[q] = FinishQuery(queries[q], luts[q], buffers[q], k,
-                         options.rerank_mode, stats[q]);
+    out[q] = FinishQuery(queries[q], q < luts.size() ? &luts[q] : nullptr,
+                         buffers[q], k, options.rerank_mode, stats[q]);
   }
   return out;
 }
@@ -326,7 +584,8 @@ size_t IvfIndex::MemoryBytes() const {
   size_t total = centroids_.size() * sizeof(float);
   for (const auto& list : lists_) {
     total += list.ids.size() * sizeof(uint32_t) + list.codes.size() +
-             list.packed.data.size() + list.vectors.size() * sizeof(float);
+             list.packed.data.size() + list.vectors.size() * sizeof(float) +
+             list.cross.size() * sizeof(float);
   }
   return total;
 }
@@ -339,12 +598,14 @@ Status IvfIndex::Save(const std::string& path) const {
   const uint32_t nlist = static_cast<uint32_t>(nlist_);
   const uint32_t code_size = static_cast<uint32_t>(quantizer_.code_size());
   const uint8_t store_vectors = options_.store_vectors ? 1 : 0;
+  const uint8_t residual = options_.residual ? 1 : 0;
   const uint32_t default_nprobe = static_cast<uint32_t>(options_.default_nprobe);
   const uint64_t num_codes = num_codes_;
   if (!WriteAll(f.get(), kMagic, 4) || !WriteAll(f.get(), &kVersion, 4) ||
       !WriteAll(f.get(), &dim, 4) || !WriteAll(f.get(), &nlist, 4) ||
       !WriteAll(f.get(), &code_size, 4) ||
       !WriteAll(f.get(), &store_vectors, 1) ||
+      !WriteAll(f.get(), &residual, 1) ||
       !WriteAll(f.get(), &default_nprobe, 4) ||
       !WriteAll(f.get(), &num_codes, 8) ||
       !WriteAll(f.get(), centroids_.data(),
@@ -371,17 +632,19 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
   if (!f) return Status::IOError("cannot open " + path);
   char magic[4];
   uint32_t version = 0, dim = 0, nlist = 0, code_size = 0, default_nprobe = 0;
-  uint8_t store_vectors = 0;
+  uint8_t store_vectors = 0, residual = 0;
   uint64_t num_codes = 0;
   if (!ReadAll(f.get(), magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::IOError(path + ": not an RPQ IVF index file");
   }
-  if (!ReadAll(f.get(), &version, 4) || version != kVersion) {
+  if (!ReadAll(f.get(), &version, 4) || version < kMinVersion ||
+      version > kVersion) {
     return Status::IOError(path + ": unsupported version");
   }
   if (!ReadAll(f.get(), &dim, 4) || !ReadAll(f.get(), &nlist, 4) ||
       !ReadAll(f.get(), &code_size, 4) ||
       !ReadAll(f.get(), &store_vectors, 1) ||
+      (version >= 2 && !ReadAll(f.get(), &residual, 1)) ||
       !ReadAll(f.get(), &default_nprobe, 4) ||
       !ReadAll(f.get(), &num_codes, 8)) {
     return Status::IOError(path + ": truncated header");
@@ -390,7 +653,7 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
     return Status::IOError(path + ": invalid index shape");
   }
   if (dim != quantizer.dim() || code_size != quantizer.code_size() ||
-      quantizer.num_centroids() > 16) {
+      (quantizer.num_centroids() > 16 && quantizer.split_model() == nullptr)) {
     return Status::InvalidArgument(path +
                                    ": quantizer does not match saved index");
   }
@@ -414,6 +677,7 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
   IvfOptions options;
   options.nlist = nlist;
   options.store_vectors = store_vectors != 0;
+  options.residual = residual != 0;
   options.default_nprobe = default_nprobe > 0 ? default_nprobe : 1;
   std::unique_ptr<IvfIndex> index(
       new IvfIndex(quantizer, options, dim, std::move(centroids)));
@@ -439,8 +703,7 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
         return Status::IOError(path + ": truncated list vectors");
       }
     }
-    list.packed =
-        quant::PackedCodes::Pack(list.codes.data(), count, code_size);
+    index->RepackList(list);
     total += count;
   }
   if (total != num_codes) {

@@ -1,15 +1,28 @@
 // IVF (inverted-file) partitioned index — the first non-graph retrieval path.
 //
 // A k-means coarse quantizer splits the corpus into nlist cells; each cell
-// stores its members' 4-bit PQ codes in the FastScan blocked-transposed
-// layout (quant::PackedCodes) plus their global ids. A query routes to the
-// nprobe nearest cells (one fused simd::L2ToMany pass over the centroid
-// table) and scores every code in them with register-resident LUT shuffles
+// stores its members' PQ codes in the FastScan blocked-transposed layout
+// (quant::PackedCodes) plus their global ids. A query routes to the nprobe
+// nearest cells (one fused simd::L2ToMany pass over the centroid table) and
+// scores every code in them with register-resident LUT shuffles
 // (simd::AdcFastScan) — the flat-scan regime where the blocked layout is at
 // its best (~8x per code over gathered float-ADC): no per-candidate
 // branching, no visited table, pure sequential blocks. The top `rerank`
 // candidates by u8 estimate are then re-scored with the float ADC table
 // (or, when the index retains raw vectors, exact squared L2) before top-k.
+//
+// Two quality upgrades compose on top of the 4-bit flat regime, both staying
+// on the shuffle-kernel path:
+//   * K = 256 split tables — a split-trained quantizer (quant/split.h)
+//     stores full 8-bit codes whose blocks the 4-bit kernels score as two
+//     nibble planes (simd::AdcFastScanSplit, 2x the per-code cost), plus one
+//     stored float per vector for the query-independent cross term.
+//   * Residual IVFADC (IvfOptions.residual) — codes quantize x - centroid
+//     of the owning cell, and each probed cell gets its own lookup table
+//     built from q - centroid, so estimates approximate the same
+//     || q - x_hat ||^2 across cells. The per-probed-cell LUT build is the
+//     price of the sharper codes (see BM_IvfResidualLutBuild); SearchBatch
+//     still scans each cell's blocks once for all queries probing it.
 //
 // Compared to the graph indexes this trades hops for scans: recall is
 // controlled by nprobe instead of beam width, inserts are O(m) list appends
@@ -50,6 +63,11 @@ struct IvfOptions {
   /// recall ceiling past what the 4-bit codes alone can reach.
   bool store_vectors = false;
   size_t default_nprobe = 8; ///< used when IvfSearchOptions.nprobe == 0
+  /// Residual IVFADC: encode x - centroid(cell) instead of x. The residual
+  /// spans a much tighter ball than the raw corpus, so the same code budget
+  /// quantizes far more sharply; the cost is one lookup-table build per
+  /// (query, probed cell) because estimates must come from q - centroid.
+  bool residual = false;
 };
 
 /// Query-time knobs.
@@ -77,7 +95,9 @@ struct IvfSearchResult {
   IvfStats stats;
 };
 
-/// Inverted-file index over a borrowed 4-bit-capable quantizer (K <= 16).
+/// Inverted-file index over a borrowed FastScan-capable quantizer: either
+/// 4-bit (K <= 16) or split-trained K = 256 (quant::PqQuantizer with a
+/// SplitPqModel attached).
 class IvfIndex {
  public:
   /// Trains the coarse quantizer on `base`, encodes every row, and fills the
@@ -85,6 +105,19 @@ class IvfIndex {
   static std::unique_ptr<IvfIndex> Build(const Dataset& base,
                                          const quant::VectorQuantizer& quantizer,
                                          const IvfOptions& options = {});
+
+  /// The coarse-quantizer training step of Build, exposed on its own: the
+  /// k-means centroids (nlist' x dim, nlist' <= options.nlist) for `base`.
+  /// Deterministic in (base, options), so a deployment that persists only
+  /// the PQ model can re-derive identical routing instead of shipping the
+  /// centroid table.
+  static std::vector<float> TrainCoarse(const Dataset& base,
+                                        const IvfOptions& options = {});
+
+  /// Build over precomputed coarse centroids — TrainCoarse + this == Build.
+  static std::unique_ptr<IvfIndex> BuildWithCentroids(
+      const Dataset& base, std::vector<float> centroids,
+      const quant::VectorQuantizer& quantizer, const IvfOptions& options = {});
 
   /// Empty index over precomputed coarse centroids (nlist x dim, row-major)
   /// — the streaming start: lists fill through Insert alone.
@@ -114,6 +147,7 @@ class IvfIndex {
   size_t size() const;  ///< total indexed vectors (locks)
   size_t list_size(size_t l) const;
   bool stores_vectors() const { return options_.store_vectors; }
+  bool residual() const { return options_.residual; }
   const quant::VectorQuantizer& quantizer() const { return quantizer_; }
   const std::vector<float>& centroids() const { return centroids_; }
 
@@ -122,16 +156,20 @@ class IvfIndex {
 
   /// Persists centroids, options, and list contents (not the quantizer —
   /// pair with quant::SaveQuantizer, as MemoryIndex deployments do).
-  /// Format (little-endian):
+  /// Format (little-endian), version 2:
   ///   magic "RPQI" | u32 version | u32 dim | u32 nlist | u32 code_size
-  ///   | u8 store_vectors | u32 default_nprobe | u64 num_codes
+  ///   | u8 store_vectors | u8 residual | u32 default_nprobe | u64 num_codes
   ///   | centroids f32[nlist*dim]
   ///   | per list: u64 count | u32 ids[count] | u8 codes[count*code_size]
   ///               | f32 vectors[count*dim] (iff store_vectors)
+  /// Version 1 (no residual byte, residual = false) loads unchanged. The
+  /// packed blocks and the split cross constants are rebuilt from the codes
+  /// at load time, so the on-disk list payload is layout-independent.
   Status Save(const std::string& path) const;
 
   /// Loads an index written by Save; `quantizer` must match the saved shape
-  /// (code_size, K <= 16) and is borrowed like in Build.
+  /// (code_size, and FastScan-capable: K <= 16 or split) and is borrowed
+  /// like in Build.
   static Result<std::unique_ptr<IvfIndex>> Load(
       const std::string& path, const quant::VectorQuantizer& quantizer);
 
@@ -139,16 +177,23 @@ class IvfIndex {
   /// One coarse cell: ids + codes in both layouts (+ optional raw rows).
   /// Unpacked codes serve the rerank pass and persistence; packed blocks
   /// serve the scan. The tail block's padding slots are zero and simply
-  /// ignored (sums past list size are never read).
+  /// ignored (sums past list size are never read). In the split regime the
+  /// packed blocks hold the nibble-expanded layout (2 x code_size rows) and
+  /// `cross` carries each vector's query-independent cross constant.
   struct InvertedList {
     std::vector<uint32_t> ids;
     std::vector<uint8_t> codes;   ///< count x code_size, byte per chunk
     quant::PackedCodes packed;
     std::vector<float> vectors;   ///< count x dim iff store_vectors
+    std::vector<float> cross;     ///< count floats iff split quantizer
   };
 
   IvfIndex(const quant::VectorQuantizer& quantizer, const IvfOptions& options,
            size_t dim, std::vector<float> centroids);
+
+  /// True when the borrowed quantizer is split-trained (K = 256 scored
+  /// through the split kernels; lists carry expanded blocks + cross).
+  bool split() const { return quantizer_.split_model() != nullptr; }
 
   size_t EffectiveNprobe(const IvfSearchOptions& options) const;
 
@@ -156,17 +201,29 @@ class IvfIndex {
   void RouteLists(const float* query, size_t nprobe,
                   std::vector<uint32_t>* out) const;
 
+  /// Rebuilds one list's packed blocks (and split cross constants) from its
+  /// unpacked codes — Build and Load share it.
+  void RepackList(InvertedList& list) const;
+
+  /// Appends one unpacked code to a list's packed blocks (+ cross).
+  void AppendPacked(InvertedList& list, const uint8_t* code) const;
+
   /// Feeds one list's u16 sums into the shared bounded candidate buffer;
   /// each candidate's tag records (list << 32) | position so the refinement
-  /// stage can find its code / raw row.
-  static void PushCandidates(const quant::FastScanTable& table,
-                             const uint16_t* sums, uint32_t list, size_t count,
+  /// stage can find its code / raw row / centroid. `cross` is the list's
+  /// per-vector cross constants in the split regime, null otherwise; the
+  /// non-null branch is separate so the 4-bit path's float sequence stays
+  /// bit-identical to what it was before the split regime existed.
+  static void PushCandidates(float bias, float scale, const uint16_t* sums,
+                             const float* cross, uint32_t list, size_t count,
                              const std::vector<uint32_t>& ids,
                              refine::CandidateBuffer* buffer);
 
   /// Shared refinement epilogue: re-scores the kept candidates with the
-  /// requested refine::Refiner stage into sorted top-k.
-  IvfSearchResult FinishQuery(const float* query, const quant::DistanceLut& lut,
+  /// requested refine::Refiner stage into sorted top-k. `lut` backs the
+  /// non-residual kAdc stage and is null in the residual regime, where kAdc
+  /// resolves to refine::ResidualAdcRefiner (decode + centroid add).
+  IvfSearchResult FinishQuery(const float* query, const quant::DistanceLut* lut,
                               refine::CandidateBuffer& buffer, size_t k,
                               refine::RerankMode mode, IvfStats stats) const;
 

@@ -68,6 +68,11 @@ FastScanTable::FastScanTable(const DistanceLut& lut) {
   Quantize(lut.data(), lut.num_centroids());
 }
 
+FastScanTable::FastScanTable(const float* table, size_t m, size_t k) {
+  m_ = m;
+  Quantize(table, k);
+}
+
 void FastScanTable::Quantize(const float* table, size_t k) {
   RPQ_CHECK(k > 0 && k <= 16 && "FastScan requires K <= 16 (4-bit codes)");
   RPQ_CHECK(m_ > 0 && m_ <= 256);

@@ -63,6 +63,10 @@ class FastScanTable {
  public:
   FastScanTable(const VectorQuantizer& quantizer, const float* query);
   explicit FastScanTable(const DistanceLut& lut);
+  /// Builds from a raw m x k float table (k <= 16) the caller computed
+  /// itself — split tables (quant/split.h) hand in their interleaved 2m-row
+  /// per-level table directly without routing through a quantizer.
+  FastScanTable(const float* table, size_t m, size_t k);
 
   size_t num_chunks() const { return m_; }     ///< m (unpadded)
   size_t padded_chunks() const { return m2_; } ///< m2 (even, layout rows * 2)

@@ -6,6 +6,7 @@
 #include "common/distance.h"
 #include "common/logging.h"
 #include "quant/kmeans.h"
+#include "quant/split.h"
 #include "simd/simd.h"
 
 namespace rpq::quant {
@@ -50,6 +51,17 @@ PqQuantizer::PqQuantizer(Codebook codebook, std::optional<linalg::Matrix> rotati
     RPQ_CHECK_EQ(rotation_->rows(), dim_);
     RPQ_CHECK_EQ(rotation_->cols(), dim_);
   }
+}
+
+PqQuantizer::~PqQuantizer() = default;
+
+void PqQuantizer::set_split_model(std::unique_ptr<SplitPqModel> split) {
+  if (split != nullptr) {
+    RPQ_CHECK_EQ(split->num_chunks(), codebook_.num_chunks());
+    RPQ_CHECK_EQ(split->sub_dim(), codebook_.sub_dim());
+    RPQ_CHECK_EQ(codebook_.num_centroids(), size_t{256});
+  }
+  split_ = std::move(split);
 }
 
 void PqQuantizer::Rotate(const float* vec, float* out) const {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/logging.h"
 #include "linalg/matrix.h"
 #include "quant/codebook.h"
 #include "quant/quantizer.h"
@@ -15,14 +16,25 @@ namespace rpq::quant {
 /// Training knobs shared by PQ-family quantizers.
 struct PqOptions {
   size_t m = 8;            ///< number of chunks M (must divide dim)
-  size_t k = 256;          ///< codewords per sub-codebook (<= 256)
-  size_t nbits = 8;        ///< bits per chunk code: 8, or 4 (caps K at 16 and
-                           ///< makes the model FastScan-layout ready)
+  size_t k = 0;            ///< codewords per sub-codebook; 0 = auto from
+                           ///< nbits (16 when nbits == 4, 256 when 8)
+  size_t nbits = 8;        ///< bits per chunk code: 8, or 4 (K <= 16,
+                           ///< FastScan-layout ready)
   size_t kmeans_iters = 25;
   uint64_t seed = 13;
 
-  /// K after applying the nbits cap — what training actually uses.
-  size_t effective_k() const { return nbits == 4 ? (k < 16 ? k : 16) : k; }
+  /// K actually trained: the nbits-implied default when k == 0, the explicit
+  /// value otherwise. An explicit K the code width cannot hold fails loudly
+  /// here — training a silently smaller codebook than requested is how
+  /// recall regressions hide. K = 256 under FastScan is served by the split
+  /// regime (quant/split.h), not by capping.
+  size_t effective_k() const {
+    if (k == 0) return nbits == 4 ? 16 : 256;
+    RPQ_CHECK((nbits == 4 ? k <= 16 : k <= 256) &&
+              "PqOptions.k does not fit nbits: K <= 16 for 4-bit codes, "
+              "<= 256 for 8-bit (use TrainSplitPq for K = 256 FastScan)");
+    return k;
+  }
 };
 
 /// Rotation + per-chunk nearest-codeword quantizer.
@@ -35,6 +47,7 @@ class PqQuantizer : public VectorQuantizer {
   /// Builds a quantizer from existing parts (used by OPQ and RPQ deployment).
   /// `rotation` maps original vectors into the quantized space: y = R x.
   PqQuantizer(Codebook codebook, std::optional<linalg::Matrix> rotation);
+  ~PqQuantizer() override;  // out-of-line: split_ is incomplete here
 
   size_t dim() const override { return dim_; }
   size_t decoded_dim() const override { return dim_; }
@@ -51,15 +64,25 @@ class PqQuantizer : public VectorQuantizer {
   bool has_rotation() const { return rotation_.has_value(); }
   const linalg::Matrix& rotation() const { return *rotation_; }
 
+  /// Maps an original-space vector into the quantized space (y = R x;
+  /// identity copy for plain PQ). Public because split-table construction
+  /// (quant/split.h) builds its per-level LUT rows from the rotated query.
+  void Rotate(const float* vec, float* out) const;
+
+  /// The split structure when this model came from TrainSplitPq; null for
+  /// plain models. The codebook_ then materializes A + B, so Encode /
+  /// Decode / BuildLookupTable need no special casing.
+  const SplitPqModel* split_model() const override { return split_.get(); }
+  void set_split_model(std::unique_ptr<SplitPqModel> split);
+
   /// Mean squared reconstruction error over a dataset (distortion metric).
   double Distortion(const Dataset& data) const;
 
  private:
-  void Rotate(const float* vec, float* out) const;
-
   size_t dim_;
   Codebook codebook_;
   std::optional<linalg::Matrix> rotation_;  // D x D orthonormal
+  std::unique_ptr<SplitPqModel> split_;     // K = 256 split regime, or null
 };
 
 /// Trains the M sub-codebooks by running k-means on each chunk of `rotated`

@@ -14,6 +14,8 @@ class ThreadPool;
 
 namespace rpq::quant {
 
+struct SplitPqModel;  // quant/split.h — the K = 256 split-table structure
+
 /// Maps vectors to compact byte codes and supports ADC distance lookup.
 ///
 /// Code layout: one byte per chunk (K <= 256), code_size() == num_chunks().
@@ -43,6 +45,14 @@ class VectorQuantizer {
   /// Bytes needed to persist the model (codebooks + transforms), excluding
   /// the per-vector codes. Reported in the paper's Table 5.
   virtual size_t ModelSizeBytes() const = 0;
+
+  /// The split-table structure behind this model when it was trained in the
+  /// K = 256 split regime (quant/split.h: each chunk codebook is the sum set
+  /// A + B of two 16-word level codebooks, so FastScan consumers can score
+  /// full 8-bit codes through 4-bit shuffle kernels). Null for every other
+  /// model — the capability probe FastScan-path consumers use instead of
+  /// RTTI.
+  virtual const SplitPqModel* split_model() const { return nullptr; }
 
   /// Encodes a whole dataset; returns n * code_size() bytes. Rows are split
   /// over `pool` (the process-wide SharedPool() when null) — Encode must be

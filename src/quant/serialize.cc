@@ -5,13 +5,21 @@
 #include <memory>
 
 #include "common/file_io.h"
+#include "quant/split.h"
 
 namespace rpq::quant {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'P', 'Q', 'Q'};
 constexpr char kCodesMagic[4] = {'R', 'P', 'Q', 'C'};
+// v1: plain models (header | product codebook | rotation) — still written
+// for every non-split model, so existing files and readers are untouched.
+// v2: split models (quant/split.h) — the header grows a has_split byte and
+// the payload is the two 16-word level codebooks A then B; the product
+// codebook and cross table are deterministic functions of the levels
+// (MakeSplitQuantizer) and are rebuilt at load instead of stored.
 constexpr uint32_t kVersion = 1;
+constexpr uint32_t kSplitVersion = 2;
 
 using io::FilePtr;
 using io::ReadAll;
@@ -20,16 +28,33 @@ using io::WriteAll;
 }  // namespace
 
 Status SaveQuantizer(const PqQuantizer& q, const std::string& path) {
+  const SplitPqModel* split = q.split_model();
+  if (split != nullptr && q.has_rotation()) {
+    return Status::InvalidArgument(
+        "split models with a rotation are not serializable");
+  }
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return Status::IOError("cannot open " + path + " for writing");
+  uint32_t version = split != nullptr ? kSplitVersion : kVersion;
   uint32_t dim = static_cast<uint32_t>(q.dim());
   uint32_t m = static_cast<uint32_t>(q.num_chunks());
   uint32_t k = static_cast<uint32_t>(q.num_centroids());
   uint8_t has_rot = q.has_rotation() ? 1 : 0;
-  if (!WriteAll(f.get(), kMagic, 4) || !WriteAll(f.get(), &kVersion, 4) ||
+  if (!WriteAll(f.get(), kMagic, 4) || !WriteAll(f.get(), &version, 4) ||
       !WriteAll(f.get(), &dim, 4) || !WriteAll(f.get(), &m, 4) ||
       !WriteAll(f.get(), &k, 4) || !WriteAll(f.get(), &has_rot, 1)) {
     return Status::IOError(path + ": header write failed");
+  }
+  if (split != nullptr) {
+    uint8_t has_split = 1;
+    if (!WriteAll(f.get(), &has_split, 1) ||
+        !WriteAll(f.get(), split->a.data(),
+                  split->a.num_floats() * sizeof(float)) ||
+        !WriteAll(f.get(), split->b.data(),
+                  split->b.num_floats() * sizeof(float))) {
+      return Status::IOError(path + ": split codebook write failed");
+    }
+    return Status::OK();
   }
   const Codebook& book = q.codebook();
   if (!WriteAll(f.get(), book.data(), book.num_floats() * sizeof(float))) {
@@ -53,7 +78,8 @@ Result<std::unique_ptr<PqQuantizer>> LoadQuantizer(const std::string& path) {
   if (!ReadAll(f.get(), magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::IOError(path + ": not an RPQ quantizer file");
   }
-  if (!ReadAll(f.get(), &version, 4) || version != kVersion) {
+  if (!ReadAll(f.get(), &version, 4) ||
+      (version != kVersion && version != kSplitVersion)) {
     return Status::IOError(path + ": unsupported version");
   }
   if (!ReadAll(f.get(), &dim, 4) || !ReadAll(f.get(), &m, 4) ||
@@ -62,6 +88,22 @@ Result<std::unique_ptr<PqQuantizer>> LoadQuantizer(const std::string& path) {
   }
   if (dim == 0 || m == 0 || k == 0 || k > 256 || dim % m != 0) {
     return Status::IOError(path + ": invalid model shape");
+  }
+  if (version == kSplitVersion) {
+    uint8_t has_split = 0;
+    if (!ReadAll(f.get(), &has_split, 1)) {
+      return Status::IOError(path + ": truncated header");
+    }
+    if (has_split == 0 || has_rot != 0 || k != 256) {
+      return Status::IOError(path + ": invalid split model header");
+    }
+    Codebook a(m, 16, dim / m);
+    Codebook b(m, 16, dim / m);
+    if (!ReadAll(f.get(), a.data(), a.num_floats() * sizeof(float)) ||
+        !ReadAll(f.get(), b.data(), b.num_floats() * sizeof(float))) {
+      return Status::IOError(path + ": truncated split codebooks");
+    }
+    return MakeSplitQuantizer(std::move(a), std::move(b));
   }
   Codebook book(m, k, dim / m);
   if (!ReadAll(f.get(), book.data(), book.num_floats() * sizeof(float))) {

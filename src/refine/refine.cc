@@ -62,6 +62,18 @@ void AdcRefiner::Refine(const Candidate* cands, size_t n, float* out) const {
   lut_.DistanceBatch(packed_.data(), n, out);
 }
 
+void ResidualAdcRefiner::Refine(const Candidate* cands, size_t n,
+                                float* out) const {
+  const size_t dim = quantizer_.decoded_dim();
+  recon_.resize(dim);
+  for (size_t i = 0; i < n; ++i) {
+    quantizer_.Decode(code_fn_(cands[i]), recon_.data());
+    const float* centroid = centroid_fn_(cands[i]);
+    for (size_t d = 0; d < dim; ++d) recon_[d] += centroid[d];
+    out[i] = simd::SquaredL2(query_, recon_.data(), dim);
+  }
+}
+
 void ExactRefiner::Refine(const Candidate* cands, size_t n, float* out) const {
   for (size_t i = 0; i < n; ++i) {
     const float* vec = vectors_ != nullptr

@@ -24,8 +24,8 @@
 // re-score every one, return the sorted top-k by (refined distance, id).
 // core::MemoryIndex (FastScan epilogue), ivf::IvfIndex (list-scan epilogue),
 // and disk::DiskIndex (exact-on-fetch rerank heap) all route through here;
-// future stages (residual IVFADC, K = 256 split tables) plug into the same
-// seam.
+// the residual-IVFADC stage (ResidualAdcRefiner, decode + centroid add)
+// plugs into the same seam for IVF's per-cell residual codes.
 #pragma once
 
 #include <cstdint>
@@ -215,6 +215,39 @@ class AdcRefiner : public Refiner {
   CodeFn code_fn_;                       ///< scattered-storage resolver
   mutable std::vector<uint32_t> ids_;    ///< gather scratch
   mutable std::vector<uint8_t> packed_;  ///< resolver scratch
+};
+
+/// Residual-IVFADC stage: each candidate's code was trained on x - centroid
+/// (its IVF cell's residual), so the float-fidelity re-score reconstructs
+/// decode(code) + centroid and takes exact L2 against that reconstruction —
+/// the residual regime's equivalent of AdcRefiner's full-precision table
+/// sums (what the u8 split-LUT estimate approximates), with no raw rows
+/// needed. Slots in wherever kAdc resolves when the backend is residual.
+class ResidualAdcRefiner : public Refiner {
+ public:
+  using CodeFn = std::function<const uint8_t*(const Candidate&)>;
+  using CentroidFn = std::function<const float*(const Candidate&)>;
+
+  ResidualAdcRefiner(const float* query,
+                     const quant::VectorQuantizer& quantizer, CodeFn code_fn,
+                     CentroidFn centroid_fn)
+      : query_(query),
+        quantizer_(quantizer),
+        code_fn_(std::move(code_fn)),
+        centroid_fn_(std::move(centroid_fn)) {
+    // Centroid add happens in the decoded space, so the quantizer must
+    // decode back to the original dimensionality.
+    RPQ_CHECK_EQ(quantizer.decoded_dim(), quantizer.dim());
+  }
+
+  void Refine(const Candidate* cands, size_t n, float* out) const override;
+
+ private:
+  const float* query_;
+  const quant::VectorQuantizer& quantizer_;
+  CodeFn code_fn_;          ///< candidate -> its residual code
+  CentroidFn centroid_fn_;  ///< candidate -> its cell's centroid
+  mutable std::vector<float> recon_;  ///< per-candidate scratch
 };
 
 /// Exact stage: squared L2 against retained raw vectors — flat row-major by

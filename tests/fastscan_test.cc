@@ -19,6 +19,7 @@
 #include "quant/adc.h"
 #include "quant/fastscan.h"
 #include "quant/pq.h"
+#include "quant/split.h"
 #include "simd/simd.h"
 
 namespace rpq {
@@ -101,19 +102,35 @@ TEST(FastScanTableTest, TailBlockLengthsScanExactly) {
   }
 }
 
-// 4-bit training mode: nbits=4 caps K at 16 so codes are layout-ready.
-TEST(PqOptionsTest, FourBitModeCapsCentroids) {
+// 4-bit training mode: the default K (k = 0 = auto) resolves from nbits, so
+// codes are layout-ready without spelling K out at every call site.
+TEST(PqOptionsTest, DefaultKResolvesFromNbits) {
   Dataset train = synthetic::MakeSiftLike(400, 3);
   quant::PqOptions opt;
   opt.m = 16;
-  opt.k = 256;
   opt.nbits = 4;
   opt.kmeans_iters = 2;
+  EXPECT_EQ(opt.effective_k(), 16u);
   auto pq = quant::PqQuantizer::Train(train, opt);
   EXPECT_EQ(pq->num_centroids(), 16u);
   std::vector<uint8_t> code(pq->code_size());
   pq->Encode(train[0], code.data());
   for (uint8_t c : code) EXPECT_LT(c, 16);
+  opt.nbits = 8;
+  EXPECT_EQ(opt.effective_k(), 256u);
+}
+
+// An explicit K that does not fit the code width must fail loudly at
+// training/build time, not silently train a different model than asked for
+// (the old behavior capped K = 256 + nbits = 4 down to 16).
+TEST(PqOptionsDeathTest, ExplicitKBeyondCodeWidthFailsLoudly) {
+  quant::PqOptions opt;
+  opt.nbits = 4;
+  opt.k = 256;
+  EXPECT_DEATH(opt.effective_k(), "does not fit nbits");
+  opt.nbits = 8;
+  opt.k = 257;
+  EXPECT_DEATH(opt.effective_k(), "does not fit nbits");
 }
 
 // -------------------------------------------------------------- table ----
@@ -351,6 +368,72 @@ TEST(FastScanOracleTest, NeighborScoresMatchSingleVertexEstimates) {
     oracle.ScoreNeighbors(v, nbrs.data(), nbrs.size(), got.data());
     for (size_t i = 0; i < nbrs.size(); ++i) {
       EXPECT_EQ(got[i], oracle(nbrs[i])) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+// ------------------------------------------------------- split tables ----
+
+// The split regime's whole claim: a K = 256 model whose 8-bit codes are
+// scored by the 4-bit shuffle kernels as two nibble planes. The u8 estimate
+// (integer sum + affine map + stored cross constant) must stay inside the
+// same analytic rounding bound the 4-bit path has — the decomposition
+// itself is exact; only the u8 LUT quantization rounds.
+TEST(SplitFastScanTableTest, EstimateWithinBoundOfFloatAdc) {
+  Dataset train = synthetic::MakeSiftLike(600, 11);
+  quant::PqOptions opt;
+  opt.m = 8;
+  opt.nbits = 8;
+  opt.kmeans_iters = 4;
+  auto pq = quant::TrainSplitPq(train, opt);
+  ASSERT_NE(pq->split_model(), nullptr);
+  ASSERT_EQ(pq->num_centroids(), 256u);
+  std::vector<uint8_t> code(pq->code_size());
+  for (size_t q = 0; q < 4; ++q) {
+    quant::SplitFastScanTable table(*pq, train[q]);
+    quant::AdcTable lut(*pq, train[q]);  // float ADC over the product book
+    for (size_t i = 100; i < 130; ++i) {
+      pq->Encode(train[i], code.data());
+      const float cross = pq->split_model()->CrossSum(code.data());
+      const float est = table.Distance(code.data(), cross);
+      const float exact = lut.Distance(code.data());
+      // ErrorBound covers the u8 rounding; the small relative slack covers
+      // float summation-order differences between the u/v/cross split and
+      // the fused per-chunk table.
+      ASSERT_NEAR(est, exact, table.ErrorBound() + 1e-3f * (1.f + exact))
+          << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+// Blocked split scans must be bit-identical to the per-code Distance(): the
+// packed layout of nibble-expanded codes feeds the same integer sums.
+TEST(SplitFastScanTableTest, BlockedScanMatchesSingleCodeBitExactly) {
+  Dataset train = synthetic::MakeSiftLike(500, 12);
+  quant::PqOptions opt;
+  opt.m = 8;
+  opt.nbits = 8;
+  opt.kmeans_iters = 3;
+  auto pq = quant::TrainSplitPq(train, opt);
+  const size_t m = pq->code_size();
+  for (size_t n : {size_t(1), size_t(31), size_t(32), size_t(33), size_t(65)}) {
+    std::vector<uint8_t> codes(n * m);
+    std::vector<uint8_t> expanded(n * 2 * m);
+    for (size_t i = 0; i < n; ++i) {
+      pq->Encode(train[i % train.size()], codes.data() + i * m);
+      quant::ExpandSplitCode(codes.data() + i * m, m,
+                             expanded.data() + i * 2 * m);
+    }
+    auto packed = quant::PackedCodes::Pack(expanded.data(), n, 2 * m);
+    quant::SplitFastScanTable table(*pq, train[0]);
+    std::vector<uint16_t> sums(packed.num_blocks() *
+                               quant::PackedCodes::kBlockCodes);
+    table.ScanBlocks(packed.data.data(), packed.num_blocks(), sums.data());
+    for (size_t i = 0; i < n; ++i) {
+      const float cross = pq->split_model()->CrossSum(codes.data() + i * m);
+      ASSERT_EQ(table.DecodeSum(sums[i]) + cross,
+                table.Distance(codes.data() + i * m, cross))
+          << "n=" << n << " i=" << i;
     }
   }
 }

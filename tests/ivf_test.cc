@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/distance.h"
 #include "common/rng.h"
 #include "data/ground_truth.h"
 #include "data/synthetic.h"
@@ -22,6 +23,7 @@
 #include "quant/fastscan.h"
 #include "quant/kmeans.h"
 #include "quant/pq.h"
+#include "quant/split.h"
 #include "simd/simd.h"
 
 namespace rpq {
@@ -50,6 +52,63 @@ Fixture MakeFixture(size_t n = 1333, size_t nq = 12, size_t nlist = 13,
   opt.kmeans_iters = 8;
   opt.store_vectors = store_vectors;
   f.index = ivf::IvfIndex::Build(f.base, *f.pq, opt);
+  f.gt = ComputeGroundTruth(f.base, f.queries, 10);
+  return f;
+}
+
+struct ResFixtureResult {
+  Dataset base, queries;
+  std::vector<float> centroids;
+  std::unique_ptr<quant::PqQuantizer> model;
+  std::unique_ptr<ivf::IvfIndex> index;
+  std::vector<std::vector<Neighbor>> gt;
+  ivf::IvfOptions opt;
+};
+
+Dataset ResidualsOf(const Dataset& base, const std::vector<float>& centroids) {
+  const size_t dim = base.dim();
+  const size_t nlist = centroids.size() / dim;
+  std::vector<float> resid(base.size() * dim);
+  for (size_t i = 0; i < base.size(); ++i) {
+    uint32_t c = quant::NearestCentroid(base[i], centroids.data(), nlist, dim);
+    const float* cen = centroids.data() + size_t{c} * dim;
+    for (size_t d = 0; d < dim; ++d) resid[i * dim + d] = base[i][d] - cen[d];
+  }
+  return Dataset(base.size(), dim, std::move(resid));
+}
+
+std::unique_ptr<quant::PqQuantizer> TrainResidualPq(const Dataset& residuals,
+                                                    bool split, size_t m) {
+  quant::PqOptions popt;
+  popt.m = m;
+  popt.kmeans_iters = 4;
+  if (split) {
+    popt.nbits = 8;  // K = 256 via the split tables
+    return quant::TrainSplitPq(residuals, popt);
+  }
+  popt.nbits = 4;
+  return quant::PqQuantizer::Train(residuals, popt);
+}
+
+// Residual fixture: coarse centroids first, then a PQ model trained on the
+// per-cell residuals x - centroid (the regime's contract — a model trained
+// on raw vectors would see codes it was never fit for), then
+// BuildWithCentroids so training and routing share one centroid table.
+ResFixtureResult MakeResidualFixture(bool split, size_t n = 1333,
+                                     size_t nq = 12, size_t nlist = 13,
+                                     bool store_vectors = false,
+                                     size_t m = 16) {
+  ResFixtureResult f;
+  synthetic::MakeBaseAndQueries("sift", n, nq, /*seed=*/21, &f.base,
+                                &f.queries);
+  f.opt.nlist = nlist;
+  f.opt.kmeans_iters = 8;
+  f.opt.store_vectors = store_vectors;
+  f.opt.residual = true;
+  f.centroids = ivf::IvfIndex::TrainCoarse(f.base, f.opt);
+  f.model = TrainResidualPq(ResidualsOf(f.base, f.centroids), split, m);
+  f.index =
+      ivf::IvfIndex::BuildWithCentroids(f.base, f.centroids, *f.model, f.opt);
   f.gt = ComputeGroundTruth(f.base, f.queries, 10);
   return f;
 }
@@ -291,6 +350,224 @@ TEST(IvfIndexTest, InsertsMatchBuildLayout) {
   }
 }
 
+// ------------------------------------------------ residual + split regimes ----
+
+// The reason the regime exists: at equal nprobe, residual codes (and the
+// K = 256 split tables on top of them) must recover strictly more of the
+// true neighbors than raw-vector 4-bit codes.
+TEST(IvfResidualTest, ResidualLiftsRecallOverPlainAtEqualNprobe) {
+  Fixture plain = MakeFixture(1333, 12, 13);
+  ResFixtureResult res4 = MakeResidualFixture(/*split=*/false);
+  ResFixtureResult res8 = MakeResidualFixture(/*split=*/true);
+  auto recall_at = [](auto& f, size_t nprobe) {
+    ivf::IvfSearchOptions opt;
+    opt.nprobe = nprobe;
+    std::vector<std::vector<Neighbor>> results(f.queries.size());
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      results[q] = f.index->Search(f.queries[q], 10, opt).results;
+    }
+    return eval::MeanRecallAtK(results, f.gt, 10);
+  };
+  for (size_t nprobe : {size_t(4), size_t(13)}) {
+    double p = recall_at(plain, nprobe);
+    double r4 = recall_at(res4, nprobe);
+    double r8 = recall_at(res8, nprobe);
+    EXPECT_GE(r4, p) << "nprobe=" << nprobe;
+    EXPECT_GE(r8, r4) << "nprobe=" << nprobe;
+  }
+  EXPECT_GT(recall_at(res8, 13), recall_at(plain, 13));
+}
+
+// Residual reconstruction x_hat = centroid + Decode(Encode(x - centroid))
+// must beat the plain quantizer trained on raw vectors at the same code
+// budget — and || x - x_hat ||^2 equals the residual-space decode error
+// exactly (the centroid add cancels), which the loop also pins.
+TEST(IvfResidualTest, EncodeDecodeCentroidAddTightensReconstruction) {
+  ResFixtureResult f = MakeResidualFixture(/*split=*/false, 800, 4, 7);
+  quant::PqOptions popt;
+  popt.m = 16;
+  popt.nbits = 4;
+  popt.kmeans_iters = 4;
+  auto raw_pq = quant::PqQuantizer::Train(f.base, popt);
+
+  const size_t dim = f.base.dim();
+  const size_t nlist = f.centroids.size() / dim;
+  std::vector<uint8_t> code(f.model->code_size());
+  std::vector<float> r(dim), rec_r(dim), x_hat(dim);
+  double res_err = 0;
+  for (size_t i = 0; i < f.base.size(); ++i) {
+    uint32_t c =
+        quant::NearestCentroid(f.base[i], f.centroids.data(), nlist, dim);
+    const float* cen = f.centroids.data() + size_t{c} * dim;
+    for (size_t d = 0; d < dim; ++d) r[d] = f.base[i][d] - cen[d];
+    f.model->Encode(r.data(), code.data());
+    f.model->Decode(code.data(), rec_r.data());
+    for (size_t d = 0; d < dim; ++d) x_hat[d] = cen[d] + rec_r[d];
+    float full = SquaredL2(f.base[i], x_hat.data(), dim);
+    float in_residual_space = SquaredL2(r.data(), rec_r.data(), dim);
+    ASSERT_NEAR(full, in_residual_space, 1e-2f * (1 + full)) << "i=" << i;
+    res_err += full;
+  }
+  res_err /= f.base.size();
+  EXPECT_LT(res_err, raw_pq->Distortion(f.base));
+}
+
+// Batch grouping in the residual regime builds one (cell, query) table per
+// pair and scans each cell's blocks once for the whole group — results must
+// equal per-query Search exactly, in both the 4-bit and split regimes, with
+// repeated queries maximizing the shared-cell path.
+TEST(IvfResidualTest, SearchBatchMatchesPerQuerySearch) {
+  for (bool split : {false, true}) {
+    ResFixtureResult f = MakeResidualFixture(split, 900, 6, 7);
+    std::vector<const float*> ptrs;
+    for (int rep = 0; rep < 2; ++rep) {
+      for (size_t q = 0; q < f.queries.size(); ++q) {
+        ptrs.push_back(f.queries[q]);
+      }
+    }
+    for (size_t nprobe : {size_t(1), size_t(3), size_t(7)}) {
+      ivf::IvfSearchOptions opt;
+      opt.nprobe = nprobe;
+      auto batch = f.index->SearchBatch(ptrs.data(), ptrs.size(), 10, opt);
+      ASSERT_EQ(batch.size(), ptrs.size());
+      for (size_t i = 0; i < ptrs.size(); ++i) {
+        auto single = f.index->Search(ptrs[i], 10, opt);
+        ASSERT_EQ(batch[i].results, single.results)
+            << "split=" << split << " nprobe=" << nprobe << " i=" << i;
+        EXPECT_EQ(batch[i].stats.codes_scanned, single.stats.codes_scanned);
+      }
+    }
+  }
+}
+
+// Empty probed cells must be skipped before any per-cell table is built —
+// the residual path constructs tables lazily per probe, so an empty cell
+// must cost nothing and crash nothing.
+TEST(IvfResidualTest, EmptyCellProbesAreSkipped) {
+  Dataset tiny = synthetic::MakeSiftLike(64, 3);
+  quant::KMeansOptions kopt;
+  kopt.k = 8;
+  auto km = quant::RunKMeans(tiny.data(), tiny.size(), tiny.dim(), kopt);
+  for (bool split : {false, true}) {
+    auto model = TrainResidualPq(ResidualsOf(tiny, km.centroids), split, 8);
+    ivf::IvfOptions opt;
+    opt.residual = true;
+    auto index =
+        ivf::IvfIndex::CreateEmpty(km.centroids, tiny.dim(), *model, opt);
+    ivf::IvfSearchOptions sopt;
+    sopt.nprobe = 100;  // > nlist, clamped; every probe hits an empty cell
+    auto empty = index->Search(tiny[0], 10, sopt);
+    EXPECT_TRUE(empty.results.empty()) << "split=" << split;
+    EXPECT_EQ(empty.stats.lists_probed, 8u);
+    EXPECT_EQ(empty.stats.codes_scanned, 0u);
+
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(index->Insert(tiny[i]), static_cast<uint32_t>(i));
+    }
+    auto out = index->Search(tiny[0], 10, sopt);  // k > corpus, most cells empty
+    ASSERT_EQ(out.results.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(out.results.begin(), out.results.end()));
+    EXPECT_EQ(out.results[0].id, 0u);
+
+    const float* qs[2] = {tiny[0], tiny[1]};
+    auto batch = index->SearchBatch(qs, 2, 10, sopt);
+    EXPECT_EQ(batch[0].results, out.results) << "split=" << split;
+  }
+}
+
+// Streaming inserts route first, then encode against the owning centroid —
+// the same order Build uses, so a streamed index must search identically.
+TEST(IvfResidualTest, InsertsMatchBuildLayout) {
+  for (bool split : {false, true}) {
+    ResFixtureResult f = MakeResidualFixture(split, 777, 6, 6);
+    auto streamed = ivf::IvfIndex::CreateEmpty(f.centroids, f.base.dim(),
+                                               *f.model, f.opt);
+    for (size_t i = 0; i < f.base.size(); ++i) {
+      EXPECT_EQ(streamed->Insert(f.base[i]), static_cast<uint32_t>(i));
+    }
+    ivf::IvfSearchOptions opt;
+    opt.nprobe = 4;
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      EXPECT_EQ(streamed->Search(f.queries[q], 10, opt).results,
+                f.index->Search(f.queries[q], 10, opt).results)
+          << "split=" << split << " q=" << q;
+    }
+  }
+}
+
+// The residual regime degrades gracefully through the shared rerank modes:
+// kAdc re-scores with decode + centroid add (no stored vectors needed),
+// kExact with the retained vectors, and kAuto picks between them.
+TEST(IvfResidualTest, RerankModesDegradeGracefully) {
+  ResFixtureResult plain = MakeResidualFixture(/*split=*/true, 900, 6, 7,
+                                               /*store_vectors=*/false);
+  ResFixtureResult stored = MakeResidualFixture(/*split=*/true, 900, 6, 7,
+                                                /*store_vectors=*/true);
+  ivf::IvfSearchOptions opt;
+  opt.nprobe = 7;
+  opt.rerank = 64;
+  // Same seeds → same centroids/codes: forcing kAdc on the stored index
+  // reproduces the no-vectors index exactly.
+  opt.rerank_mode = refine::RerankMode::kAdc;
+  for (size_t q = 0; q < plain.queries.size(); ++q) {
+    EXPECT_EQ(stored.index->Search(stored.queries[q], 10, opt).results,
+              plain.index->Search(plain.queries[q], 10, opt).results)
+        << "q=" << q;
+  }
+  auto recall_of = [&](ResFixtureResult& f) {
+    std::vector<std::vector<Neighbor>> results(f.queries.size());
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      results[q] = f.index->Search(f.queries[q], 10, opt).results;
+    }
+    return eval::MeanRecallAtK(results, f.gt, 10);
+  };
+  double adc = recall_of(plain);
+  opt.rerank_mode = refine::RerankMode::kExact;
+  double exact = recall_of(stored);
+  EXPECT_GE(exact, adc);
+  opt.rerank_mode = refine::RerankMode::kAuto;
+  EXPECT_EQ(recall_of(stored), exact);
+}
+
+// Non-residual split regime: K = 256 tables over raw vectors must reach at
+// least the 4-bit recall at full probe (more words, sharper estimates), and
+// batch must equal single.
+TEST(IvfSplitTest, SplitTablesLiftQuantizerBoundRecall) {
+  // Enough queries that the recall comparison is not decided by a couple of
+  // borderline neighbors (at 8 queries the two regimes sit within 3 hits).
+  Fixture four = MakeFixture(900, 48, 7);
+  quant::PqOptions popt;
+  popt.m = 16;
+  popt.nbits = 8;
+  popt.kmeans_iters = 4;
+  auto split_pq = quant::TrainSplitPq(four.base, popt);
+  ivf::IvfOptions opt;
+  opt.nlist = 7;
+  opt.kmeans_iters = 8;
+  auto split_index = ivf::IvfIndex::Build(four.base, *split_pq, opt);
+
+  ivf::IvfSearchOptions sopt;
+  sopt.nprobe = 7;
+  // Wide enough that the float-ADC rerank, not u8 candidate selection,
+  // decides the top-10 — the comparison isolates codebook capacity.
+  sopt.rerank = 128;
+  std::vector<std::vector<Neighbor>> r4(four.queries.size()),
+      r8(four.queries.size());
+  std::vector<const float*> ptrs;
+  for (size_t q = 0; q < four.queries.size(); ++q) {
+    r4[q] = four.index->Search(four.queries[q], 10, sopt).results;
+    r8[q] = split_index->Search(four.queries[q], 10, sopt).results;
+    ptrs.push_back(four.queries[q]);
+  }
+  EXPECT_GE(eval::MeanRecallAtK(r8, four.gt, 10),
+            eval::MeanRecallAtK(r4, four.gt, 10) - 0.02);
+
+  auto batch = split_index->SearchBatch(ptrs.data(), ptrs.size(), 10, sopt);
+  for (size_t q = 0; q < ptrs.size(); ++q) {
+    EXPECT_EQ(batch[q].results, r8[q]) << "q=" << q;
+  }
+}
+
 // ---------------------------------------------------------- persistence ----
 
 TEST(IvfIndexTest, SaveLoadRoundTrips) {
@@ -313,6 +590,46 @@ TEST(IvfIndexTest, SaveLoadRoundTrips) {
   }
 }
 
+// Version-2 files carry the residual flag; a reloaded index must report
+// residual(), rebuild the packed blocks and split cross constants from the
+// stored codes, and search identically — in all four regime combinations.
+TEST(IvfIndexTest, SaveLoadRoundTripsResidualAndSplit) {
+  for (bool split : {false, true}) {
+    ResFixtureResult f = MakeResidualFixture(split, 600, 5, 7);
+    std::string path = testing::TempDir() + "/ivf_residual_roundtrip.bin";
+    ASSERT_TRUE(f.index->Save(path).ok());
+    auto loaded = ivf::IvfIndex::Load(path, *f.model);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(loaded.value()->residual());
+    EXPECT_EQ(loaded.value()->size(), f.index->size());
+    ivf::IvfSearchOptions opt;
+    opt.nprobe = 5;
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      EXPECT_EQ(loaded.value()->Search(f.queries[q], 10, opt).results,
+                f.index->Search(f.queries[q], 10, opt).results)
+          << "split=" << split << " q=" << q;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// A split-trained quantizer paired with a non-split file (or vice versa)
+// cannot silently load: the capability check fires on K/code-size mismatch.
+TEST(IvfIndexTest, LoadRejectsWideQuantizerWithoutSplitModel) {
+  Fixture f = MakeFixture(400, 3, 4);
+  std::string path = testing::TempDir() + "/ivf_wide.bin";
+  ASSERT_TRUE(f.index->Save(path).ok());
+  quant::PqOptions popt;
+  popt.m = 16;  // same code size as the fixture, but K = 256 and NOT split
+  popt.k = 256;
+  popt.nbits = 8;
+  popt.kmeans_iters = 2;
+  auto wide = quant::PqQuantizer::Train(f.base, popt);
+  ASSERT_EQ(wide->split_model(), nullptr);
+  EXPECT_FALSE(ivf::IvfIndex::Load(path, *wide).ok());
+  std::remove(path.c_str());
+}
+
 // A corrupt per-list count must come back as a Status error, not abort the
 // process inside vector::resize (counts are bounded by the header total and
 // the header total by the file size, before any allocation trusts them).
@@ -322,7 +639,7 @@ TEST(IvfIndexTest, LoadRejectsCorruptListCounts) {
   ASSERT_TRUE(f.index->Save(path).ok());
   // The first list-count u64 sits right after the fixed header + centroids.
   const long count_off =
-      4 + 4 + 4 + 4 + 4 + 1 + 4 + 8 +
+      4 + 4 + 4 + 4 + 4 + 1 + 1 + 4 + 8 +
       static_cast<long>(f.index->nlist() * f.base.dim() * sizeof(float));
   for (uint64_t bad :
        {uint64_t{0x7fffffffffffffff}, uint64_t{f.base.size() + 1}}) {
@@ -338,7 +655,7 @@ TEST(IvfIndexTest, LoadRejectsCorruptListCounts) {
   std::FILE* fp = std::fopen(path.c_str(), "rb+");
   ASSERT_NE(fp, nullptr);
   const uint64_t bad_total = uint64_t{1} << 60;
-  ASSERT_EQ(std::fseek(fp, 4 + 4 + 4 + 4 + 4 + 1 + 4, SEEK_SET), 0);
+  ASSERT_EQ(std::fseek(fp, 4 + 4 + 4 + 4 + 4 + 1 + 1 + 4, SEEK_SET), 0);
   ASSERT_EQ(std::fwrite(&bad_total, sizeof(bad_total), 1, fp), 1u);
   std::fclose(fp);
   EXPECT_FALSE(ivf::IvfIndex::Load(path, *f.pq).ok());
@@ -405,6 +722,50 @@ TEST(IvfConcurrencyTest, ConcurrentSearchAndInsert) {
   ivf::IvfSearchOptions opt;
   opt.nprobe = 8;
   auto out = index->Search(base[base.size() - 1], 1, opt);
+  ASSERT_EQ(out.results.size(), 1u);
+}
+
+// Residual + split variant of the reader/writer interleave: the per-probe
+// table builds and the per-list cross appends run under the same rwlock and
+// must stay clean under TSan.
+TEST(IvfConcurrencyTest, ConcurrentSearchAndInsertResidualSplit) {
+  Dataset base = synthetic::MakeSiftLike(600, 11);
+  quant::KMeansOptions kopt;
+  kopt.k = 8;
+  auto km = quant::RunKMeans(base.data(), 200, base.dim(), kopt);
+  auto model = TrainResidualPq(ResidualsOf(base, km.centroids), /*split=*/true,
+                               /*m=*/8);
+  ivf::IvfOptions opt;
+  opt.residual = true;
+  auto index = ivf::IvfIndex::CreateEmpty(km.centroids, base.dim(), *model, opt);
+  for (size_t i = 0; i < 100; ++i) index->Insert(base[i]);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> searches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      ivf::IvfSearchOptions sopt;
+      sopt.nprobe = 4;
+      size_t q = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto out = index->Search(base[q % 100], 5, sopt);
+        ASSERT_TRUE(std::is_sorted(out.results.begin(), out.results.end()));
+        ASSERT_LE(out.results.size(), 5u);
+        ++q;
+        ++searches;
+      }
+    });
+  }
+  for (size_t i = 100; i < base.size(); ++i) index->Insert(base[i]);
+  while (searches.load() < 3) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(index->size(), base.size());
+  // Post-quiescence: the last insert is findable through the residual path.
+  ivf::IvfSearchOptions sopt;
+  sopt.nprobe = 8;
+  auto out = index->Search(base[base.size() - 1], 1, sopt);
   ASSERT_EQ(out.results.size(), 1u);
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
 #include "common/distance.h"
@@ -8,6 +9,7 @@
 #include "quant/kmeans.h"
 #include "quant/opq.h"
 #include "quant/pq.h"
+#include "quant/split.h"
 
 namespace rpq::quant {
 namespace {
@@ -106,6 +108,66 @@ TEST(PqTest, SymmetricDistanceSelfIsZero) {
   std::vector<uint8_t> code(pq->code_size());
   pq->Encode(d[0], code.data());
   EXPECT_FLOAT_EQ(SymmetricDistance(*pq, code.data(), code.data()), 0.0f);
+}
+
+TEST(SplitPqTest, SplitTrainingBeatsFourBitDistortion) {
+  Dataset d = TestData();
+  PqOptions four;
+  four.m = 8;
+  four.nbits = 4;  // k defaults to 16
+  auto pq4 = PqQuantizer::Train(d, four);
+  PqOptions eight;
+  eight.m = 8;
+  eight.nbits = 8;  // k defaults to 256, split-trained
+  auto split = TrainSplitPq(d, eight);
+  ASSERT_NE(split->split_model(), nullptr);
+  EXPECT_EQ(split->num_centroids(), 256u);
+  // 256 additive words per chunk must reconstruct better than 16 free ones.
+  EXPECT_LT(split->Distortion(d), pq4->Distortion(d));
+}
+
+TEST(SplitPqTest, ProductCodebookIsSumOfLevelWords) {
+  Dataset d = TestData(400);
+  PqOptions opt;
+  opt.m = 4;
+  opt.nbits = 8;
+  auto split = TrainSplitPq(d, opt);
+  const SplitPqModel* model = split->split_model();
+  ASSERT_NE(model, nullptr);
+  const Codebook& product = split->codebook();
+  const size_t sub = model->sub_dim();
+  for (size_t j = 0; j < model->num_chunks(); ++j) {
+    for (size_t c : {size_t(0), size_t(17), size_t(128), size_t(255)}) {
+      const float* word = product.Word(j, c);
+      const float* a = model->a.Word(j, c >> 4);
+      const float* b = model->b.Word(j, c & 15);
+      for (size_t t = 0; t < sub; ++t) {
+        EXPECT_NEAR(word[t], a[t] + b[t], 1e-6f) << "j=" << j << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(SplitPqTest, CrossSumMatchesBruteForceDotProducts) {
+  Dataset d = TestData(300);
+  PqOptions opt;
+  opt.m = 8;
+  opt.nbits = 8;
+  auto split = TrainSplitPq(d, opt);
+  const SplitPqModel* model = split->split_model();
+  ASSERT_NE(model, nullptr);
+  const size_t sub = model->sub_dim();
+  std::vector<uint8_t> code(split->code_size());
+  for (size_t i = 0; i < 10; ++i) {
+    split->Encode(d[i], code.data());
+    float want = 0.f;
+    for (size_t j = 0; j < model->num_chunks(); ++j) {
+      const float* a = model->a.Word(j, code[j] >> 4);
+      const float* b = model->b.Word(j, code[j] & 15);
+      for (size_t t = 0; t < sub; ++t) want += 2.f * a[t] * b[t];
+    }
+    EXPECT_NEAR(model->CrossSum(code.data()), want, 1e-4f * (1 + std::abs(want)));
+  }
 }
 
 // Property sweep: distortion decreases as K or M grows (richer code space).

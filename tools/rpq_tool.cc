@@ -12,21 +12,22 @@
 //   rpq_tool build-ivf    --base data/base.fvecs --model model.rpqq
 //                         --out ivf.bin [--nlist 64] [--nprobe 8]
 //                         [--store-vectors] [--train-sample 0]
+//                         [--residual [--nbits 8] [--m 16]]
 //   rpq_tool search       --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         --k 10 --beam 64 [--mode adc|sdc|fastscan]
 //                         [--rerank N] [--rerank-mode adc|exact|linkcode]
 //                         [--store-vectors] [--hybrid] [--dump-top1 path]
 //                         [--index memory|disk|ivf] [--ivf ivf.bin]
-//                         [--nlist 64] [--nprobe 8]
-//                         [--sweep-nprobe 1,2,4,...]
+//                         [--nlist 64] [--nprobe 8] [--residual]
+//                         [--sweep-nprobe 1,2,4,...] [--sweep-csv out.csv]
 //   rpq_tool serve-bench  --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         [--threads 4] [--shards 1] [--parallel-shards]
 //                         [--k 10] [--beam 64] [--total 0] [--rate 0]
 //                         [--index memory|disk|ivf] [--mode adc|sdc|fastscan]
 //                         [--rerank N] [--rerank-mode adc|exact|linkcode]
-//                         [--nlist 64] [--nprobe 8]
+//                         [--nlist 64] [--nprobe 8] [--residual]
 //
 // --nbits 4 trains a 4-bit model (K = 16); searching such a model with
 // --mode fastscan routes through the shuffle-kernel scan path with float-ADC
@@ -38,13 +39,26 @@
 //
 // --index ivf serves the non-graph backend: coarse k-means routing over
 // --nlist cells, flat FastScan scans of the --nprobe nearest (requires a
-// 4-bit model; --graph is unused). search builds the index in memory or
-// loads one saved by build-ivf (--ivf); --sweep-nprobe prints a recall/QPS
-// operating curve over the given comma-separated nprobe values. serve-bench
-// with --index ivf drives the same concurrent load tests over IvfService,
-// where a query's beam_width slot carries its nprobe. --index memory is the
-// in-memory graph backend (alias: graph); --index disk the hybrid one
-// (alias: --hybrid).
+// FastScan-capable model: 4-bit, or split-trained K = 256; --graph is
+// unused). search builds the index in memory or loads one saved by build-ivf
+// (--ivf); --sweep-nprobe prints a recall/QPS operating curve over the given
+// comma-separated nprobe values, and --sweep-csv also writes it as
+// `nprobe,recall@10,us_per_query` rows. serve-bench with --index ivf drives
+// the same concurrent load tests over IvfService, where a query's beam_width
+// slot carries its nprobe. --index memory is the in-memory graph backend
+// (alias: graph); --index disk the hybrid one (alias: --hybrid).
+//
+// --residual selects residual IVFADC: codes quantize x - centroid of the
+// owning cell. Because the PQ codebooks must be trained on the residual
+// distribution (which only exists once the coarse quantizer is trained),
+// build-ivf --residual trains BOTH in-process — the coarse centroids, then
+// a residual model: the K = 256 split-table regime under --nbits 8 (the
+// default here; scanned by the same shuffle kernels as two nibble planes)
+// or a plain 4-bit model under --nbits 4 — and writes the model to --model
+// as an OUTPUT. search/serve-bench --index ivf --residual either load
+// (--ivf + --model) or rebuild deterministically: TrainCoarse is a pure
+// function of (base, nlist, seed), so the same flags reproduce the same
+// routing, with the model loaded from --model or retrained when absent.
 //
 // --rerank / --rerank-mode drive the shared refinement pipeline
 // (src/refine/): how many candidates the estimate keeps and which stage
@@ -83,9 +97,11 @@
 #include "ivf/ivf_index.h"
 #include "graph/nsg.h"
 #include "graph/vamana.h"
+#include "quant/kmeans.h"
 #include "quant/linkcode.h"
 #include "quant/opq.h"
 #include "quant/serialize.h"
+#include "quant/split.h"
 #include "refine/refine.h"
 #include "serve/engine.h"
 #include "serve/ivf_service.h"
@@ -204,11 +220,17 @@ int CmdTrain(const Flags& flags) {
   const char* out = flags.Get("out");
   if (out == nullptr) return Fail("--out is required");
 
-  // --nbits 4 caps K at 16 across every method, making the model eligible
-  // for the FastScan search path.
+  // --nbits 4 restricts K to 16 across every method, making the model
+  // eligible for the FastScan search path; an explicit larger --k is a flag
+  // error rather than a silent cap.
   const size_t nbits = flags.GetSize("nbits", 8);
   if (nbits != 8 && nbits != 4) return Fail("--nbits must be 8 or 4");
   const size_t default_k = nbits == 4 ? 16 : 256;
+  if (nbits == 4 && flags.GetSize("k", 16) > 16) {
+    return Fail("--nbits 4 codes hold K <= 16 centroids; for K = 256 on the "
+                "FastScan path use --nbits 8 with the split regime "
+                "(train --method pq --split, or build-ivf --residual)");
+  }
 
   std::unique_ptr<rpq::quant::PqQuantizer> model;
   if (method == "pq") {
@@ -216,7 +238,18 @@ int CmdTrain(const Flags& flags) {
     opt.m = flags.GetSize("m", 16);
     opt.k = flags.GetSize("k", default_k);
     opt.nbits = nbits;
-    model = rpq::quant::PqQuantizer::Train(base.value(), opt);
+    if (flags.Has("split")) {
+      // K = 256 additive split regime (quant/split.h): FastScan-capable
+      // 8-bit codes, serializable (v2) like any other model.
+      if (nbits != 4 && opt.k == 256) {
+        model = rpq::quant::TrainSplitPq(base.value(), opt);
+      } else {
+        return Fail("--split trains the K = 256 regime; use --nbits 8 "
+                    "(default K 256)");
+      }
+    } else {
+      model = rpq::quant::PqQuantizer::Train(base.value(), opt);
+    }
   } else if (method == "opq") {
     rpq::quant::OpqOptions opt;
     opt.pq.m = flags.GetSize("m", 16);
@@ -386,22 +419,102 @@ rpq::ivf::IvfOptions IvfOptionsFrom(const Flags& flags) {
   opt.store_vectors = flags.Has("store-vectors") ||
                       rmode == rpq::refine::RerankMode::kExact;
   opt.train_sample = flags.GetSize("train-sample", 0);
+  opt.residual = flags.Has("residual");
   return opt;
 }
 
-// Loads a saved IVF index (--ivf path) or builds one over the base in memory.
-rpq::Result<std::unique_ptr<rpq::ivf::IvfIndex>> MakeIvfIndex(
-    const Flags& flags, const Dataset& base,
-    const rpq::quant::PqQuantizer& model) {
+// Residual-regime model training: the PQ codebooks must see the residual
+// distribution (x - centroid), which only exists once the coarse quantizer
+// is trained — so the residual flow derives the training set here instead of
+// loading a model trained on the raw corpus. --nbits 8 (the default in this
+// flow) trains the K = 256 split-table regime; --nbits 4 a plain 4-bit model.
+rpq::Result<std::unique_ptr<rpq::quant::PqQuantizer>> TrainResidualModel(
+    const Dataset& base, const std::vector<float>& centroids,
+    const Flags& flags) {
+  const size_t nbits = flags.GetSize("nbits", 8);
+  if (nbits != 8 && nbits != 4) {
+    return rpq::Status::InvalidArgument("--nbits must be 8 or 4");
+  }
+  const size_t dim = base.dim();
+  const size_t nlist = centroids.size() / dim;
+  std::vector<float> resid(base.size() * dim);
+  for (size_t i = 0; i < base.size(); ++i) {
+    const uint32_t c =
+        rpq::quant::NearestCentroid(base[i], centroids.data(), nlist, dim);
+    const float* cent = centroids.data() + size_t{c} * dim;
+    for (size_t d = 0; d < dim; ++d) {
+      resid[i * dim + d] = base[i][d] - cent[d];
+    }
+  }
+  Dataset residual_set(base.size(), dim, std::move(resid));
+  rpq::quant::PqOptions opt;
+  opt.m = flags.GetSize("m", 16);
+  opt.nbits = nbits;
+  if (nbits == 8) {
+    return rpq::quant::TrainSplitPq(residual_set, opt);
+  }
+  return rpq::quant::PqQuantizer::Train(residual_set, opt);
+}
+
+// An IVF deployment assembled from the flags. The index borrows its
+// quantizer, so the backend owns both; `model` is the loaded --model or, in
+// the in-process residual flow, the freshly trained one.
+struct IvfBackend {
+  std::unique_ptr<rpq::quant::PqQuantizer> model;
+  std::unique_ptr<rpq::ivf::IvfIndex> index;
+};
+
+// Loads a saved IVF index (--ivf + --model), or builds one over the base in
+// memory: the plain flow encodes raw rows with the loaded --model; the
+// --residual flow trains the coarse quantizer first (or re-derives it — the
+// k-means is deterministic in the flags) and encodes per-cell residuals with
+// --model when given, a freshly trained residual model otherwise.
+rpq::Result<IvfBackend> MakeIvfBackend(const Flags& flags,
+                                       const Dataset& base) {
+  IvfBackend b;
+  const char* mpath = flags.Get("model");
   if (const char* path = flags.Get("ivf")) {
-    return rpq::ivf::IvfIndex::Load(path, model);
+    if (mpath == nullptr) {
+      return rpq::Status::InvalidArgument(
+          "--ivf needs --model (the quantizer the index was built with)");
+    }
+    auto model = rpq::quant::LoadQuantizer(mpath);
+    if (!model.ok()) return model.status();
+    b.model = std::move(model.value());
+    auto loaded = rpq::ivf::IvfIndex::Load(path, *b.model);
+    if (!loaded.ok()) return loaded.status();
+    b.index = std::move(loaded.value());
+    return rpq::Result<IvfBackend>(std::move(b));
   }
-  if (model.num_centroids() > 16) {
+  rpq::ivf::IvfOptions opt = IvfOptionsFrom(flags);
+  if (opt.residual) {
+    std::vector<float> centroids = rpq::ivf::IvfIndex::TrainCoarse(base, opt);
+    if (mpath != nullptr) {
+      auto model = rpq::quant::LoadQuantizer(mpath);
+      if (!model.ok()) return model.status();
+      b.model = std::move(model.value());
+    } else {
+      auto trained = TrainResidualModel(base, centroids, flags);
+      if (!trained.ok()) return trained.status();
+      b.model = std::move(trained.value());
+    }
+    b.index = rpq::ivf::IvfIndex::BuildWithCentroids(base, std::move(centroids),
+                                                     *b.model, opt);
+    return rpq::Result<IvfBackend>(std::move(b));
+  }
+  if (mpath == nullptr) {
+    return rpq::Status::InvalidArgument("--model is required");
+  }
+  auto model = rpq::quant::LoadQuantizer(mpath);
+  if (!model.ok()) return model.status();
+  b.model = std::move(model.value());
+  if (b.model->num_centroids() > 16 && b.model->split_model() == nullptr) {
     return rpq::Status::InvalidArgument(
-        "--index ivf needs a 4-bit model (train with --nbits 4)");
+        "--index ivf needs a FastScan-capable model: 4-bit (--nbits 4) or "
+        "split-trained K = 256 (train --split / build-ivf --residual)");
   }
-  return rpq::Result<std::unique_ptr<rpq::ivf::IvfIndex>>(
-      rpq::ivf::IvfIndex::Build(base, model, IvfOptionsFrom(flags)));
+  b.index = rpq::ivf::IvfIndex::Build(base, *b.model, opt);
+  return rpq::Result<IvfBackend>(std::move(b));
 }
 
 std::vector<size_t> ParseSizeList(const char* s) {
@@ -432,14 +545,36 @@ int CmdBuildIvf(const Flags& flags) {
   }
   auto mode_ok = CheckIvfRerankMode(rmode, nullptr);
   if (!mode_ok.ok()) return Fail(mode_ok.ToString());
-  auto model = rpq::quant::LoadQuantizer(mpath);
-  if (!model.ok()) return Fail(model.status().ToString());
-  if (model.value()->num_centroids() > 16) {
-    return Fail("build-ivf needs a 4-bit model (train with --nbits 4)");
-  }
   rpq::Timer timer;
-  auto index =
-      rpq::ivf::IvfIndex::Build(base.value(), *model.value(), IvfOptionsFrom(flags));
+  std::unique_ptr<rpq::quant::PqQuantizer> model;
+  std::unique_ptr<rpq::ivf::IvfIndex> index;
+  const rpq::ivf::IvfOptions opt = IvfOptionsFrom(flags);
+  if (opt.residual) {
+    // Residual flow: coarse centroids first, then a model trained on the
+    // per-cell residuals; --model is the OUTPUT path for that model (search
+    // and serve-bench load it back next to --ivf).
+    std::vector<float> centroids =
+        rpq::ivf::IvfIndex::TrainCoarse(base.value(), opt);
+    auto trained = TrainResidualModel(base.value(), centroids, flags);
+    if (!trained.ok()) return Fail(trained.status().ToString());
+    model = std::move(trained.value());
+    index = rpq::ivf::IvfIndex::BuildWithCentroids(
+        base.value(), std::move(centroids), *model, opt);
+    auto ms = rpq::quant::SaveQuantizer(*model, mpath);
+    if (!ms.ok()) return Fail(ms.ToString());
+    std::printf("trained residual model (m=%zu, K=%zu%s), saved to %s\n",
+                model->num_chunks(), model->num_centroids(),
+                model->split_model() != nullptr ? ", split" : "", mpath);
+  } else {
+    auto loaded = rpq::quant::LoadQuantizer(mpath);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    model = std::move(loaded.value());
+    if (model->num_centroids() > 16 && model->split_model() == nullptr) {
+      return Fail("build-ivf needs a FastScan-capable model: 4-bit "
+                  "(--nbits 4) or split-trained K = 256 (train --split)");
+    }
+    index = rpq::ivf::IvfIndex::Build(base.value(), *model, opt);
+  }
   std::printf("ivf index: %zu lists over %zu vectors in %.1fs (%.1f MB)\n",
               index->nlist(), index->size(), timer.ElapsedSeconds(),
               index->MemoryBytes() / 1e6);
@@ -466,18 +601,22 @@ int CmdSearch(const Flags& flags) {
   const char* gpath = flags.Get("graph");
   const char* mpath = flags.Get("model");
   const char* qpath = flags.Get("queries");
-  if (mpath == nullptr || qpath == nullptr || (gpath == nullptr && !use_ivf)) {
-    return Fail(use_ivf ? "--model and --queries are required"
+  // The IVF backend resolves --model itself (the --residual flow can train
+  // one in-process); the graph backends always need it loaded here.
+  if (qpath == nullptr || (!use_ivf && (mpath == nullptr || gpath == nullptr))) {
+    return Fail(use_ivf ? "--queries is required"
                         : "--graph, --model, --queries are required");
   }
   rpq::graph::ProximityGraph graph;
+  std::unique_ptr<rpq::quant::PqQuantizer> model;
   if (!use_ivf) {
     auto g = rpq::graph::ProximityGraph::Load(gpath);
     if (!g.ok()) return Fail(g.status().ToString());
     graph = std::move(g.value());
+    auto loaded = rpq::quant::LoadQuantizer(mpath);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    model = std::move(loaded.value());
   }
-  auto model = rpq::quant::LoadQuantizer(mpath);
-  if (!model.ok()) return Fail(model.status().ToString());
   auto queries = rpq::io::ReadFvecs(qpath);
   if (!queries.ok()) return Fail(queries.status().ToString());
 
@@ -486,7 +625,9 @@ int CmdSearch(const Flags& flags) {
   auto gt = rpq::ComputeGroundTruth(base.value(), queries.value(), k);
 
   // The IVF index is assembled (or loaded) before the timed loop, like the
-  // graph artifacts; --sweep-nprobe prints its recall/QPS curve first.
+  // graph artifacts; --sweep-nprobe prints its recall/QPS curve first. The
+  // backend owns the quantizer the index borrows, so both live to the end.
+  std::unique_ptr<rpq::quant::PqQuantizer> ivf_model;
   std::unique_ptr<rpq::ivf::IvfIndex> ivf_index;
   rpq::ivf::IvfSearchOptions ivf_opt;
   if (use_ivf) {
@@ -494,9 +635,10 @@ int CmdSearch(const Flags& flags) {
     // index build; exact-needs-rows is re-checked against the built index.
     auto mode_ok = CheckIvfRerankMode(rmode, nullptr);
     if (!mode_ok.ok()) return Fail(mode_ok.ToString());
-    auto made = MakeIvfIndex(flags, base.value(), *model.value());
+    auto made = MakeIvfBackend(flags, base.value());
     if (!made.ok()) return Fail(made.status().ToString());
-    ivf_index = std::move(made.value());
+    ivf_model = std::move(made.value().model);
+    ivf_index = std::move(made.value().index);
     mode_ok = CheckIvfRerankMode(rmode, ivf_index.get());
     if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     ivf_opt.nprobe = flags.GetSize("nprobe", 0);
@@ -519,8 +661,13 @@ int CmdSearch(const Flags& flags) {
         out.hops = res.stats.lists_probed;
         return out;
       };
-      rpq::eval::PrintCurve(
-          "ivf", rpq::eval::SweepNprobe(fn, queries.value(), gt, k, nprobes));
+      auto curve = rpq::eval::SweepNprobe(fn, queries.value(), gt, k, nprobes);
+      rpq::eval::PrintCurve("ivf", curve);
+      if (const char* csv = flags.Get("sweep-csv")) {
+        auto s = rpq::eval::WriteCurveCsv(csv, "nprobe", curve);
+        if (!s.ok()) return Fail(s.ToString());
+        std::printf("wrote sweep CSV to %s\n", csv);
+      }
     }
   }
 
@@ -534,16 +681,14 @@ int CmdSearch(const Flags& flags) {
   } else if (use_disk) {
     auto mode_ok = CheckDiskRerankMode(rmode);
     if (!mode_ok.ok()) return Fail(mode_ok.ToString());
-    auto index =
-        rpq::disk::DiskIndex::Build(base.value(), graph, *model.value());
+    auto index = rpq::disk::DiskIndex::Build(base.value(), graph, *model);
     for (size_t q = 0; q < queries.value().size(); ++q) {
       auto out = index->Search(queries.value()[q], k, {beam, k});
       results[q] = std::move(out.results);
       io_seconds += out.io.simulated_seconds;
     }
   } else {
-    auto made =
-        MakeMemoryBackend(flags, base.value(), graph, *model.value(), rmode);
+    auto made = MakeMemoryBackend(flags, base.value(), graph, *model, rmode);
     if (!made.ok()) return Fail(made.status().ToString());
     MemoryBackend backend = std::move(made.value());
     for (size_t q = 0; q < queries.value().size(); ++q) {
@@ -584,11 +729,7 @@ int CmdServeBench(const Flags& flags) {
   if (!base.ok()) return Fail(base.status().ToString());
   const char* mpath = flags.Get("model");
   const char* qpath = flags.Get("queries");
-  if (mpath == nullptr || qpath == nullptr) {
-    return Fail("--model and --queries are required");
-  }
-  auto model = rpq::quant::LoadQuantizer(mpath);
-  if (!model.ok()) return Fail(model.status().ToString());
+  if (qpath == nullptr) return Fail("--queries is required");
   auto queries = rpq::io::ReadFvecs(qpath);
   if (!queries.ok()) return Fail(queries.status().ToString());
 
@@ -612,6 +753,7 @@ int CmdServeBench(const Flags& flags) {
   std::unique_ptr<rpq::core::MemoryIndex> mem_index;
   std::unique_ptr<rpq::quant::LinkCodeIndex> linkcode;
   std::unique_ptr<rpq::disk::DiskIndex> disk_index;
+  std::unique_ptr<rpq::quant::PqQuantizer> ivf_model;
   std::unique_ptr<rpq::ivf::IvfIndex> ivf_index;
   std::unique_ptr<rpq::serve::SearchService> owned_service;
   rpq::serve::ShardedMemoryIndex sharded;
@@ -622,6 +764,16 @@ int CmdServeBench(const Flags& flags) {
   if (index_kind == "memory") index_kind = "graph";  // alias
   const bool use_disk = index_kind == "disk" || flags.Has("hybrid");
   if (use_disk) index_kind = "graph";
+
+  // Graph backends always need the model loaded here; the IVF backend
+  // resolves --model itself (--residual can train one in-process).
+  std::unique_ptr<rpq::quant::PqQuantizer> model;
+  if (index_kind != "ivf") {
+    if (mpath == nullptr) return Fail("--model and --queries are required");
+    auto loaded = rpq::quant::LoadQuantizer(mpath);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    model = std::move(loaded.value());
+  }
   // The sharded deployment builds plain ADC memory shards; flags it cannot
   // honor must fail loudly, not silently benchmark something else.
   // (--mode adc is what it serves anyway, so an explicit request passes.)
@@ -639,9 +791,10 @@ int CmdServeBench(const Flags& flags) {
     auto mode_ok = CheckIvfRerankMode(rmode, nullptr);
     if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     rpq::Timer build;
-    auto made = MakeIvfIndex(flags, base.value(), *model.value());
+    auto made = MakeIvfBackend(flags, base.value());
     if (!made.ok()) return Fail(made.status().ToString());
-    ivf_index = std::move(made.value());
+    ivf_model = std::move(made.value().model);
+    ivf_index = std::move(made.value().index);
     mode_ok = CheckIvfRerankMode(rmode, ivf_index.get());
     if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     // For IVF backends the QuerySpec beam_width slot carries nprobe.
@@ -659,7 +812,7 @@ int CmdServeBench(const Flags& flags) {
     rpq::serve::ShardedOptions sopt;
     sopt.parallel_shards = flags.Has("parallel-shards");
     rpq::Timer build;
-    sharded = rpq::serve::BuildShardedMemoryIndex(base.value(), *model.value(),
+    sharded = rpq::serve::BuildShardedMemoryIndex(base.value(), *model,
                                                   shards, vopt, sopt);
     std::printf("built %zu shards in %.1fs (%.1f MB resident%s)\n",
                 sharded.shards.size(), build.ElapsedSeconds(),
@@ -675,13 +828,11 @@ int CmdServeBench(const Flags& flags) {
     if (use_disk) {
       auto mode_ok = CheckDiskRerankMode(rmode);
       if (!mode_ok.ok()) return Fail(mode_ok.ToString());
-      disk_index =
-          rpq::disk::DiskIndex::Build(base.value(), graph, *model.value());
+      disk_index = rpq::disk::DiskIndex::Build(base.value(), graph, *model);
       owned_service =
           std::make_unique<rpq::serve::DiskIndexService>(*disk_index);
     } else {
-      auto made =
-          MakeMemoryBackend(flags, base.value(), graph, *model.value(), rmode);
+      auto made = MakeMemoryBackend(flags, base.value(), graph, *model, rmode);
       if (!made.ok()) return Fail(made.status().ToString());
       MemoryBackend backend = std::move(made.value());
       mem_index = std::move(backend.index);
