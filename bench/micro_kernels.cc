@@ -14,6 +14,8 @@
 #include "graph/vamana.h"
 #include "ivf/ivf_index.h"
 #include "linalg/matexp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/adc.h"
 #include "quant/fastscan.h"
 #include "quant/kmeans.h"
@@ -636,6 +638,67 @@ BENCHMARK(BM_IvfSearchBatch)
     ->Args({8, 0})
     ->Args({4, 1})
     ->Args({8, 1});
+
+// ------------------------------------------------------- observability -----
+//
+// The registry hot path (src/obs/): one enabled-flag load plus a relaxed
+// load+store on the calling thread's shard per Add(), a few more for a
+// histogram sample. Single-digit nanoseconds — the per-QUERY granularity the
+// search paths record at makes the cost invisible next to a multi-10us
+// search, which BM_TracedSearch pins end to end.
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::SetMetricsEnabled(enabled);
+  state.SetLabel(enabled ? "enabled" : "disabled");
+  static const obs::CounterId id = obs::GetCounter("bench.counter");
+  for (auto _ : state) {
+    obs::Add(id, 1);
+  }
+  obs::SetMetricsEnabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc)->Arg(0)->Arg(1);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  obs::SetMetricsEnabled(enabled);
+  state.SetLabel(enabled ? "enabled" : "disabled");
+  static const obs::HistogramId id = obs::GetHistogram("bench.histogram");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    obs::Record(id, v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap value mix
+  }
+  obs::SetMetricsEnabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord)->Arg(0)->Arg(1);
+
+// The same query loop as BM_BeamSearchFastScan with the full observability
+// surface ON: registry metrics enabled and a per-query QueryTrace threaded
+// through Search. Compare searches/s against BM_BeamSearchFastScan at the
+// same beam — the acceptance bar is <2% regression.
+void BM_TracedSearch(benchmark::State& state) {
+  FastScanQueryFixture& f = QueryFixture();
+  const size_t beam = state.range(0);
+  CalibrateTickClock();
+  obs::SetMetricsEnabled(true);
+  size_t qi = 0;
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    obs::QueryTrace trace;
+    auto res = f.index->Search(f.queries[qi % f.queries.size()], 10,
+                               {beam, 10}, core::DistanceMode::kFastScan, {},
+                               &trace);
+    benchmark::DoNotOptimize(res);
+    benchmark::DoNotOptimize(trace);
+    ++qi;
+  }
+  obs::SetMetricsEnabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracedSearch)->Arg(16)->Arg(64);
 
 }  // namespace
 

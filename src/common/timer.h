@@ -1,7 +1,13 @@
-// Wall-clock timing helper for the benchmark harnesses.
+// Wall-clock timing helper for the benchmark harnesses, plus the calibrated
+// tick clock the observability layer (src/obs/) stamps spans with.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
 
 namespace rpq {
 
@@ -20,5 +26,67 @@ class Timer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+// ---------------------------------------------------------------------------
+// Tick clock: the cheapest monotonic counter the platform offers — rdtscp on
+// x86-64 (a few cycles, serializes just enough for span timing), otherwise
+// steady_clock. Ticks are opaque; TicksToNanos converts using a one-time
+// calibration against steady_clock, so span math is a subtraction plus one
+// multiply on the hot path. Modern x86 TSCs are invariant (constant-rate,
+// monotonic across cores), which is exactly the property span timing needs.
+
+namespace detail {
+
+inline uint64_t RawTicks() {
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned int aux;
+  return __rdtscp(&aux);
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Nanoseconds per tick, measured once over a short spin. On non-x86 the
+/// ticks already ARE nanoseconds, so the ratio is exactly 1.
+inline double NanosPerTick() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const double ratio = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = RawTicks();
+    // ~200us of wall time: long enough that steady_clock granularity is
+    // negligible, short enough to not matter at process startup.
+    for (;;) {
+      const auto t1 = std::chrono::steady_clock::now();
+      if (t1 - t0 >= std::chrono::microseconds(200)) {
+        const uint64_t c1 = RawTicks();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+        return c1 > c0 ? ns / static_cast<double>(c1 - c0) : 1.0;
+      }
+    }
+  }();
+  return ratio;
+#else
+  return 1.0;
+#endif
+}
+
+}  // namespace detail
+
+/// Current tick count. Cheap enough for per-stage spans (two reads per span).
+inline uint64_t TickNow() { return detail::RawTicks(); }
+
+/// Converts a tick DELTA to nanoseconds (absolute tick values are opaque).
+inline uint64_t TicksToNanos(uint64_t ticks) {
+  return static_cast<uint64_t>(static_cast<double>(ticks) *
+                               detail::NanosPerTick());
+}
+
+/// Forces the one-time tick calibration now (first conversion spins ~200us;
+/// services call this at startup so no query pays it).
+inline void CalibrateTickClock() { detail::NanosPerTick(); }
 
 }  // namespace rpq

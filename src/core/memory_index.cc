@@ -6,6 +6,23 @@
 #include "quant/adc.h"
 
 namespace rpq::core {
+namespace {
+
+// Per-query stats roll-up into the registry (one TLS add per counter per
+// query — never inside the traversal).
+void RecordSearchMetrics(const graph::SearchStats& stats) {
+  if (!obs::MetricsEnabled()) return;
+  static const obs::CounterId queries = obs::GetCounter("memory.queries");
+  static const obs::CounterId hops = obs::GetCounter("graph.hops");
+  static const obs::CounterId dist = obs::GetCounter("graph.dist_comps");
+  static const obs::CounterId hits = obs::GetCounter("graph.visited_hits");
+  obs::Add(queries, 1);
+  obs::Add(hops, stats.hops);
+  obs::Add(dist, stats.dist_comps);
+  obs::Add(hits, stats.visited_hits);
+}
+
+}  // namespace
 
 std::unique_ptr<MemoryIndex> MemoryIndex::Build(
     const Dataset& base, const graph::ProximityGraph& graph,
@@ -37,7 +54,7 @@ refine::RerankMode MemoryIndex::ResolveRerankMode(
 MemorySearchResult MemoryIndex::SearchFastScan(
     const float* query, const quant::AdcTable& table, size_t k,
     const graph::BeamSearchOptions& opt, const refine::RerankSpec& rerank,
-    graph::VisitedTable* visited) const {
+    graph::VisitedTable* visited, obs::QueryTrace* trace) const {
   RPQ_CHECK(fastscan_.has_value() &&
             "FastScan needs a quantizer with K <= 16 (see PqOptions.nbits)");
   MemorySearchResult out;
@@ -58,9 +75,12 @@ MemorySearchResult MemoryIndex::SearchFastScan(
       std::min(beam_width,
                refine::EffectiveRerankWidth(
                    rerank.width > 0 ? rerank.width : rerank_width_, k));
-  std::vector<Neighbor> cands =
-      graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                        {beam_width, width}, visited, &out.stats);
+  std::vector<Neighbor> cands;
+  {
+    obs::ScopedStage span(obs::Stage::kBeam, trace);
+    cands = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                              {beam_width, width}, visited, &out.stats);
+  }
 
   // Shared refinement epilogue: the beam's survivors become a
   // CandidateBuffer (bulk-fed — the beam was invoked with result count =
@@ -74,31 +94,33 @@ MemorySearchResult MemoryIndex::SearchFastScan(
       RPQ_CHECK(stores_vectors() &&
                 "RerankMode::kExact needs MemoryIndexOptions.store_vectors");
       refine::ExactRefiner refiner(query, dim_, vectors_.data());
-      out.results = refine::RefineTopK(buffer, refiner, k);
+      out.results = refine::RefineTopK(buffer, refiner, k, trace);
       break;
     }
     case refine::RerankMode::kLinkCode: {
       RPQ_CHECK(linkcode_ != nullptr &&
                 "RerankMode::kLinkCode needs set_linkcode()");
       refine::LinkCodeRefiner refiner(query, *linkcode_);
-      out.results = refine::RefineTopK(buffer, refiner, k);
+      out.results = refine::RefineTopK(buffer, refiner, k, trace);
       break;
     }
     default: {
       // Float-ADC: batched through the gather kernel (one call for all
       // candidates).
       refine::AdcRefiner refiner(table, codes_.data(), code_size);
-      out.results = refine::RefineTopK(buffer, refiner, k);
+      out.results = refine::RefineTopK(buffer, refiner, k, trace);
       break;
     }
   }
+  RecordSearchMetrics(out.stats);
   return out;
 }
 
 MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
                                        const graph::BeamSearchOptions& opt,
                                        DistanceMode mode,
-                                       const refine::RerankSpec& rerank) const {
+                                       const refine::RerankSpec& rerank,
+                                       obs::QueryTrace* trace) const {
   MemorySearchResult out;
   graph::VisitedTable* visited = graph::TlsVisitedTable(graph_.num_vertices());
   const size_t code_size = quantizer_.code_size();
@@ -107,30 +129,42 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
     RPQ_CHECK(pq != nullptr && "SDC requires a PQ-family quantizer");
     quant::SdcTable table(*pq, query);
     quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
+    obs::ScopedStage span(obs::Stage::kBeam, trace);
     out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
                                     {opt.beam_width, k}, visited, &out.stats);
+    RecordSearchMetrics(out.stats);
     return out;
   }
-  quant::AdcTable table(quantizer_, query);
-  if (mode == DistanceMode::kFastScan) {
-    return SearchFastScan(query, table, k, opt, rerank, visited);
+  std::optional<quant::AdcTable> table;
+  {
+    obs::ScopedStage span(obs::Stage::kLutBuild, trace);
+    table.emplace(quantizer_, query);
   }
-  quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
-  out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                                  {opt.beam_width, k}, visited, &out.stats);
+  if (mode == DistanceMode::kFastScan) {
+    return SearchFastScan(query, *table, k, opt, rerank, visited, trace);
+  }
+  quant::AdcBatchOracle oracle{*table, codes_.data(), code_size};
+  {
+    obs::ScopedStage span(obs::Stage::kBeam, trace);
+    out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                                    {opt.beam_width, k}, visited, &out.stats);
+  }
+  RecordSearchMetrics(out.stats);
   return out;
 }
 
 std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
     const float* const* queries, size_t nq, size_t k,
     const graph::BeamSearchOptions& opt, DistanceMode mode,
-    const refine::RerankSpec& rerank) const {
+    const refine::RerankSpec& rerank, obs::QueryTrace* trace) const {
   std::vector<MemorySearchResult> out(nq);
   if (nq == 0) return out;
   if (mode == DistanceMode::kSdc) {
     // SDC tables quantize the query first; no cross-query work to amortize,
     // so the batch is just the per-query path run back-to-back.
-    for (size_t i = 0; i < nq; ++i) out[i] = Search(queries[i], k, opt, mode);
+    for (size_t i = 0; i < nq; ++i) {
+      out[i] = Search(queries[i], k, opt, mode, {}, trace);
+    }
     return out;
   }
   graph::VisitedTable* visited = graph::TlsVisitedTable(graph_.num_vertices());
@@ -145,19 +179,24 @@ std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
   for (size_t base = 0; base < nq; base += kTile) {
     const size_t tile = std::min(kTile, nq - base);
     tables.clear();
-    for (size_t i = 0; i < tile; ++i) {
-      tables.emplace_back(quantizer_, queries[base + i]);
+    {
+      obs::ScopedStage span(obs::Stage::kLutBuild, trace);
+      for (size_t i = 0; i < tile; ++i) {
+        tables.emplace_back(quantizer_, queries[base + i]);
+      }
     }
     for (size_t i = 0; i < tile; ++i) {
       if (mode == DistanceMode::kFastScan) {
         out[base + i] = SearchFastScan(queries[base + i], tables[i], k, opt,
-                                       rerank, visited);
+                                       rerank, visited, trace);
         continue;
       }
       quant::AdcBatchOracle oracle{tables[i], codes_.data(), code_size};
+      obs::ScopedStage span(obs::Stage::kBeam, trace);
       out[base + i].results =
           graph::BeamSearch(graph_, graph_.entry_point(), oracle,
                             {opt.beam_width, k}, visited, &out[base + i].stats);
+      RecordSearchMetrics(out[base + i].stats);
     }
   }
   return out;

@@ -14,6 +14,7 @@
 #include "data/dataset.h"
 #include "graph/beam_search.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 #include "quant/fastscan.h"
 #include "quant/quantizer.h"
 #include "refine/refine.h"
@@ -70,20 +71,25 @@ class MemoryIndex {
   /// `rerank` overrides the index-level refinement defaults for this query
   /// (width 0 / kAuto fields defer to the configured setters below); it only
   /// applies to DistanceMode::kFastScan, the mode with a rerank epilogue.
+  /// `trace`, when non-null, receives per-stage spans (lut_build / beam /
+  /// refine / merge) for this query.
   MemorySearchResult Search(const float* query, size_t k,
                             const graph::BeamSearchOptions& options,
                             DistanceMode mode = DistanceMode::kAdc,
-                            const refine::RerankSpec& rerank = {}) const;
+                            const refine::RerankSpec& rerank = {},
+                            obs::QueryTrace* trace = nullptr) const;
 
   /// Scores `nq` queries back-to-back on the calling thread. All ADC lookup
   /// tables are built up-front, before any graph traversal, which keeps the
   /// codebook cache-resident across table builds — the amortization the
   /// serving micro-batcher exists to exploit. Results match per-query Search.
+  /// A batch shares one `trace`: its spans accumulate across all nq queries.
   std::vector<MemorySearchResult> SearchBatch(
       const float* const* queries, size_t nq, size_t k,
       const graph::BeamSearchOptions& options,
       DistanceMode mode = DistanceMode::kAdc,
-      const refine::RerankSpec& rerank = {}) const;
+      const refine::RerankSpec& rerank = {},
+      obs::QueryTrace* trace = nullptr) const;
 
   /// Codes + model bytes (the in-memory footprint the paper constrains),
   /// including the packed FastScan neighbor blocks and retained raw rows
@@ -129,7 +135,8 @@ class MemoryIndex {
                                     const quant::AdcTable& table, size_t k,
                                     const graph::BeamSearchOptions& options,
                                     const refine::RerankSpec& rerank,
-                                    graph::VisitedTable* visited) const;
+                                    graph::VisitedTable* visited,
+                                    obs::QueryTrace* trace) const;
 
   /// Resolves a query-level mode request against the index defaults.
   refine::RerankMode ResolveRerankMode(refine::RerankMode requested) const;

@@ -61,7 +61,8 @@ std::unique_ptr<DiskIndex> DiskIndex::Build(
 }
 
 DiskSearchResult DiskIndex::Search(const float* query, size_t k,
-                                   const graph::BeamSearchOptions& options) const {
+                                   const graph::BeamSearchOptions& options,
+                                   obs::QueryTrace* trace) const {
   DiskSearchResult out;
   const size_t beam_width = std::max(options.beam_width, k);
   const size_t code_size = quantizer_.code_size();
@@ -73,11 +74,14 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
   std::optional<quant::AdcTable> table;
   std::optional<quant::FastScanTable> ftable;
   std::optional<quant::FastScanNeighborOracle> fast;
-  if (fastscan_.has_value()) {
-    ftable.emplace(quantizer_, query);
-    fast.emplace(*ftable, codes_.data(), code_size, *fastscan_);
-  } else {
-    table.emplace(quantizer_, query);
+  {
+    obs::ScopedStage span(obs::Stage::kLutBuild, trace);
+    if (fastscan_.has_value()) {
+      ftable.emplace(quantizer_, query);
+      fast.emplace(*ftable, codes_.data(), code_size, *fastscan_);
+    } else {
+      table.emplace(quantizer_, query);
+    }
   }
 
   // Same flat-beam hot loop as graph::BeamSearch (see detail::FlatBeam), with
@@ -106,6 +110,8 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
   visited.MarkVisited(entry_);
 
   std::vector<uint8_t> block(ssd_->block_bytes());
+  {
+  obs::ScopedStage span(obs::Stage::kBeam, trace);
   for (;;) {
     const size_t next = beam.NextUnexpanded();
     if (next == graph::detail::FlatBeam::kNone) break;
@@ -136,7 +142,10 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
       for (uint32_t idx = 0; idx < deg; ++idx) {
         if (cand_dists[idx] > worst) continue;
         uint32_t u = nbrs[idx];
-        if (visited.Visited(u)) continue;
+        if (visited.Visited(u)) {
+          ++out.stats.visited_hits;
+          continue;
+        }
         visited.MarkVisited(u);
         beam.Insert(cand_dists[idx], u);
         worst = beam.WorstDist();
@@ -149,7 +158,10 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
     for (uint32_t idx = 0; idx < deg; ++idx) {
       if (idx + 4 < deg) visited.Prefetch(nbrs[idx + 4]);
       uint32_t u = nbrs[idx];
-      if (visited.Visited(u)) continue;
+      if (visited.Visited(u)) {
+        ++out.stats.visited_hits;
+        continue;
+      }
       visited.MarkVisited(u);
       cand_ids.push_back(u);
     }
@@ -161,8 +173,33 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
       beam.Insert(cand_dists[i], cand_ids[i]);
     }
   }
+  }
 
-  out.results = rerank.TakeSortedNeighbors(k);
+  {
+    obs::ScopedStage span(obs::Stage::kMerge, trace);
+    out.results = rerank.TakeSortedNeighbors(k);
+  }
+  // Simulated device time is not wall time, so it is reported as its own
+  // span rather than being timed.
+  if (trace != nullptr || obs::MetricsEnabled()) {
+    obs::RecordSpan(obs::Stage::kIo,
+                    static_cast<uint64_t>(out.io.simulated_seconds * 1e9),
+                    trace);
+  }
+  if (obs::MetricsEnabled()) {
+    static const obs::CounterId queries = obs::GetCounter("disk.queries");
+    static const obs::CounterId reads = obs::GetCounter("disk.block_reads");
+    static const obs::CounterId bytes = obs::GetCounter("disk.io_bytes");
+    static const obs::CounterId hops = obs::GetCounter("graph.hops");
+    static const obs::CounterId dist = obs::GetCounter("graph.dist_comps");
+    static const obs::CounterId hits = obs::GetCounter("graph.visited_hits");
+    obs::Add(queries, 1);
+    obs::Add(reads, out.io.reads);
+    obs::Add(bytes, out.io.bytes);
+    obs::Add(hops, out.stats.hops);
+    obs::Add(dist, out.stats.dist_comps);
+    obs::Add(hits, out.stats.visited_hits);
+  }
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include "disk/ssd_simulator.h"
 #include "graph/beam_search.h"
 #include "graph/graph.h"
+#include "obs/trace.h"
 #include "quant/fastscan.h"
 #include "quant/quantizer.h"
 
@@ -52,9 +53,12 @@ class DiskIndex {
                                           const quant::VectorQuantizer& quantizer,
                                           const DiskIndexOptions& options = {});
 
-  /// Beam search with ADC navigation + full-precision rerank.
+  /// Beam search with ADC navigation + full-precision rerank. `trace`, when
+  /// set, receives per-stage spans (lut_build / beam / merge, plus the
+  /// simulated device time as the io stage).
   DiskSearchResult Search(const float* query, size_t k,
-                          const graph::BeamSearchOptions& options) const;
+                          const graph::BeamSearchOptions& options,
+                          obs::QueryTrace* trace = nullptr) const;
 
   /// Bytes resident in memory: codes + codebook/transform model (+ packed
   /// FastScan neighbor blocks when routing with them).

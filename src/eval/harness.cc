@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "eval/recall.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/search_service.h"
 
@@ -36,6 +37,16 @@ std::vector<OperatingPoint> SweepBeamWidths(
     Timer timer;
     auto outcomes = engine.SearchAll(queries, k, beam);
     double wall = timer.ElapsedSeconds();
+    if (obs::MetricsEnabled()) {
+      // Sweep accounting in the registry, alongside the backend's own
+      // counters for the same replay.
+      static const obs::CounterId replayed =
+          obs::GetCounter("eval.replayed_queries");
+      static const obs::HistogramId point =
+          obs::GetHistogram("eval.sweep_point_ns");
+      obs::Add(replayed, queries.size());
+      obs::Record(point, static_cast<uint64_t>(wall * 1e9));
+    }
 
     double total_io = 0;
     size_t total_hops = 0;

@@ -25,8 +25,9 @@ namespace rpq::graph {
 
 /// Instrumentation collected per query (the paper reports Hops).
 struct SearchStats {
-  size_t hops = 0;        ///< next-hop selections (expanded vertices)
-  size_t dist_comps = 0;  ///< distance-oracle invocations
+  size_t hops = 0;          ///< next-hop selections (expanded vertices)
+  size_t dist_comps = 0;    ///< distance-oracle invocations
+  size_t visited_hits = 0;  ///< neighbors skipped because already visited
 };
 
 /// Beam-search knobs; beam_width is `h` in the paper.
@@ -213,7 +214,10 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
       for (size_t i = 0; i < deg; ++i) {
         if (cand_dists[i] > worst) continue;
         uint32_t u = nbrs[i];
-        if (visited->Visited(u)) continue;
+        if (visited->Visited(u)) {
+          if (stats != nullptr) ++stats->visited_hits;
+          continue;
+        }
         visited->MarkVisited(u);
         beam.Insert(cand_dists[i], u);
         worst = beam.WorstDist();
@@ -234,7 +238,10 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
       for (size_t i = 0; i < deg; ++i) {
         if (i + 4 < deg) visited->Prefetch(nbrs[i + 4]);
         uint32_t u = nbrs[i];
-        if (visited->Visited(u)) continue;
+        if (visited->Visited(u)) {
+          if (stats != nullptr) ++stats->visited_hits;
+          continue;
+        }
         visited->MarkVisited(u);
         cand_ids.push_back(u);
       }

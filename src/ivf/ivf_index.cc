@@ -265,8 +265,18 @@ void IvfIndex::PushCandidates(float bias, float scale, const uint16_t* sums,
 IvfSearchResult IvfIndex::FinishQuery(const float* query,
                                       const quant::DistanceLut* lut,
                                       refine::CandidateBuffer& buffer, size_t k,
-                                      refine::RerankMode mode,
-                                      IvfStats stats) const {
+                                      refine::RerankMode mode, IvfStats stats,
+                                      obs::QueryTrace* trace) const {
+  // Per-query stats roll-up (one TLS add per counter, every Search path
+  // funnels through here).
+  if (obs::MetricsEnabled()) {
+    static const obs::CounterId queries = obs::GetCounter("ivf.queries");
+    static const obs::CounterId cells = obs::GetCounter("ivf.cells_probed");
+    static const obs::CounterId codes = obs::GetCounter("ivf.codes_scanned");
+    obs::Add(queries, 1);
+    obs::Add(cells, stats.lists_probed);
+    obs::Add(codes, stats.codes_scanned);
+  }
   IvfSearchResult out;
   out.stats = stats;
   mode = refine::ResolveAutoMode(mode, options_.store_vectors);
@@ -278,7 +288,7 @@ IvfSearchResult IvfIndex::FinishQuery(const float* query,
           const InvertedList& list = lists_[c.tag >> 32];
           return list.vectors.data() + (c.tag & 0xffffffffu) * dim_;
         });
-    out.results = refine::RefineTopK(buffer, refiner, k);
+    out.results = refine::RefineTopK(buffer, refiner, k, trace);
     return out;
   }
   RPQ_CHECK(mode == refine::RerankMode::kAdc &&
@@ -295,12 +305,12 @@ IvfSearchResult IvfIndex::FinishQuery(const float* query,
         query, quantizer_, code_fn, [this](const refine::Candidate& c) {
           return centroids_.data() + (c.tag >> 32) * dim_;
         });
-    out.results = refine::RefineTopK(buffer, refiner, k);
+    out.results = refine::RefineTopK(buffer, refiner, k, trace);
     return out;
   }
   RPQ_CHECK(lut != nullptr);
   refine::AdcRefiner refiner(*lut, m, code_fn);
-  out.results = refine::RefineTopK(buffer, refiner, k);
+  out.results = refine::RefineTopK(buffer, refiner, k, trace);
   return out;
 }
 
@@ -308,7 +318,10 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
                                  const IvfSearchOptions& options) const {
   thread_local std::vector<uint32_t> probe;
   thread_local std::vector<uint16_t> sums;
-  RouteLists(query, EffectiveNprobe(options), &probe);
+  {
+    obs::ScopedStage span(obs::Stage::kRoute, options.trace);
+    RouteLists(query, EffectiveNprobe(options), &probe);
+  }
 
   refine::CandidateBuffer buffer(refine::EffectiveRerankWidth(options.rerank, k));
   IvfStats stats;
@@ -320,6 +333,7 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
       quant::AdcTable lut(quantizer_, query);
       quant::FastScanTable table(lut);
       std::shared_lock<WriterPriorityMutex> lock(mu_);
+      obs::ScopedStage span(obs::Stage::kScan, options.trace);
       for (uint32_t l : probe) {
         const InvertedList& list = lists_[l];
         ++stats.lists_probed;
@@ -331,14 +345,17 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
         PushCandidates(table.bias(), table.scale(), sums.data(), nullptr, l,
                        list.ids.size(), list.ids, &buffer);
       }
-      return FinishQuery(query, &lut, buffer, k, options.rerank_mode, stats);
+      return FinishQuery(query, &lut, buffer, k, options.rerank_mode, stats,
+                         options.trace);
     }
     // Split, non-residual: one split table serves every cell; the kAdc
     // rerank (exact float ADC over the materialized 256-word codebook) only
     // needs the full lut when that stage is actually selected.
     quant::SplitFastScanTable table(*quantizer_.split_model(), query);
     std::shared_lock<WriterPriorityMutex> lock(mu_);
-    for (uint32_t l : probe) {
+    {
+      obs::ScopedStage span(obs::Stage::kScan, options.trace);
+      for (uint32_t l : probe) {
       const InvertedList& list = lists_[l];
       ++stats.lists_probed;
       if (list.ids.empty()) continue;
@@ -348,14 +365,17 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
       table.ScanBlocks(list.packed.data.data(), n_blocks, sums.data());
       PushCandidates(table.bias(), table.scale(), sums.data(),
                      list.cross.data(), l, list.ids.size(), list.ids, &buffer);
+      }
     }
     const refine::RerankMode resolved =
         refine::ResolveAutoMode(options.rerank_mode, options_.store_vectors);
     if (resolved == refine::RerankMode::kAdc) {
       quant::AdcTable lut(quantizer_, query);
-      return FinishQuery(query, &lut, buffer, k, options.rerank_mode, stats);
+      return FinishQuery(query, &lut, buffer, k, options.rerank_mode, stats,
+                         options.trace);
     }
-    return FinishQuery(query, nullptr, buffer, k, options.rerank_mode, stats);
+    return FinishQuery(query, nullptr, buffer, k, options.rerank_mode, stats,
+                     options.trace);
   }
 
   // Residual regime: one table per probed cell, built from q - centroid so
@@ -363,6 +383,8 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
   thread_local std::vector<float> resq;
   resq.resize(dim_);
   std::shared_lock<WriterPriorityMutex> lock(mu_);
+  {
+  obs::ScopedStage span(obs::Stage::kScan, options.trace);
   for (uint32_t l : probe) {
     const InvertedList& list = lists_[l];
     ++stats.lists_probed;
@@ -384,7 +406,9 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
                      list.ids.size(), list.ids, &buffer);
     }
   }
-  return FinishQuery(query, nullptr, buffer, k, options.rerank_mode, stats);
+  }
+  return FinishQuery(query, nullptr, buffer, k, options.rerank_mode, stats,
+                     options.trace);
 }
 
 std::vector<IvfSearchResult> IvfIndex::SearchBatch(
@@ -408,6 +432,7 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
   std::vector<quant::FastScanTable> tables;
   std::vector<quant::SplitFastScanTable> stables;
   if (!options_.residual) {
+    obs::ScopedStage span(obs::Stage::kLutBuild, options.trace);
     if (!split()) {
       luts.reserve(nq);
       tables.reserve(nq);
@@ -451,6 +476,7 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
   pairs.clear();
   pairs.reserve(nq * nprobe);
   {
+    obs::ScopedStage span(obs::Stage::kRoute, options.trace);
     thread_local std::vector<uint32_t> probe;
     for (size_t q = 0; q < nq; ++q) {
       RouteLists(queries[q], nprobe, &probe);
@@ -465,6 +491,8 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
   // Residual per-group scratch: the tables for this (cell, queries) group.
   std::vector<quant::FastScanTable> group_tables;
   std::vector<quant::SplitFastScanTable> group_stables;
+  {
+  obs::ScopedStage span(obs::Stage::kScan, options.trace);
   for (size_t p0 = 0; p0 < pairs.size();) {
     const uint32_t l = pairs[p0].first;
     size_t p1 = p0;
@@ -562,9 +590,11 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
     }
     p0 = p1;
   }
+  }
   for (size_t q = 0; q < nq; ++q) {
     out[q] = FinishQuery(queries[q], q < luts.size() ? &luts[q] : nullptr,
-                         buffers[q], k, options.rerank_mode, stats[q]);
+                         buffers[q], k, options.rerank_mode, stats[q],
+                         options.trace);
   }
   return out;
 }

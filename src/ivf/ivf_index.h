@@ -44,6 +44,7 @@
 #include "common/status.h"
 #include "common/topk.h"
 #include "data/dataset.h"
+#include "obs/trace.h"
 #include "quant/fastscan.h"
 #include "quant/quantizer.h"
 #include "refine/refine.h"
@@ -82,6 +83,9 @@ struct IvfSearchOptions {
   /// IvfOptions.store_vectors; kLinkCode is a graph-side stage and is
   /// rejected here (IVF cells carry no adjacency to regress over).
   refine::RerankMode rerank_mode = refine::RerankMode::kAuto;
+  /// When set, receives per-stage spans (route / scan / refine / merge);
+  /// SearchBatch accumulates the whole batch's spans into the one trace.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Per-query cost counters (the IVF analogue of graph::SearchStats).
@@ -225,7 +229,8 @@ class IvfIndex {
   /// resolves to refine::ResidualAdcRefiner (decode + centroid add).
   IvfSearchResult FinishQuery(const float* query, const quant::DistanceLut* lut,
                               refine::CandidateBuffer& buffer, size_t k,
-                              refine::RerankMode mode, IvfStats stats) const;
+                              refine::RerankMode mode, IvfStats stats,
+                              obs::QueryTrace* trace) const;
 
   const quant::VectorQuantizer& quantizer_;
   IvfOptions options_;

@@ -1,0 +1,206 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rpq::obs {
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != s_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool Fail(const char* msg) {
+    if (error_ != nullptr) {
+      *error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return true;
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return true;
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("bad literal");
+        out->type = JsonValue::Type::kNull;
+        return true;
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    out->type = JsonValue::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    out->type = JsonValue::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Fail("truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Snapshots only emit \u for control characters; encode as UTF-8.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return Fail("expected value");
+    pos_ += static_cast<size_t>(end - begin);
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::FindPath(const std::string& dotted) const {
+  const JsonValue* cur = this;
+  size_t start = 0;
+  while (cur != nullptr && start <= dotted.size()) {
+    const size_t dot = dotted.find('.', start);
+    const std::string key = dotted.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    cur = cur->Find(key);
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
+  return cur;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  return Parser(text, error).Parse(out);
+}
+
+}  // namespace rpq::obs

@@ -1,0 +1,45 @@
+// Minimal JSON reader for validating/round-tripping the metric snapshots
+// obs::DumpJson emits (tests and `rpq_tool metrics-validate`). Supports the
+// full value grammar; numbers are held as double, which is exact for the
+// counter magnitudes the snapshots carry.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rpq::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  /// Dotted-path lookup ("histograms.stage.route_ns" will NOT work for keys
+  /// containing dots — use Find() hops for those); convenience for tests.
+  const JsonValue* FindPath(const std::string& dotted) const;
+};
+
+/// Parses `text` into `*out`. Returns false (with a message in *error when
+/// non-null) on malformed input or trailing garbage.
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace rpq::obs

@@ -91,11 +91,20 @@ void LinkCodeRefiner::Refine(const Candidate* cands, size_t n,
 }
 
 std::vector<Neighbor> RefineTopK(const CandidateBuffer& buffer,
-                                 const Refiner& refiner, size_t k) {
+                                 const Refiner& refiner, size_t k,
+                                 obs::QueryTrace* trace) {
   const std::vector<Candidate>& cands = buffer.entries();
   thread_local std::vector<float> dists;
   dists.resize(cands.size());
-  refiner.Refine(cands.data(), cands.size(), dists.data());
+  {
+    obs::ScopedStage span(obs::Stage::kRefine, trace);
+    refiner.Refine(cands.data(), cands.size(), dists.data());
+  }
+  if (obs::MetricsEnabled()) {
+    static const obs::CounterId refined = obs::GetCounter("refine.candidates");
+    obs::Add(refined, cands.size());
+  }
+  obs::ScopedStage span(obs::Stage::kMerge, trace);
   TopK top(k);
   for (size_t i = 0; i < cands.size(); ++i) top.Push(dists[i], cands[i].id);
   return top.Take();

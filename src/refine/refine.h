@@ -34,6 +34,7 @@
 
 #include "common/logging.h"
 #include "common/topk.h"
+#include "obs/trace.h"
 #include "quant/adc.h"
 #include "quant/linkcode.h"
 
@@ -290,7 +291,11 @@ class LinkCodeRefiner : public Refiner {
 /// The composed epilogue: re-scores every kept candidate with `refiner` and
 /// returns the top-k by (refined distance, id), sorted ascending. The
 /// buffer is read, not drained — callers treat it as per-query scratch.
+/// When `trace` is set (or metrics are on) the re-score is attributed to the
+/// refine stage and the top-k selection to the merge stage, and the
+/// candidate count feeds the refine.candidates counter.
 std::vector<Neighbor> RefineTopK(const CandidateBuffer& buffer,
-                                 const Refiner& refiner, size_t k);
+                                 const Refiner& refiner, size_t k,
+                                 obs::QueryTrace* trace = nullptr);
 
 }  // namespace rpq::refine

@@ -3,11 +3,27 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace rpq::serve {
+namespace {
+
+struct BatcherMetrics {
+  obs::CounterId batches = obs::GetCounter("serve.batches");
+  obs::HistogramId occupancy = obs::GetHistogram("serve.batch_occupancy");
+};
+
+const BatcherMetrics& Metrics() {
+  static const BatcherMetrics m;
+  return m;
+}
+
+}  // namespace
 
 MicroBatcher::MicroBatcher(const ServingEngine& engine,
                            const BatcherOptions& options)
     : engine_(engine), opt_(options) {
+  Metrics();  // register the serve.batch* keys before any traffic
   timer_ = std::thread([this] { TimerLoop(); });
 }
 
@@ -54,6 +70,10 @@ void MicroBatcher::DispatchLocked(std::unique_lock<std::mutex>&) {
   auto batch = std::make_shared<std::vector<Pending>>(std::move(pending_));
   pending_.clear();
   ++batches_;
+  if (obs::MetricsEnabled()) {
+    obs::Add(Metrics().batches, 1);
+    obs::Record(Metrics().occupancy, batch->size());
+  }
   const SearchService& service = engine_.service();
   engine_.Execute([batch, &service] {
     std::vector<QuerySpec> specs;

@@ -3,11 +3,34 @@
 #include <memory>
 #include <utility>
 
+#include "common/timer.h"
+#include "obs/trace.h"
+
 namespace rpq::serve {
+namespace {
+
+struct EngineMetrics {
+  obs::CounterId submitted = obs::GetCounter("serve.submitted");
+  obs::CounterId completed = obs::GetCounter("serve.completed");
+};
+
+const EngineMetrics& Metrics() {
+  static const EngineMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ServingEngine::ServingEngine(const SearchService& service,
                              const EngineOptions& options)
-    : service_(service), pool_(options.threads) {}
+    : service_(service), pool_(options.threads) {
+  // Pay the one-time tick calibration and metric-name registration at
+  // construction so no query does; also guarantees the serve.* /stage.* keys
+  // appear in snapshots even before any traffic.
+  CalibrateTickClock();
+  obs::RegisterStageMetrics();
+  Metrics();
+}
 
 std::vector<QueryResult> ServingEngine::SearchAll(const Dataset& queries,
                                                   size_t k,
@@ -15,6 +38,7 @@ std::vector<QueryResult> ServingEngine::SearchAll(const Dataset& queries,
   std::vector<QueryResult> out(queries.size());
   ParallelFor(&pool_, queries.size(), [&](size_t begin, size_t end) {
     for (size_t q = begin; q < end; ++q) {
+      obs::ScopedStage span(obs::Stage::kService, nullptr);
       out[q] = service_.Search({queries[q], k, beam_width});
     }
   });
@@ -34,7 +58,22 @@ std::vector<QueryResult> ServingEngine::SearchAll(
 std::future<QueryResult> ServingEngine::Submit(const QuerySpec& q) const {
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> fut = promise->get_future();
-  pool_.Submit([this, q, promise] { promise->set_value(service_.Search(q)); });
+  const bool observed = q.trace != nullptr || obs::MetricsEnabled();
+  if (observed) obs::Add(Metrics().submitted, 1);
+  const uint64_t submit_ticks = observed ? TickNow() : 0;
+  pool_.Submit([this, q, promise, observed, submit_ticks] {
+    if (observed) {
+      // Submit-to-start delay: the queueing component of tail latency, kept
+      // separate from the service span that follows.
+      obs::RecordSpan(obs::Stage::kQueueWait,
+                      TicksToNanos(TickNow() - submit_ticks), q.trace);
+    }
+    {
+      obs::ScopedStage span(obs::Stage::kService, q.trace);
+      promise->set_value(service_.Search(q));
+    }
+    if (observed) obs::Add(Metrics().completed, 1);
+  });
   return fut;
 }
 

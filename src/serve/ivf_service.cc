@@ -24,6 +24,7 @@ ivf::IvfSearchOptions IvfService::OptionsFor(const QuerySpec& q) const {
   opt.rerank_mode = refine::SanitizeRequestedMode(
       q.rerank_mode != refine::RerankMode::kAuto ? q.rerank_mode : mode_,
       index_.stores_vectors(), /*has_linkcode=*/false);
+  opt.trace = q.trace;
   return opt;
 }
 

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <mutex>
 #include <random>
 #include <thread>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "serve/batcher.h"
 
 namespace rpq::serve {
 namespace {
@@ -18,6 +21,16 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// End-to-end served latency, pooled across the whole run (ns).
+obs::HistogramId LatencyHistogram() {
+  static const obs::HistogramId id = obs::GetHistogram("serve.latency_ns");
+  return id;
+}
+
+inline uint64_t SecondsToNanos(double seconds) {
+  return seconds > 0 ? static_cast<uint64_t>(seconds * 1e9) : 0;
 }
 
 }  // namespace
@@ -36,6 +49,17 @@ LatencySummary SummarizeLatencies(std::vector<double> seconds) {
   return s;
 }
 
+LatencySummary SummarizeHistogramNanos(const obs::HistogramData& hist) {
+  LatencySummary s;
+  if (hist.count == 0) return s;
+  s.mean_ms = hist.Mean() / 1e6;
+  s.p50_ms = hist.Percentile(0.50) / 1e6;
+  s.p95_ms = hist.Percentile(0.95) / 1e6;
+  s.p99_ms = hist.Percentile(0.99) / 1e6;
+  s.max_ms = static_cast<double>(hist.max) / 1e6;
+  return s;
+}
+
 LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
                          const LoadgenOptions& options) {
   RPQ_CHECK(!queries.empty());
@@ -44,7 +68,9 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
   const size_t threads = std::max<size_t>(1, options.threads);
 
   std::atomic<size_t> next{0};
-  std::vector<std::vector<double>> latencies(threads);
+  // Per-thread tallies: a fixed-size histogram each instead of every sample
+  // — memory is constant no matter how long the loop runs.
+  std::vector<obs::HistogramData> latencies(threads);
   std::vector<size_t> hops(threads, 0);
   std::vector<double> io(threads, 0.0);
 
@@ -53,15 +79,14 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
   clients.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
-      latencies[t].reserve(total / threads + 1);
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= total) break;
         const float* q = queries[i % queries.size()];
         Timer lat;
         QueryResult r = service.Search({q, options.k, options.beam_width});
-        latencies[t].push_back(lat.ElapsedSeconds() +
-                               r.simulated_io_seconds);
+        latencies[t].Record(
+            SecondsToNanos(lat.ElapsedSeconds() + r.simulated_io_seconds));
         hops[t] += r.stats.hops;
         io[t] += r.simulated_io_seconds;
       }
@@ -72,20 +97,20 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
   LoadReport report;
   report.wall_seconds = wall.ElapsedSeconds();
   report.completed = total;
-  std::vector<double> all;
-  all.reserve(total);
+  obs::HistogramData all;
   size_t total_hops = 0;
   for (size_t t = 0; t < threads; ++t) {
-    all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+    all.Merge(latencies[t]);
     total_hops += hops[t];
     report.simulated_io_seconds += io[t];
   }
+  obs::MergeInto(LatencyHistogram(), all);
   // Simulated device time is not wall time; charge it as if the device were
   // serving the threads in parallel, matching the eval harness convention.
   const double effective =
       report.wall_seconds + report.simulated_io_seconds / threads;
   report.qps = effective > 0 ? total / effective : 0;
-  report.latency = SummarizeLatencies(std::move(all));
+  report.latency = SummarizeHistogramNanos(all);
   report.mean_hops = static_cast<double>(total_hops) / total;
   return report;
 }
@@ -102,8 +127,7 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
   const double fixed_gap = 1.0 / options.arrival_qps;
 
   std::mutex mu;
-  std::vector<double> latencies;
-  latencies.reserve(total);
+  obs::HistogramData lat_hist;
   size_t total_hops = 0;
   double total_io = 0;
 
@@ -112,25 +136,81 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
   double next_arrival = 0;  // seconds since start
   const SearchService& service = engine.service();
 
-  for (size_t i = 0; i < total; ++i) {
-    const auto arrival =
-        start + std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(next_arrival));
-    std::this_thread::sleep_until(arrival);
-    const float* q = queries[i % queries.size()];
-    engine.Execute([&, q, arrival] {
-      QueryResult r = service.Search({q, options.k, options.beam_width});
-      const double lat =
-          std::chrono::duration<double>(Clock::now() - arrival).count() +
-          r.simulated_io_seconds;
-      std::lock_guard<std::mutex> lk(mu);
-      latencies.push_back(lat);
-      total_hops += r.stats.hops;
-      total_io += r.simulated_io_seconds;
+  if (options.batch > 1) {
+    // Batched arrivals: queries flow through a MicroBatcher so the engine
+    // serves them via SearchBatch (amortized tables; occupancy recorded in
+    // serve.batch_occupancy). A collector thread retires futures in arrival
+    // order — batches complete all-at-once in dispatch order, so the
+    // FIFO .get() stamps completion times accurately.
+    MicroBatcher batcher(engine, {options.batch, std::chrono::microseconds(200)});
+    std::condition_variable cv;
+    std::deque<std::pair<std::future<QueryResult>, Clock::time_point>> inflight;
+    bool done = false;
+    std::thread collector([&] {
+      for (;;) {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return done || !inflight.empty(); });
+        if (inflight.empty()) {
+          if (done) return;
+          continue;
+        }
+        auto item = std::move(inflight.front());
+        inflight.pop_front();
+        lk.unlock();
+        QueryResult r = item.first.get();
+        const double lat =
+            std::chrono::duration<double>(Clock::now() - item.second).count() +
+            r.simulated_io_seconds;
+        // Only this thread touches the tallies (producer only queues).
+        lat_hist.Record(SecondsToNanos(lat));
+        total_hops += r.stats.hops;
+        total_io += r.simulated_io_seconds;
+      }
     });
-    next_arrival += options.poisson ? exp_gap(rng) : fixed_gap;
+    for (size_t i = 0; i < total; ++i) {
+      const auto arrival =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(next_arrival));
+      std::this_thread::sleep_until(arrival);
+      const float* q = queries[i % queries.size()];
+      auto fut = batcher.Submit({q, options.k, options.beam_width});
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        inflight.emplace_back(std::move(fut), arrival);
+      }
+      cv.notify_one();
+      next_arrival += options.poisson ? exp_gap(rng) : fixed_gap;
+    }
+    batcher.Flush();
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_one();
+    collector.join();
+    engine.WaitIdle();
+  } else {
+    for (size_t i = 0; i < total; ++i) {
+      const auto arrival =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(next_arrival));
+      std::this_thread::sleep_until(arrival);
+      const float* q = queries[i % queries.size()];
+      engine.Execute([&, q, arrival] {
+        QueryResult r = service.Search({q, options.k, options.beam_width});
+        const double lat =
+            std::chrono::duration<double>(Clock::now() - arrival).count() +
+            r.simulated_io_seconds;
+        std::lock_guard<std::mutex> lk(mu);
+        lat_hist.Record(SecondsToNanos(lat));
+        total_hops += r.stats.hops;
+        total_io += r.simulated_io_seconds;
+      });
+      next_arrival += options.poisson ? exp_gap(rng) : fixed_gap;
+    }
+    engine.WaitIdle();
   }
-  engine.WaitIdle();
+  obs::MergeInto(LatencyHistogram(), lat_hist);
 
   LoadReport report;
   report.wall_seconds =
@@ -141,7 +221,7 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
       report.wall_seconds > 0 ? total / report.wall_seconds : 0;
   report.mean_hops = static_cast<double>(total_hops) / total;
   report.simulated_io_seconds = total_io;
-  report.latency = SummarizeLatencies(std::move(latencies));
+  report.latency = SummarizeHistogramNanos(lat_hist);
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 
 namespace rpq::serve {
@@ -26,8 +27,17 @@ struct LatencySummary {
   double max_ms = 0;
 };
 
-/// Computes the summary from raw per-query latencies (seconds).
+/// Computes the summary from raw per-query latencies (seconds) — the exact
+/// (sorted-vector) reference. The load generators no longer retain samples;
+/// this stays for callers that do, and as the reference the histogram
+/// summary is tested against.
 LatencySummary SummarizeLatencies(std::vector<double> seconds);
+
+/// Computes the summary from a latency histogram in NANOSECONDS (what the
+/// load generators accumulate — bounded memory regardless of run length).
+/// mean/max are exact; percentiles are within one bucket width (~12.5%) of
+/// SummarizeLatencies on the same samples.
+LatencySummary SummarizeHistogramNanos(const obs::HistogramData& hist);
 
 struct LoadgenOptions {
   size_t k = 10;
@@ -36,6 +46,10 @@ struct LoadgenOptions {
   size_t total_queries = 0;  ///< 0 = one pass over the query set
   double arrival_qps = 0;    ///< open loop: target arrival rate (required)
   bool poisson = true;       ///< open loop: exponential vs fixed interarrival
+  /// Open loop: > 1 routes arrivals through a MicroBatcher of this max batch
+  /// size instead of per-query engine dispatch (occupancy shows up in the
+  /// serve.batch_occupancy metric). 0/1 = unbatched.
+  size_t batch = 0;
   uint64_t seed = 42;
 };
 

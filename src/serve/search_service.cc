@@ -11,8 +11,8 @@ refine::RerankSpec MemoryIndexService::SpecFor(const QuerySpec& q) const {
 }
 
 QueryResult MemoryIndexService::Search(const QuerySpec& q) const {
-  auto res =
-      index_.Search(q.query, q.k, {q.beam_width, q.k}, mode_, SpecFor(q));
+  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k}, mode_,
+                           SpecFor(q), q.trace);
   return {std::move(res.results), res.stats, 0.0};
 }
 
@@ -35,7 +35,7 @@ void MemoryIndexService::SearchBatch(const QuerySpec* qs, size_t n,
     for (size_t t = i; t < j; ++t) queries.push_back(qs[t].query);
     auto res = index_.SearchBatch(queries.data(), queries.size(), qs[i].k,
                                   {qs[i].beam_width, qs[i].k}, mode_,
-                                  SpecFor(qs[i]));
+                                  SpecFor(qs[i]), qs[i].trace);
     for (size_t t = i; t < j; ++t) {
       out[t] = {std::move(res[t - i].results), res[t - i].stats, 0.0};
     }
@@ -44,7 +44,7 @@ void MemoryIndexService::SearchBatch(const QuerySpec* qs, size_t n,
 }
 
 QueryResult DiskIndexService::Search(const QuerySpec& q) const {
-  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k});
+  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k}, q.trace);
   return {std::move(res.results), res.stats, res.io.simulated_seconds};
 }
 

@@ -33,6 +33,10 @@ struct QuerySpec {
   /// backend's configured defaults. Other backends ignore it.
   size_t rerank = 0;
   refine::RerankMode rerank_mode = refine::RerankMode::kAuto;
+  /// When set, receives per-stage spans for this query (obs/trace.h). The
+  /// pointee must outlive the query; batched execution accumulates a whole
+  /// batch's spans into each query's trace only when they share one.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// What one served query returned, plus its costs.

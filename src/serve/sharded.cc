@@ -5,11 +5,23 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace rpq::serve {
+namespace {
+
+// Per-query shard fan-out width (how many shards each query touched).
+obs::HistogramId FanoutHistogram() {
+  static const obs::HistogramId id = obs::GetHistogram("serve.shard_fanout");
+  return id;
+}
+
+}  // namespace
 
 QueryResult ShardedService::Merge(const QuerySpec& q,
                                   std::vector<QueryResult>& per) const {
+  obs::ScopedStage span(obs::Stage::kMerge, q.trace);
+  if (obs::MetricsEnabled()) obs::Record(FanoutHistogram(), per.size());
   // Shard-order accumulation keeps stats and the (dist, global id) top-k
   // merge deterministic regardless of how the per-shard results were
   // produced (serial or parallel fan-out).
@@ -20,6 +32,7 @@ QueryResult ShardedService::Merge(const QuerySpec& q,
     QueryResult& r = per[s];
     merged.stats.hops += r.stats.hops;
     merged.stats.dist_comps += r.stats.dist_comps;
+    merged.stats.visited_hits += r.stats.visited_hits;
     merged.simulated_io_seconds += r.simulated_io_seconds;
     for (const Neighbor& nb : r.results) {
       uint32_t id = shard.global_ids.empty() ? nb.id : shard.global_ids[nb.id];
@@ -51,9 +64,14 @@ QueryResult ShardedService::Search(const QuerySpec& q) const {
   std::mutex mu;
   std::condition_variable cv;
   size_t pending = shards_.size() - 1;
+  // QueryTrace is single-writer: only shard 0 (the calling thread) records
+  // into the query's trace; pool-side shards run untraced. Registry metrics
+  // are per-thread-sharded, so those record from every shard regardless.
+  QuerySpec sub = q;
+  sub.trace = nullptr;
   for (size_t s = 1; s < shards_.size(); ++s) {
-    pool->Submit([this, &q, &per, &mu, &cv, &pending, s] {
-      per[s] = shards_[s].service->Search(q);
+    pool->Submit([this, &sub, &per, &mu, &cv, &pending, s] {
+      per[s] = shards_[s].service->Search(sub);
       std::lock_guard<std::mutex> lock(mu);
       if (--pending == 0) cv.notify_one();
     });

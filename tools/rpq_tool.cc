@@ -21,13 +21,27 @@
 //                         [--index memory|disk|ivf] [--ivf ivf.bin]
 //                         [--nlist 64] [--nprobe 8] [--residual]
 //                         [--sweep-nprobe 1,2,4,...] [--sweep-csv out.csv]
+//                         [--trace]
 //   rpq_tool serve-bench  --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
 //                         [--threads 4] [--shards 1] [--parallel-shards]
 //                         [--k 10] [--beam 64] [--total 0] [--rate 0]
+//                         [--batch 0] [--metrics-json out.json]
 //                         [--index memory|disk|ivf] [--mode adc|sdc|fastscan]
 //                         [--rerank N] [--rerank-mode adc|exact|linkcode]
 //                         [--nlist 64] [--nprobe 8] [--residual]
+//   rpq_tool metrics-validate --json out.json [--require name1,name2,...]
+//
+// Observability (src/obs/): search --trace threads a per-query obs::QueryTrace
+// through the backend and prints a per-stage time breakdown plus the search
+// stats (hops, distance evals, visited-table hits) for the first few queries
+// and in aggregate. serve-bench --metrics-json enables the process-wide
+// metrics registry for the run and writes the obs::DumpJson() snapshot —
+// per-stage latency histograms, backend counters, batcher occupancy — to the
+// given path; --batch N routes the open-loop leg through a MicroBatcher of
+// that size. metrics-validate parses such a snapshot with the in-repo JSON
+// reader, checks the schema, and fails if any --require'd metric is absent
+// (the CI smoke leg runs it against the serve-bench artifact).
 //
 // --nbits 4 trains a 4-bit model (K = 16); searching such a model with
 // --mode fastscan routes through the shuffle-kernel scan path with float-ADC
@@ -97,6 +111,9 @@
 #include "ivf/ivf_index.h"
 #include "graph/nsg.h"
 #include "graph/vamana.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/kmeans.h"
 #include "quant/linkcode.h"
 #include "quant/opq.h"
@@ -517,6 +534,67 @@ rpq::Result<IvfBackend> MakeIvfBackend(const Flags& flags,
   return rpq::Result<IvfBackend>(std::move(b));
 }
 
+std::vector<std::string> ParseStringList(const char* s) {
+  std::vector<std::string> out;
+  while (s != nullptr && *s != '\0') {
+    const char* comma = std::strchr(s, ',');
+    if (comma == nullptr) {
+      if (*s != '\0') out.emplace_back(s);
+      break;
+    }
+    if (comma != s) out.emplace_back(s, comma);
+    s = comma + 1;
+  }
+  return out;
+}
+
+// Accumulates --trace output across the search replay: per-query lines for
+// the first few queries, totals for the whole run. Shared by the three
+// backends so the printed shape is uniform (IVF reports lists probed in the
+// hops slot and codes scanned as distance evals, matching IvfService).
+struct TraceAccumulator {
+  static constexpr size_t kPerQueryLines = 8;
+
+  rpq::obs::QueryTrace totals;
+  size_t hops = 0, dist_comps = 0, visited_hits = 0, queries = 0;
+  std::vector<std::string> lines;
+
+  void Note(size_t q, const rpq::obs::QueryTrace& trace, size_t h, size_t d,
+            size_t v) {
+    ++queries;
+    hops += h;
+    dist_comps += d;
+    visited_hits += v;
+    for (size_t s = 0; s < rpq::obs::kNumStages; ++s) {
+      const auto stage = static_cast<rpq::obs::Stage>(s);
+      const auto& t = trace.total(stage);
+      if (t.spans > 0) totals.AddSpan(stage, t.nanos);
+    }
+    if (q < kPerQueryLines) {
+      char head[96];
+      std::snprintf(head, sizeof(head),
+                    "  q%-4zu hops %-6zu dist %-9zu visited-hits %-6zu  ", q,
+                    h, d, v);
+      lines.push_back(std::string(head) + trace.Format());
+    }
+  }
+
+  void Print() const {
+    if (queries == 0) return;
+    for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+    if (queries > lines.size()) {
+      std::printf("  ... (%zu more queries)\n", queries - lines.size());
+    }
+    const double n = static_cast<double>(queries);
+    std::printf("trace totals (%zu queries): %s\n", queries,
+                totals.Format().c_str());
+    std::printf("stats: hops %zu (%.1f/q)  dist_comps %zu (%.1f/q)  "
+                "visited_hits %zu (%.1f/q)\n",
+                hops, hops / n, dist_comps, dist_comps / n, visited_hits,
+                visited_hits / n);
+  }
+};
+
 std::vector<size_t> ParseSizeList(const char* s) {
   std::vector<size_t> out;
   while (s != nullptr && *s != '\0') {
@@ -671,30 +749,57 @@ int CmdSearch(const Flags& flags) {
     }
   }
 
+  // --trace: thread a per-query obs::QueryTrace through the backend (also
+  // enabling the registry so the stage histograms fill) and print the
+  // per-stage breakdown + search stats after the replay. The trace lines are
+  // accumulated inside the timed loop, so the QPS on a traced run includes
+  // the (small) tracing overhead — it measures what it ran.
+  const bool trace_on = flags.Has("trace");
+  if (trace_on) rpq::obs::SetMetricsEnabled(true);
+  TraceAccumulator tacc;
+
   std::vector<std::vector<rpq::Neighbor>> results(queries.value().size());
   rpq::Timer timer;
   double io_seconds = 0;
   if (use_ivf) {
     for (size_t q = 0; q < queries.value().size(); ++q) {
-      results[q] = ivf_index->Search(queries.value()[q], k, ivf_opt).results;
+      rpq::obs::QueryTrace trace;
+      ivf_opt.trace = trace_on ? &trace : nullptr;
+      auto out = ivf_index->Search(queries.value()[q], k, ivf_opt);
+      results[q] = std::move(out.results);
+      if (trace_on) {
+        tacc.Note(q, trace, out.stats.lists_probed, out.stats.codes_scanned, 0);
+      }
     }
   } else if (use_disk) {
     auto mode_ok = CheckDiskRerankMode(rmode);
     if (!mode_ok.ok()) return Fail(mode_ok.ToString());
     auto index = rpq::disk::DiskIndex::Build(base.value(), graph, *model);
     for (size_t q = 0; q < queries.value().size(); ++q) {
-      auto out = index->Search(queries.value()[q], k, {beam, k});
+      rpq::obs::QueryTrace trace;
+      auto out = index->Search(queries.value()[q], k, {beam, k},
+                               trace_on ? &trace : nullptr);
       results[q] = std::move(out.results);
       io_seconds += out.io.simulated_seconds;
+      if (trace_on) {
+        tacc.Note(q, trace, out.stats.hops, out.stats.dist_comps,
+                  out.stats.visited_hits);
+      }
     }
   } else {
     auto made = MakeMemoryBackend(flags, base.value(), graph, *model, rmode);
     if (!made.ok()) return Fail(made.status().ToString());
     MemoryBackend backend = std::move(made.value());
     for (size_t q = 0; q < queries.value().size(); ++q) {
-      results[q] =
-          backend.index->Search(queries.value()[q], k, {beam, k}, backend.mode)
-              .results;
+      rpq::obs::QueryTrace trace;
+      auto out = backend.index->Search(queries.value()[q], k, {beam, k},
+                                       backend.mode, {},
+                                       trace_on ? &trace : nullptr);
+      results[q] = std::move(out.results);
+      if (trace_on) {
+        tacc.Note(q, trace, out.stats.hops, out.stats.dist_comps,
+                  out.stats.visited_hits);
+      }
     }
   }
   double total = timer.ElapsedSeconds() + io_seconds;
@@ -702,6 +807,7 @@ int CmdSearch(const Flags& flags) {
               queries.value().size(), k,
               rpq::eval::MeanRecallAtK(results, gt, k),
               queries.value().size() / std::max(total, 1e-12));
+  if (trace_on) tacc.Print();
 
   if (const char* dump = flags.Get("dump-top1")) {
     // One line per query: the top result's vertex id. Ids (not distances)
@@ -738,8 +844,13 @@ int CmdServeBench(const Flags& flags) {
   opt.beam_width = flags.GetSize("beam", 64);
   opt.threads = flags.GetSize("threads", 4);
   opt.total_queries = flags.GetSize("total", 0);
+  opt.batch = flags.GetSize("batch", 0);  // open-loop leg only
   const size_t shards = flags.GetSize("shards", 1);
   const double rate = std::strtod(flags.Get("rate", "0"), nullptr);
+  // --metrics-json turns the registry on for the whole run (index build
+  // included) and writes the snapshot at the end.
+  const char* metrics_json = flags.Get("metrics-json");
+  if (metrics_json != nullptr) rpq::obs::SetMetricsEnabled(true);
   rpq::refine::RerankMode rmode = rpq::refine::RerankMode::kAuto;
   if (!GetRerankMode(flags, &rmode)) {
     return Fail("--rerank-mode must be adc, exact, or linkcode");
@@ -865,17 +976,93 @@ int CmdServeBench(const Flags& flags) {
     rpq::serve::LoadgenOptions oopt = opt;
     oopt.arrival_qps = rate;
     auto open = rpq::serve::RunOpenLoop(engine, queries.value(), oopt);
-    std::snprintf(label, sizeof(label), "open-loop @%.0f/s", rate);
+    std::snprintf(label, sizeof(label), "open-loop @%.0f/s%s", rate,
+                  opt.batch > 1 ? " (batched)" : "");
     rpq::serve::PrintReport(label, open);
   }
+
+  if (metrics_json != nullptr) {
+    const std::string json = rpq::obs::DumpJson();
+    std::FILE* fp = std::fopen(metrics_json, "w");
+    if (fp == nullptr) {
+      return Fail(std::string("cannot write ") + metrics_json);
+    }
+    std::fwrite(json.data(), 1, json.size(), fp);
+    std::fputc('\n', fp);
+    if (std::fclose(fp) != 0) {
+      return Fail(std::string(metrics_json) + ": close failed");
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_json);
+  }
+  return 0;
+}
+
+// Validates a --metrics-json snapshot: parses it with the in-repo JSON
+// reader, checks the stable schema (version, counters / histograms objects,
+// the summary fields on every histogram), and fails if any --require'd
+// metric name — counter or histogram — is absent. The CI smoke leg runs
+// this against the serve-bench artifact so a schema regression or a metric
+// that silently stopped being emitted fails the build, not a dashboard.
+int CmdMetricsValidate(const Flags& flags) {
+  const char* path = flags.Get("json");
+  if (path == nullptr) return Fail("--json is required");
+  std::FILE* fp = std::fopen(path, "rb");
+  if (fp == nullptr) return Fail(std::string("cannot read ") + path);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) text.append(buf, n);
+  std::fclose(fp);
+
+  rpq::obs::JsonValue root;
+  std::string err;
+  if (!rpq::obs::ParseJson(text, &root, &err)) {
+    return Fail(std::string(path) + ": " + err);
+  }
+  if (!root.is_object()) return Fail("top-level value is not an object");
+  const rpq::obs::JsonValue* version = root.Find("version");
+  if (version == nullptr || !version->is_number()) {
+    return Fail("missing numeric \"version\"");
+  }
+  const rpq::obs::JsonValue* counters = root.Find("counters");
+  const rpq::obs::JsonValue* histograms = root.Find("histograms");
+  if (counters == nullptr || !counters->is_object()) {
+    return Fail("missing \"counters\" object");
+  }
+  if (histograms == nullptr || !histograms->is_object()) {
+    return Fail("missing \"histograms\" object");
+  }
+  for (const auto& [name, h] : histograms->object) {
+    for (const char* field :
+         {"count", "sum", "max", "mean", "p50", "p95", "p99", "buckets"}) {
+      if (h.Find(field) == nullptr) {
+        return Fail("histogram \"" + name + "\" missing \"" + field + "\"");
+      }
+    }
+    if (!h.Find("buckets")->is_array()) {
+      return Fail("histogram \"" + name + "\": \"buckets\" is not an array");
+    }
+  }
+  size_t missing = 0;
+  for (const std::string& key : ParseStringList(flags.Get("require"))) {
+    if (counters->Find(key) == nullptr && histograms->Find(key) == nullptr) {
+      std::fprintf(stderr, "missing required metric: %s\n", key.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    return Fail(std::to_string(missing) + " required metric(s) missing");
+  }
+  std::printf("%s: valid metrics snapshot (%zu counters, %zu histograms)\n",
+              path, counters->object.size(), histograms->object.size());
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: rpq_tool <gen|stats|build-graph|train|encode|build-ivf|"
-               "search|serve-bench> [--flags]\nsee the header of "
-               "tools/rpq_tool.cc for the full pipeline\n");
+               "search|serve-bench|metrics-validate> [--flags]\nsee the header "
+               "of tools/rpq_tool.cc for the full pipeline\n");
   return 2;
 }
 
@@ -893,5 +1080,6 @@ int main(int argc, char** argv) {
   if (cmd == "build-ivf") return CmdBuildIvf(flags);
   if (cmd == "search") return CmdSearch(flags);
   if (cmd == "serve-bench") return CmdServeBench(flags);
+  if (cmd == "metrics-validate") return CmdMetricsValidate(flags);
   return Usage();
 }
