@@ -1,0 +1,59 @@
+// Per-query deadline budget, checked at pipeline stage boundaries (route /
+// scan / beam hop / refine) so an overloaded or fault-ridden query returns a
+// partial, `degraded`-flagged result instead of blocking its worker forever.
+//
+// A Deadline is a value type (one time_point + a flag) so it rides inside
+// the existing per-backend option structs; default-constructed it is
+// inactive and costs one bool load per check. Checks read steady_clock only
+// when active — backends check once per coarse unit of work (a hop, a
+// probed cell), never per code, so the hot kernels are untouched.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace rpq {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// Deadline `us` microseconds from now; 0 returns an inactive deadline.
+  static Deadline AfterMicros(uint64_t us) {
+    Deadline d;
+    if (us > 0) {
+      d.active_ = true;
+      d.end_ = Clock::now() + std::chrono::microseconds(us);
+    }
+    return d;
+  }
+
+  bool active() const { return active_; }
+
+  /// True when the budget is spent. `extra_seconds` is added to the elapsed
+  /// side — the hybrid-disk path charges its simulated device time against
+  /// the budget this way (simulated latency is real latency on the modeled
+  /// hardware, so a deadline that ignored it would be dishonest).
+  bool Expired(double extra_seconds = 0.0) const {
+    if (!active_) return false;
+    if (extra_seconds <= 0.0) return Clock::now() >= end_;
+    return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(extra_seconds)) >=
+           end_;
+  }
+
+  /// Seconds until expiry (<= 0 when already expired); +inf when inactive.
+  double RemainingSeconds() const {
+    if (!active_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(end_ - Clock::now()).count();
+  }
+
+ private:
+  Clock::time_point end_{};
+  bool active_ = false;
+};
+
+}  // namespace rpq

@@ -79,7 +79,8 @@ MemorySearchResult MemoryIndex::SearchFastScan(
   {
     obs::ScopedStage span(obs::Stage::kBeam, trace);
     cands = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                              {beam_width, width}, visited, &out.stats);
+                              {beam_width, width, opt.deadline}, visited,
+                              &out.stats);
   }
 
   // Shared refinement epilogue: the beam's survivors become a
@@ -130,8 +131,10 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
     quant::SdcTable table(*pq, query);
     quant::AdcBatchOracle oracle{table, codes_.data(), code_size};
     obs::ScopedStage span(obs::Stage::kBeam, trace);
-    out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                                    {opt.beam_width, k}, visited, &out.stats);
+    out.results =
+        graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                          {opt.beam_width, k, opt.deadline}, visited,
+                          &out.stats);
     RecordSearchMetrics(out.stats);
     return out;
   }
@@ -146,8 +149,10 @@ MemorySearchResult MemoryIndex::Search(const float* query, size_t k,
   quant::AdcBatchOracle oracle{*table, codes_.data(), code_size};
   {
     obs::ScopedStage span(obs::Stage::kBeam, trace);
-    out.results = graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                                    {opt.beam_width, k}, visited, &out.stats);
+    out.results =
+        graph::BeamSearch(graph_, graph_.entry_point(), oracle,
+                          {opt.beam_width, k, opt.deadline}, visited,
+                          &out.stats);
   }
   RecordSearchMetrics(out.stats);
   return out;
@@ -193,9 +198,9 @@ std::vector<MemorySearchResult> MemoryIndex::SearchBatch(
       }
       quant::AdcBatchOracle oracle{tables[i], codes_.data(), code_size};
       obs::ScopedStage span(obs::Stage::kBeam, trace);
-      out[base + i].results =
-          graph::BeamSearch(graph_, graph_.entry_point(), oracle,
-                            {opt.beam_width, k}, visited, &out[base + i].stats);
+      out[base + i].results = graph::BeamSearch(
+          graph_, graph_.entry_point(), oracle, {opt.beam_width, k, opt.deadline},
+          visited, &out[base + i].stats);
       RecordSearchMetrics(out[base + i].stats);
     }
   }

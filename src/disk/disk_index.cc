@@ -35,6 +35,8 @@ std::unique_ptr<DiskIndex> DiskIndex::Build(
 
   index->ssd_ = std::make_unique<SsdSimulator>(
       base.size(), BlockPayloadBytes(base.dim(), max_degree), options.ssd);
+  index->max_read_retries_ = options.max_read_retries;
+  index->retry_backoff_seconds_ = options.retry_backoff_seconds;
 
   std::vector<uint8_t> block(index->ssd_->block_bytes(), 0);
   for (uint32_t v = 0; v < base.size(); ++v) {
@@ -58,6 +60,20 @@ std::unique_ptr<DiskIndex> DiskIndex::Build(
         graph, index->codes_.data(), quantizer.code_size());
   }
   return index;
+}
+
+bool DiskIndex::ReadBlockWithRetry(uint32_t v, uint8_t* block,
+                                   IoStats* io) const {
+  // Bounded linear backoff: each retry charges `retry_backoff_seconds` of
+  // simulated wait (a real driver would sleep before re-issuing) on top of
+  // the failed attempt's device time, which ReadBlock already charged.
+  for (size_t attempt = 0;; ++attempt) {
+    Status s = ssd_->ReadBlock(v, block, ssd_->block_bytes(), io);
+    if (s.ok()) return true;
+    if (attempt >= max_read_retries_) return false;
+    ++io->retries;
+    io->simulated_seconds += retry_backoff_seconds_;
+  }
 }
 
 DiskSearchResult DiskIndex::Search(const float* query, size_t k,
@@ -115,12 +131,24 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
   for (;;) {
     const size_t next = beam.NextUnexpanded();
     if (next == graph::detail::FlatBeam::kNone) break;
+    // The deadline covers simulated device time too: latency that would be
+    // real on the modeled hardware counts against the budget.
+    if (options.deadline.Expired(out.io.simulated_seconds)) {
+      out.stats.deadline_hit = true;
+      out.degraded = true;
+      break;
+    }
     beam.MarkExpanded(next);
     uint32_t v = beam.entries()[next].id;
     ++out.stats.hops;
 
-    // One SSD read delivers v's full vector and adjacency.
-    ssd_->ReadBlock(v, block.data(), ssd_->block_bytes(), &out.io);
+    // One SSD read delivers v's full vector and adjacency; transient errors
+    // retry with bounded backoff, and a block that stays unreadable is
+    // skipped (degraded recall, never a crash).
+    if (!ReadBlockWithRetry(v, block.data(), &out.io)) {
+      out.degraded = true;
+      continue;
+    }
     const float* vec = reinterpret_cast<const float*>(block.data());
     uint32_t deg = 0;
     std::memcpy(&deg, block.data() + dim_ * sizeof(float), sizeof(deg));
@@ -193,12 +221,16 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
     static const obs::CounterId hops = obs::GetCounter("graph.hops");
     static const obs::CounterId dist = obs::GetCounter("graph.dist_comps");
     static const obs::CounterId hits = obs::GetCounter("graph.visited_hits");
+    static const obs::CounterId errors = obs::GetCounter("disk.io_errors");
+    static const obs::CounterId retries = obs::GetCounter("disk.retries");
     obs::Add(queries, 1);
     obs::Add(reads, out.io.reads);
     obs::Add(bytes, out.io.bytes);
     obs::Add(hops, out.stats.hops);
     obs::Add(dist, out.stats.dist_comps);
     obs::Add(hits, out.stats.visited_hits);
+    obs::Add(errors, out.io.io_errors);
+    obs::Add(retries, out.io.retries);
   }
   return out;
 }

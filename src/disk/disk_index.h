@@ -29,6 +29,13 @@ struct DiskIndexOptions {
   /// fetched full-precision vectors, so this changes hops, not the ranking
   /// rule of what is returned.
   bool fastscan = true;
+  /// Transient read failures are retried up to this many times before the
+  /// hop is abandoned (the node is skipped, traversal continues through the
+  /// rest of the beam — a lost block degrades recall, never correctness).
+  size_t max_read_retries = 3;
+  /// Simulated backoff charged per retry, on top of the failed attempt's
+  /// device time (both land in the io stage).
+  double retry_backoff_seconds = 50e-6;
 };
 
 /// Result of one hybrid query.
@@ -36,6 +43,9 @@ struct DiskSearchResult {
   std::vector<Neighbor> results;  ///< ascending by EXACT distance (reranked)
   graph::SearchStats stats;       ///< hops == block reads
   IoStats io;                     ///< simulated device accounting
+  /// True when the answer is partial: the deadline fired mid-beam or a block
+  /// stayed unreadable through all retries.
+  bool degraded = false;
 };
 
 /// PQ-navigated, disk-resident graph index.
@@ -73,7 +83,13 @@ class DiskIndex {
  private:
   DiskIndex(const quant::VectorQuantizer& quantizer) : quantizer_(quantizer) {}
 
+  /// ReadBlock with bounded retry on transient errors; false when the block
+  /// stayed unreadable (caller skips the node and flags degradation).
+  bool ReadBlockWithRetry(uint32_t v, uint8_t* block, IoStats* io) const;
+
   const quant::VectorQuantizer& quantizer_;
+  size_t max_read_retries_ = 3;
+  double retry_backoff_seconds_ = 50e-6;
   std::unique_ptr<SsdSimulator> ssd_;
   std::vector<uint8_t> codes_;  // in-memory compact codes, n * code_size
   std::optional<quant::PackedNeighborBlocks> fastscan_;

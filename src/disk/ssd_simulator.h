@@ -8,21 +8,35 @@
 // reads) is added to the query's simulated clock. QPS and "Disk I/O time"
 // reported by the benches therefore reproduce the structural trade-off
 // (reads x latency) that drives Figure 5. See DESIGN.md §3.
+//
+// Fault model: real NVMe devices exhibit transient read failures (media
+// errors that succeed on retry) and tail-latency spikes (GC pauses, write
+// stalls). Both are reproduced here behind seeded knobs —
+// `transient_error_rate` makes ReadBlock return an IOError Status, and
+// `latency_spike_rate`/`latency_spike_multiplier` multiply one read's
+// simulated cost. Decisions come from a deterministic fault::Injector so a
+// given (seed, read index) schedule replays exactly; the effective rates are
+// the max of the device's own knobs and the process-wide RPQ_FAULTS plan.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace rpq::disk {
 
 /// I/O accounting for one query or one experiment.
 struct IoStats {
-  size_t reads = 0;              ///< block reads issued
+  size_t reads = 0;              ///< block reads issued (successful)
   size_t bytes = 0;              ///< bytes transferred
   double simulated_seconds = 0;  ///< reads * per-read latency (+ bandwidth)
+  size_t io_errors = 0;          ///< transient read failures observed
+  size_t retries = 0;            ///< re-issued reads after a transient error
+  size_t latency_spikes = 0;     ///< reads that hit an injected tail spike
 };
 
 /// Configuration of the simulated device.
@@ -30,6 +44,10 @@ struct SsdOptions {
   size_t sector_bytes = 4096;        ///< read granularity
   double read_latency_seconds = 1e-4;///< fixed cost per random read (100 us)
   double bandwidth_bytes_per_s = 2e9;///< sequential throughput component
+  double transient_error_rate = 0;   ///< P(read returns IOError) in [0,1]
+  double latency_spike_rate = 0;     ///< P(read costs multiplier x) in [0,1]
+  double latency_spike_multiplier = 20;  ///< spike cost factor (~2 ms @ 100 us)
+  uint64_t fault_seed = 1;           ///< seed for the device's injector
 };
 
 /// Flat block device: fixed-size node blocks, counted sector reads.
@@ -46,11 +64,18 @@ class SsdSimulator {
   /// Writes a full block (construction time, not counted as query I/O).
   void WriteBlock(size_t block_id, const void* data, size_t size);
 
-  /// Reads a full block, charging latency and bandwidth to `stats`.
-  void ReadBlock(size_t block_id, void* out, size_t size, IoStats* stats) const;
+  /// Reads a full block, charging latency and bandwidth to `stats`. Returns
+  /// IOError on an injected transient failure — the failed attempt's latency
+  /// is still charged (the device was busy), and `stats->io_errors` bumps;
+  /// callers retry at their own policy, counting `stats->retries`.
+  Status ReadBlock(size_t block_id, void* out, size_t size,
+                   IoStats* stats) const;
 
   /// Total bytes the simulated device occupies.
   size_t DeviceBytes() const { return arena_.size(); }
+
+  /// The device's effective fault plan (own knobs merged with RPQ_FAULTS).
+  fault::Plan fault_plan() const { return injector_.plan(); }
 
  private:
   size_t num_blocks_;
@@ -58,6 +83,9 @@ class SsdSimulator {
   size_t sectors_per_block_;
   SsdOptions opt_;
   std::vector<uint8_t> arena_;
+  // Mutable: ReadBlock is logically const (device state is immutable); the
+  // injector only advances its atomic roll counters.
+  mutable fault::Injector injector_;
 };
 
 }  // namespace rpq::disk

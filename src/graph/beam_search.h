@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/topk.h"
 #include "graph/graph.h"
 
@@ -28,12 +29,16 @@ struct SearchStats {
   size_t hops = 0;          ///< next-hop selections (expanded vertices)
   size_t dist_comps = 0;    ///< distance-oracle invocations
   size_t visited_hits = 0;  ///< neighbors skipped because already visited
+  bool deadline_hit = false;  ///< search stopped early at its deadline
 };
 
 /// Beam-search knobs; beam_width is `h` in the paper.
 struct BeamSearchOptions {
   size_t beam_width = 32;
   size_t k = 10;
+  /// Optional budget: checked once per hop; on expiry the search returns the
+  /// best candidates found so far and sets SearchStats::deadline_hit.
+  Deadline deadline;
 };
 
 /// Optional per-step observer: receives the ranked global candidate set
@@ -182,6 +187,12 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
   for (;;) {
     const size_t next = beam.NextUnexpanded();
     if (next == detail::FlatBeam::kNone) break;  // all expanded: converged
+    if (opt.deadline.Expired()) {
+      // Partial answer: everything inserted so far is still correctly
+      // ranked, it just may not have converged.
+      if (stats != nullptr) stats->deadline_hit = true;
+      break;
+    }
 
     if (observer) {
       observer_view.clear();

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 namespace rpq::graph {
@@ -47,48 +48,99 @@ double ProximityGraph::ReachableFraction() const {
   return static_cast<double>(count) / adj_.size();
 }
 
+namespace {
+
+// "RPQG" v1: magic | u32 version | u64 n | u32 entry | per-vertex adjacency
+// | CRC32 trailer. The historical format had no magic (header started at the
+// raw u64 count); Load still accepts those files by rewinding when the magic
+// is absent. Save always writes the guarded format, atomically.
+constexpr char kGraphMagic[4] = {'R', 'P', 'Q', 'G'};
+constexpr uint32_t kGraphVersion = 1;
+
+}  // namespace
+
 Status ProximityGraph::Save(const std::string& path) const {
-  io::FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
-  uint64_t n = adj_.size();
-  uint32_t entry = entry_;
-  if (std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
-      std::fwrite(&entry, sizeof(entry), 1, f.get()) != 1) {
-    return Status::IOError("short write");
+  io::AtomicFile file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  io::CrcWriter w(file.get());
+  const uint64_t n = adj_.size();
+  const uint32_t entry = entry_;
+  if (!w.Write(kGraphMagic, 4) || !w.Write(&kGraphVersion, 4) ||
+      !w.Write(&n, 8) || !w.Write(&entry, 4)) {
+    return Status::IOError(path + ": header write failed");
   }
   for (const auto& nb : adj_) {
-    uint32_t deg = static_cast<uint32_t>(nb.size());
-    if (std::fwrite(&deg, sizeof(deg), 1, f.get()) != 1) {
-      return Status::IOError("short write");
-    }
-    if (deg > 0 && std::fwrite(nb.data(), sizeof(uint32_t), deg, f.get()) != deg) {
-      return Status::IOError("short write");
+    const uint32_t deg = static_cast<uint32_t>(nb.size());
+    if (!w.Write(&deg, 4) || !w.Write(nb.data(), deg * sizeof(uint32_t))) {
+      return Status::IOError(path + ": adjacency write failed");
     }
   }
-  return Status::OK();
+  if (!w.WriteTrailer()) return Status::IOError(path + ": trailer write failed");
+  return file.Commit();
 }
 
 Result<ProximityGraph> ProximityGraph::Load(const std::string& path) {
   io::FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
+  io::CrcReader r(f.get());
+  char magic[4];
+  uint32_t version = 0;
+  bool checked = true;
+  if (!r.Read(magic, 4)) return Status::IOError(path + ": truncated header");
+  if (std::memcmp(magic, kGraphMagic, 4) == 0) {
+    if (!r.Read(&version, 4) || version != kGraphVersion) {
+      return Status::IOError(path + ": unsupported graph version");
+    }
+  } else {
+    // Legacy file: no magic, header starts at byte 0, no trailer to check.
+    if (std::fseek(f.get(), 0, SEEK_SET) != 0) {
+      return Status::IOError(path + ": seek failed");
+    }
+    r = io::CrcReader(f.get());
+    checked = false;
+  }
   uint64_t n = 0;
   uint32_t entry = 0;
-  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
-      std::fread(&entry, sizeof(entry), 1, f.get()) != 1) {
-    return Status::IOError("truncated header");
+  if (!r.Read(&n, 8) || !r.Read(&entry, 4)) {
+    return Status::IOError(path + ": truncated header");
+  }
+  // Bound the vertex allocation by what the file can hold (each vertex costs
+  // at least its 4-byte degree word) and validate the entry point before
+  // trusting either — a corrupt header must not drive vector::resize or an
+  // out-of-range entry into search.
+  const long long bytes_left = io::BytesRemaining(f.get());
+  if (bytes_left < 0 ||
+      n > static_cast<uint64_t>(bytes_left) / sizeof(uint32_t)) {
+    return Status::IOError(path + ": header sizes exceed file contents");
+  }
+  if (n > 0 && entry >= n) {
+    return Status::IOError(path + ": entry point out of range");
   }
   ProximityGraph g(n);
   g.set_entry_point(entry);
   for (uint64_t v = 0; v < n; ++v) {
     uint32_t deg = 0;
-    if (std::fread(&deg, sizeof(deg), 1, f.get()) != 1) {
-      return Status::IOError("truncated adjacency");
+    if (!r.Read(&deg, 4)) {
+      return Status::IOError(path + ": truncated adjacency");
     }
     auto& nb = g.Neighbors(static_cast<uint32_t>(v));
-    nb.resize(deg);
-    if (deg > 0 && std::fread(nb.data(), sizeof(uint32_t), deg, f.get()) != deg) {
-      return Status::IOError("truncated adjacency");
+    // A degree no file this size could store is corruption, not a graph.
+    if (deg > bytes_left / sizeof(uint32_t)) {
+      return Status::IOError(path + ": adjacency degree exceeds file size");
     }
+    nb.resize(deg);
+    if (!r.Read(nb.data(), deg * sizeof(uint32_t))) {
+      return Status::IOError(path + ": truncated adjacency");
+    }
+    for (uint32_t u : nb) {
+      if (u >= n) {
+        return Status::IOError(path + ": neighbor id out of range");
+      }
+    }
+  }
+  if (checked && !r.VerifyTrailer()) {
+    return Status::IOError(path +
+                           ": checksum mismatch (corrupt or torn file)");
   }
   return g;
 }

@@ -27,10 +27,13 @@ using io::WriteAll;
 
 constexpr char kMagic[4] = {'R', 'P', 'Q', 'I'};
 // v2 adds one u8 residual flag to the header; v1 files (no flag, residual
-// regime did not exist) still load. List payloads are identical across
+// regime did not exist) still load. v3 appends a CRC32 trailer over every
+// preceding byte and is what Save now writes (atomically, temp+rename);
+// v1/v2 files still load, un-checked. List payloads are identical across
 // versions — packed blocks and split cross constants are derived state.
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
+constexpr uint32_t kCrcVersion = 3;
 
 // Every distance estimate in the index flows through a FastScan-capable
 // quantizer: plain 4-bit (K <= 16) or the K = 256 split regime.
@@ -335,6 +338,10 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
       std::shared_lock<WriterPriorityMutex> lock(mu_);
       obs::ScopedStage span(obs::Stage::kScan, options.trace);
       for (uint32_t l : probe) {
+        if (options.deadline.Expired()) {
+          stats.deadline_hit = true;
+          break;
+        }
         const InvertedList& list = lists_[l];
         ++stats.lists_probed;
         if (list.ids.empty()) continue;
@@ -356,6 +363,10 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
     {
       obs::ScopedStage span(obs::Stage::kScan, options.trace);
       for (uint32_t l : probe) {
+      if (options.deadline.Expired()) {
+        stats.deadline_hit = true;
+        break;
+      }
       const InvertedList& list = lists_[l];
       ++stats.lists_probed;
       if (list.ids.empty()) continue;
@@ -386,6 +397,10 @@ IvfSearchResult IvfIndex::Search(const float* query, size_t k,
   {
   obs::ScopedStage span(obs::Stage::kScan, options.trace);
   for (uint32_t l : probe) {
+    if (options.deadline.Expired()) {
+      stats.deadline_hit = true;
+      break;
+    }
     const InvertedList& list = lists_[l];
     ++stats.lists_probed;
     if (list.ids.empty()) continue;  // skip the LUT build, not just the scan
@@ -494,6 +509,14 @@ std::vector<IvfSearchResult> IvfIndex::SearchBatch(
   {
   obs::ScopedStage span(obs::Stage::kScan, options.trace);
   for (size_t p0 = 0; p0 < pairs.size();) {
+    if (options.deadline.Expired()) {
+      // The remaining groups' queries lose those cells; flag exactly the
+      // queries whose probes were skipped.
+      for (size_t i = p0; i < pairs.size(); ++i) {
+        stats[pairs[i].second].deadline_hit = true;
+      }
+      break;
+    }
     const uint32_t l = pairs[p0].first;
     size_t p1 = p0;
     while (p1 < pairs.size() && pairs[p1].first == l) ++p1;
@@ -622,8 +645,9 @@ size_t IvfIndex::MemoryBytes() const {
 
 Status IvfIndex::Save(const std::string& path) const {
   std::shared_lock<WriterPriorityMutex> lock(mu_);
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  io::AtomicFile file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  io::CrcWriter w(file.get());
   const uint32_t dim = static_cast<uint32_t>(dim_);
   const uint32_t nlist = static_cast<uint32_t>(nlist_);
   const uint32_t code_size = static_cast<uint32_t>(quantizer_.code_size());
@@ -631,52 +655,47 @@ Status IvfIndex::Save(const std::string& path) const {
   const uint8_t residual = options_.residual ? 1 : 0;
   const uint32_t default_nprobe = static_cast<uint32_t>(options_.default_nprobe);
   const uint64_t num_codes = num_codes_;
-  if (!WriteAll(f.get(), kMagic, 4) || !WriteAll(f.get(), &kVersion, 4) ||
-      !WriteAll(f.get(), &dim, 4) || !WriteAll(f.get(), &nlist, 4) ||
-      !WriteAll(f.get(), &code_size, 4) ||
-      !WriteAll(f.get(), &store_vectors, 1) ||
-      !WriteAll(f.get(), &residual, 1) ||
-      !WriteAll(f.get(), &default_nprobe, 4) ||
-      !WriteAll(f.get(), &num_codes, 8) ||
-      !WriteAll(f.get(), centroids_.data(),
-                centroids_.size() * sizeof(float))) {
+  if (!w.Write(kMagic, 4) || !w.Write(&kVersion, 4) || !w.Write(&dim, 4) ||
+      !w.Write(&nlist, 4) || !w.Write(&code_size, 4) ||
+      !w.Write(&store_vectors, 1) || !w.Write(&residual, 1) ||
+      !w.Write(&default_nprobe, 4) || !w.Write(&num_codes, 8) ||
+      !w.Write(centroids_.data(), centroids_.size() * sizeof(float))) {
     return Status::IOError(path + ": header write failed");
   }
   for (const auto& list : lists_) {
     const uint64_t count = list.ids.size();
-    if (!WriteAll(f.get(), &count, 8) ||
-        !WriteAll(f.get(), list.ids.data(), count * sizeof(uint32_t)) ||
-        !WriteAll(f.get(), list.codes.data(), list.codes.size()) ||
+    if (!w.Write(&count, 8) ||
+        !w.Write(list.ids.data(), count * sizeof(uint32_t)) ||
+        !w.Write(list.codes.data(), list.codes.size()) ||
         (store_vectors != 0 &&
-         !WriteAll(f.get(), list.vectors.data(),
-                   list.vectors.size() * sizeof(float)))) {
+         !w.Write(list.vectors.data(), list.vectors.size() * sizeof(float)))) {
       return Status::IOError(path + ": list write failed");
     }
   }
-  return Status::OK();
+  if (!w.WriteTrailer()) return Status::IOError(path + ": trailer write failed");
+  return file.Commit();
 }
 
 Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
     const std::string& path, const quant::VectorQuantizer& quantizer) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open " + path);
+  io::CrcReader r(f.get());
   char magic[4];
   uint32_t version = 0, dim = 0, nlist = 0, code_size = 0, default_nprobe = 0;
   uint8_t store_vectors = 0, residual = 0;
   uint64_t num_codes = 0;
-  if (!ReadAll(f.get(), magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+  if (!r.Read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::IOError(path + ": not an RPQ IVF index file");
   }
-  if (!ReadAll(f.get(), &version, 4) || version < kMinVersion ||
-      version > kVersion) {
+  if (!r.Read(&version, 4) || version < kMinVersion || version > kVersion) {
     return Status::IOError(path + ": unsupported version");
   }
-  if (!ReadAll(f.get(), &dim, 4) || !ReadAll(f.get(), &nlist, 4) ||
-      !ReadAll(f.get(), &code_size, 4) ||
-      !ReadAll(f.get(), &store_vectors, 1) ||
-      (version >= 2 && !ReadAll(f.get(), &residual, 1)) ||
-      !ReadAll(f.get(), &default_nprobe, 4) ||
-      !ReadAll(f.get(), &num_codes, 8)) {
+  const bool checked = version >= kCrcVersion;
+  if (!r.Read(&dim, 4) || !r.Read(&nlist, 4) || !r.Read(&code_size, 4) ||
+      !r.Read(&store_vectors, 1) ||
+      (version >= 2 && !r.Read(&residual, 1)) ||
+      !r.Read(&default_nprobe, 4) || !r.Read(&num_codes, 8)) {
     return Status::IOError(path + ": truncated header");
   }
   if (dim == 0 || nlist == 0 || code_size == 0) {
@@ -701,7 +720,7 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
     return Status::IOError(path + ": header sizes exceed file contents");
   }
   std::vector<float> centroids(size_t{nlist} * dim);
-  if (!ReadAll(f.get(), centroids.data(), centroids.size() * sizeof(float))) {
+  if (!r.Read(centroids.data(), centroids.size() * sizeof(float))) {
     return Status::IOError(path + ": truncated centroids");
   }
   IvfOptions options;
@@ -714,7 +733,7 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
   uint64_t total = 0;
   for (auto& list : index->lists_) {
     uint64_t count = 0;
-    if (!ReadAll(f.get(), &count, 8)) {
+    if (!r.Read(&count, 8)) {
       return Status::IOError(path + ": truncated list header");
     }
     if (count > num_codes - total) {
@@ -722,14 +741,13 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
     }
     list.ids.resize(count);
     list.codes.resize(count * code_size);
-    if (!ReadAll(f.get(), list.ids.data(), count * sizeof(uint32_t)) ||
-        !ReadAll(f.get(), list.codes.data(), list.codes.size())) {
+    if (!r.Read(list.ids.data(), count * sizeof(uint32_t)) ||
+        !r.Read(list.codes.data(), list.codes.size())) {
       return Status::IOError(path + ": truncated list data");
     }
     if (store_vectors != 0) {
       list.vectors.resize(count * dim);
-      if (!ReadAll(f.get(), list.vectors.data(),
-                   list.vectors.size() * sizeof(float))) {
+      if (!r.Read(list.vectors.data(), list.vectors.size() * sizeof(float))) {
         return Status::IOError(path + ": truncated list vectors");
       }
     }
@@ -738,6 +756,10 @@ Result<std::unique_ptr<IvfIndex>> IvfIndex::Load(
   }
   if (total != num_codes) {
     return Status::IOError(path + ": list totals disagree with header");
+  }
+  if (checked && !r.VerifyTrailer()) {
+    return Status::IOError(path +
+                           ": checksum mismatch (corrupt or torn file)");
   }
   index->num_codes_ = num_codes;
   return index;

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rwlock.h"
 #include "common/status.h"
 #include "common/topk.h"
@@ -86,12 +87,17 @@ struct IvfSearchOptions {
   /// When set, receives per-stage spans (route / scan / refine / merge);
   /// SearchBatch accumulates the whole batch's spans into the one trace.
   obs::QueryTrace* trace = nullptr;
+  /// Optional budget: checked once per probed cell; on expiry the remaining
+  /// cells are skipped and IvfStats::deadline_hit is set — the candidates
+  /// already scanned still refine and rank normally.
+  Deadline deadline;
 };
 
 /// Per-query cost counters (the IVF analogue of graph::SearchStats).
 struct IvfStats {
   size_t lists_probed = 0;
   size_t codes_scanned = 0;  ///< codes scored with the u8 estimator
+  bool deadline_hit = false;  ///< probing stopped early at the deadline
 };
 
 struct IvfSearchResult {

@@ -1,8 +1,10 @@
 #include "serve/engine.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/timer.h"
 #include "obs/trace.h"
 
@@ -12,6 +14,8 @@ namespace {
 struct EngineMetrics {
   obs::CounterId submitted = obs::GetCounter("serve.submitted");
   obs::CounterId completed = obs::GetCounter("serve.completed");
+  obs::CounterId shed = obs::GetCounter("serve.shed");
+  obs::CounterId brownout = obs::GetCounter("serve.brownout");
 };
 
 const EngineMetrics& Metrics() {
@@ -19,16 +23,29 @@ const EngineMetrics& Metrics() {
   return m;
 }
 
+// Failure-path counters fire rarely (ideally never), but dashboards and
+// metrics-validate --require need their keys present from the first
+// snapshot — register them all eagerly at engine construction.
+void RegisterServingMetrics() {
+  obs::GetCounter("serve.deadline_exceeded");
+  obs::GetCounter("serve.shard_lost");
+  obs::GetCounter("serve.hedges");
+  obs::GetCounter("disk.io_errors");
+  obs::GetCounter("disk.retries");
+  fault::RegisterFaultMetrics();
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(const SearchService& service,
                              const EngineOptions& options)
-    : service_(service), pool_(options.threads) {
+    : service_(service), options_(options), pool_(options.threads) {
   // Pay the one-time tick calibration and metric-name registration at
-  // construction so no query does; also guarantees the serve.* /stage.* keys
-  // appear in snapshots even before any traffic.
+  // construction so no query does; also guarantees the serve.* /stage.* /
+  // fault.* keys appear in snapshots even before any traffic.
   CalibrateTickClock();
   obs::RegisterStageMetrics();
+  RegisterServingMetrics();
   Metrics();
 }
 
@@ -60,8 +77,42 @@ std::future<QueryResult> ServingEngine::Submit(const QuerySpec& q) const {
   std::future<QueryResult> fut = promise->get_future();
   const bool observed = q.trace != nullptr || obs::MetricsEnabled();
   if (observed) obs::Add(Metrics().submitted, 1);
-  const uint64_t submit_ticks = observed ? TickNow() : 0;
-  pool_.Submit([this, q, promise, observed, submit_ticks] {
+
+  // Admission control: inspect the in-flight depth BEFORE enqueueing. A
+  // shed query never touches the pool — its future resolves right here with
+  // an empty degraded result, so overload cannot grow the queue unboundedly.
+  // The kAllocFailure injection point models allocation pressure as a forced
+  // shed (the refusal path a real allocator failure would take).
+  const size_t depth = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool forced_shed =
+      fault::GlobalFaultsEnabled() &&
+      fault::GlobalInjector().Fire(fault::Point::kAllocFailure);
+  if (forced_shed ||
+      (options_.shed_watermark > 0 && depth > options_.shed_watermark)) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    if (observed) {
+      obs::Add(Metrics().shed, 1);
+      obs::Add(Metrics().completed, 1);
+    }
+    QueryResult refused;
+    refused.shed = true;
+    refused.degraded = true;
+    promise->set_value(std::move(refused));
+    return fut;
+  }
+
+  QuerySpec admitted = q;
+  if (options_.brownout_watermark > 0 && depth > options_.brownout_watermark) {
+    // Brownout: admit, but cheaper — recall degrades before latency does.
+    const size_t floor_beam = std::max(options_.brownout_min_beam, q.k);
+    const size_t scaled = static_cast<size_t>(
+        static_cast<double>(q.beam_width) * options_.brownout_beam_factor);
+    admitted.beam_width = std::max(floor_beam, std::min(q.beam_width, scaled));
+    if (admitted.rerank > 1) admitted.rerank = std::max<size_t>(q.k, admitted.rerank / 2);
+    if (observed) obs::Add(Metrics().brownout, 1);
+  }
+
+  pool_.Submit([this, q = admitted, promise, observed, submit_ticks = observed ? TickNow() : 0] {
     if (observed) {
       // Submit-to-start delay: the queueing component of tail latency, kept
       // separate from the service span that follows.
@@ -72,6 +123,7 @@ std::future<QueryResult> ServingEngine::Submit(const QuerySpec& q) const {
       obs::ScopedStage span(obs::Stage::kService, q.trace);
       promise->set_value(service_.Search(q));
     }
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
     if (observed) obs::Add(Metrics().completed, 1);
   });
   return fut;

@@ -5,6 +5,7 @@
 // async submit API for the load generator and micro-batcher.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <vector>
@@ -18,6 +19,23 @@ namespace rpq::serve {
 struct EngineOptions {
   /// Worker threads; 0 selects std::thread::hardware_concurrency().
   size_t threads = 0;
+  /// Overload admission control for the async Submit path, keyed on the
+  /// engine's in-flight query count (submitted, not yet completed). Two
+  /// watermarks, both 0 = disabled:
+  ///  * above `brownout_watermark`, queries are admitted DEGRADED — their
+  ///    beam/nprobe and rerank knobs shrink per the brownout fields below,
+  ///    trading recall for service rate while the queue drains;
+  ///  * above `shed_watermark`, queries are refused outright: the future
+  ///    resolves immediately with an empty result flagged shed+degraded.
+  /// Shedding bounds queue memory and tail latency instead of letting an
+  /// overloaded engine OOM or stall.
+  size_t brownout_watermark = 0;
+  size_t shed_watermark = 0;
+  /// Brownout policy: beam_width (nprobe for IVF) is scaled by this factor,
+  /// floored at brownout_min_beam (and at k); a nonzero rerank request is
+  /// halved.
+  double brownout_beam_factor = 0.5;
+  size_t brownout_min_beam = 8;
 };
 
 /// Concurrent query executor over one (thread-safe) SearchService.
@@ -47,8 +65,13 @@ class ServingEngine {
   /// Blocks until every submitted task has completed (open-loop drains).
   void WaitIdle() const { pool_.Wait(); }
 
+  /// Queries submitted and not yet completed (admission-control input).
+  size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
  private:
   const SearchService& service_;
+  EngineOptions options_;
+  mutable std::atomic<size_t> inflight_{0};
   mutable ThreadPool pool_;
 };
 

@@ -10,6 +10,8 @@ QueryResult ToQueryResult(ivf::IvfSearchResult&& res) {
   out.results = std::move(res.results);
   out.stats.hops = res.stats.lists_probed;
   out.stats.dist_comps = res.stats.codes_scanned;
+  out.stats.deadline_hit = res.stats.deadline_hit;
+  NoteDeadline(&out);
   return out;
 }
 
@@ -25,6 +27,7 @@ ivf::IvfSearchOptions IvfService::OptionsFor(const QuerySpec& q) const {
       q.rerank_mode != refine::RerankMode::kAuto ? q.rerank_mode : mode_,
       index_.stores_vectors(), /*has_linkcode=*/false);
   opt.trace = q.trace;
+  opt.deadline = DeadlineFor(q);
   return opt;
 }
 
@@ -44,7 +47,8 @@ void IvfService::SearchBatch(const QuerySpec* qs, size_t n,
     while (j < n && qs[j].k == qs[i].k &&
            qs[j].beam_width == qs[i].beam_width &&
            qs[j].rerank == qs[i].rerank &&
-           qs[j].rerank_mode == qs[i].rerank_mode) {
+           qs[j].rerank_mode == qs[i].rerank_mode &&
+           qs[j].deadline_us == qs[i].deadline_us) {
       ++j;
     }
     queries.clear();

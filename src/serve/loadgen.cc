@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <thread>
@@ -32,6 +33,37 @@ obs::HistogramId LatencyHistogram() {
 inline uint64_t SecondsToNanos(double seconds) {
   return seconds > 0 ? static_cast<uint64_t>(seconds * 1e9) : 0;
 }
+
+// Per-thread degradation tallies, summed into the report at the end.
+struct DegradeTally {
+  size_t degraded = 0;
+  size_t shed = 0;
+  size_t deadline_exceeded = 0;
+  size_t hedged = 0;
+  size_t shards_lost = 0;
+
+  void Count(const QueryResult& r) {
+    if (r.degraded) ++degraded;
+    if (r.shed) ++shed;
+    if (r.deadline_exceeded) ++deadline_exceeded;
+    if (r.hedged) ++hedged;
+    shards_lost += r.shards_lost;
+  }
+  void Merge(const DegradeTally& o) {
+    degraded += o.degraded;
+    shed += o.shed;
+    deadline_exceeded += o.deadline_exceeded;
+    hedged += o.hedged;
+    shards_lost += o.shards_lost;
+  }
+  void FillReport(LoadReport* r) const {
+    r->degraded = degraded;
+    r->shed = shed;
+    r->deadline_exceeded = deadline_exceeded;
+    r->hedged = hedged;
+    r->shards_lost = shards_lost;
+  }
+};
 
 }  // namespace
 
@@ -73,6 +105,7 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
   std::vector<obs::HistogramData> latencies(threads);
   std::vector<size_t> hops(threads, 0);
   std::vector<double> io(threads, 0.0);
+  std::vector<DegradeTally> tallies(threads);
 
   Timer wall;
   std::vector<std::thread> clients;
@@ -82,13 +115,16 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= total) break;
-        const float* q = queries[i % queries.size()];
+        QuerySpec spec{queries[i % queries.size()], options.k,
+                       options.beam_width};
+        spec.deadline_us = options.deadline_us;
         Timer lat;
-        QueryResult r = service.Search({q, options.k, options.beam_width});
+        QueryResult r = service.Search(spec);
         latencies[t].Record(
             SecondsToNanos(lat.ElapsedSeconds() + r.simulated_io_seconds));
         hops[t] += r.stats.hops;
         io[t] += r.simulated_io_seconds;
+        tallies[t].Count(r);
       }
     });
   }
@@ -99,11 +135,14 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
   report.completed = total;
   obs::HistogramData all;
   size_t total_hops = 0;
+  DegradeTally tally;
   for (size_t t = 0; t < threads; ++t) {
     all.Merge(latencies[t]);
     total_hops += hops[t];
     report.simulated_io_seconds += io[t];
+    tally.Merge(tallies[t]);
   }
+  tally.FillReport(&report);
   obs::MergeInto(LatencyHistogram(), all);
   // Simulated device time is not wall time; charge it as if the device were
   // serving the threads in parallel, matching the eval harness convention.
@@ -130,86 +169,80 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
   obs::HistogramData lat_hist;
   size_t total_hops = 0;
   double total_io = 0;
+  DegradeTally tally;
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
   double next_arrival = 0;  // seconds since start
-  const SearchService& service = engine.service();
 
-  if (options.batch > 1) {
-    // Batched arrivals: queries flow through a MicroBatcher so the engine
-    // serves them via SearchBatch (amortized tables; occupancy recorded in
-    // serve.batch_occupancy). A collector thread retires futures in arrival
-    // order — batches complete all-at-once in dispatch order, so the
-    // FIFO .get() stamps completion times accurately.
-    MicroBatcher batcher(engine, {options.batch, std::chrono::microseconds(200)});
-    std::condition_variable cv;
-    std::deque<std::pair<std::future<QueryResult>, Clock::time_point>> inflight;
-    bool done = false;
-    std::thread collector([&] {
-      for (;;) {
-        std::unique_lock<std::mutex> lk(mu);
-        cv.wait(lk, [&] { return done || !inflight.empty(); });
-        if (inflight.empty()) {
-          if (done) return;
-          continue;
-        }
-        auto item = std::move(inflight.front());
-        inflight.pop_front();
-        lk.unlock();
-        QueryResult r = item.first.get();
+  // Both arrival modes feed one collector thread that retires futures in
+  // arrival order. For batched arrivals the FIFO .get() stamps completion
+  // times exactly (batches complete all-at-once in dispatch order); for
+  // per-query Submit, completions can reorder by up to the worker count, so
+  // a stamp can be late by at most one service time — an acceptable bound
+  // in exchange for routing through Submit, which is where admission
+  // control (shed/brownout) and the queue-wait metric live. Shed queries
+  // count in the tallies but not the latency summary (nothing was served).
+  std::condition_variable cv;
+  std::deque<std::pair<std::future<QueryResult>, Clock::time_point>> inflight;
+  bool done = false;
+  std::thread collector([&] {
+    for (;;) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return done || !inflight.empty(); });
+      if (inflight.empty()) {
+        if (done) return;
+        continue;
+      }
+      auto item = std::move(inflight.front());
+      inflight.pop_front();
+      lk.unlock();
+      QueryResult r = item.first.get();
+      // Only this thread touches the tallies (producer only queues).
+      tally.Count(r);
+      if (!r.shed) {
         const double lat =
             std::chrono::duration<double>(Clock::now() - item.second).count() +
             r.simulated_io_seconds;
-        // Only this thread touches the tallies (producer only queues).
         lat_hist.Record(SecondsToNanos(lat));
-        total_hops += r.stats.hops;
-        total_io += r.simulated_io_seconds;
       }
-    });
-    for (size_t i = 0; i < total; ++i) {
-      const auto arrival =
-          start + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(next_arrival));
-      std::this_thread::sleep_until(arrival);
-      const float* q = queries[i % queries.size()];
-      auto fut = batcher.Submit({q, options.k, options.beam_width});
-      {
-        std::lock_guard<std::mutex> lk(mu);
-        inflight.emplace_back(std::move(fut), arrival);
-      }
-      cv.notify_one();
-      next_arrival += options.poisson ? exp_gap(rng) : fixed_gap;
+      total_hops += r.stats.hops;
+      total_io += r.simulated_io_seconds;
     }
-    batcher.Flush();
+  });
+
+  // Batched arrivals flow through a MicroBatcher so the engine serves them
+  // via SearchBatch (amortized tables; occupancy recorded in
+  // serve.batch_occupancy); note the batcher dispatches through Execute, so
+  // admission control does not apply to batched runs.
+  std::unique_ptr<MicroBatcher> batcher;
+  if (options.batch > 1) {
+    batcher = std::make_unique<MicroBatcher>(
+        engine, BatcherOptions{options.batch, std::chrono::microseconds(200)});
+  }
+  for (size_t i = 0; i < total; ++i) {
+    const auto arrival =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(next_arrival));
+    std::this_thread::sleep_until(arrival);
+    QuerySpec spec{queries[i % queries.size()], options.k, options.beam_width};
+    spec.deadline_us = options.deadline_us;
+    auto fut = batcher != nullptr ? batcher->Submit(spec) : engine.Submit(spec);
     {
       std::lock_guard<std::mutex> lk(mu);
-      done = true;
+      inflight.emplace_back(std::move(fut), arrival);
     }
     cv.notify_one();
-    collector.join();
-    engine.WaitIdle();
-  } else {
-    for (size_t i = 0; i < total; ++i) {
-      const auto arrival =
-          start + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(next_arrival));
-      std::this_thread::sleep_until(arrival);
-      const float* q = queries[i % queries.size()];
-      engine.Execute([&, q, arrival] {
-        QueryResult r = service.Search({q, options.k, options.beam_width});
-        const double lat =
-            std::chrono::duration<double>(Clock::now() - arrival).count() +
-            r.simulated_io_seconds;
-        std::lock_guard<std::mutex> lk(mu);
-        lat_hist.Record(SecondsToNanos(lat));
-        total_hops += r.stats.hops;
-        total_io += r.simulated_io_seconds;
-      });
-      next_arrival += options.poisson ? exp_gap(rng) : fixed_gap;
-    }
-    engine.WaitIdle();
+    next_arrival += options.poisson ? exp_gap(rng) : fixed_gap;
   }
+  if (batcher != nullptr) batcher->Flush();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    done = true;
+  }
+  cv.notify_one();
+  collector.join();
+  engine.WaitIdle();
   obs::MergeInto(LatencyHistogram(), lat_hist);
 
   LoadReport report;
@@ -222,6 +255,7 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
   report.mean_hops = static_cast<double>(total_hops) / total;
   report.simulated_io_seconds = total_io;
   report.latency = SummarizeHistogramNanos(lat_hist);
+  tally.FillReport(&report);
   return report;
 }
 
@@ -232,6 +266,22 @@ void PrintReport(const char* label, const LoadReport& report) {
       label, report.completed, report.qps, report.latency.mean_ms,
       report.latency.p50_ms, report.latency.p95_ms, report.latency.p99_ms,
       report.latency.max_ms);
+  // Degradation line, only when something actually degraded — the common
+  // all-healthy run keeps its one-row format.
+  if (report.degraded + report.shed + report.deadline_exceeded +
+          report.hedged + report.shards_lost >
+      0) {
+    const size_t answered = report.completed - report.shed;
+    std::printf(
+        "%-22s answered %zu/%zu (%.1f%%)  degraded %zu (%.1f%%)  shed %zu  "
+        "deadline %zu  hedged %zu  shards-lost %zu\n",
+        "  degradation:", answered, report.completed,
+        report.completed > 0 ? 100.0 * answered / report.completed : 0.0,
+        report.degraded,
+        report.completed > 0 ? 100.0 * report.degraded / report.completed : 0.0,
+        report.shed, report.deadline_exceeded, report.hedged,
+        report.shards_lost);
+  }
 }
 
 }  // namespace rpq::serve

@@ -51,6 +51,8 @@ struct LoadgenOptions {
   /// serve.batch_occupancy metric). 0/1 = unbatched.
   size_t batch = 0;
   uint64_t seed = 42;
+  /// Per-query latency budget forwarded as QuerySpec::deadline_us (0 = none).
+  uint64_t deadline_us = 0;
 };
 
 struct LoadReport {
@@ -61,6 +63,14 @@ struct LoadReport {
   LatencySummary latency;
   double mean_hops = 0;
   double simulated_io_seconds = 0;  ///< summed across queries (hybrid disk)
+  /// Degradation tallies (QueryResult flags, counted per query). `completed`
+  /// counts every query INCLUDING shed ones — answered = completed - shed.
+  /// Shed queries are excluded from the latency summary (nothing was served).
+  size_t degraded = 0;           ///< any degradation flag set
+  size_t shed = 0;               ///< refused by admission control
+  size_t deadline_exceeded = 0;  ///< truncated at the deadline
+  size_t hedged = 0;             ///< queries that issued a hedge request
+  size_t shards_lost = 0;        ///< summed across queries (fan-out merges)
 };
 
 /// Closed loop: `threads` clients issue queries round-robin from `queries`

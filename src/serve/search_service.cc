@@ -1,8 +1,19 @@
 #include "serve/search_service.h"
 
 #include "common/distance.h"
+#include "obs/metrics.h"
 
 namespace rpq::serve {
+
+void NoteDeadline(QueryResult* r) {
+  if (!r->stats.deadline_hit) return;
+  r->degraded = true;
+  r->deadline_exceeded = true;
+  if (obs::MetricsEnabled()) {
+    static const obs::CounterId c = obs::GetCounter("serve.deadline_exceeded");
+    obs::Add(c, 1);
+  }
+}
 
 refine::RerankSpec MemoryIndexService::SpecFor(const QuerySpec& q) const {
   return {q.rerank,
@@ -11,9 +22,11 @@ refine::RerankSpec MemoryIndexService::SpecFor(const QuerySpec& q) const {
 }
 
 QueryResult MemoryIndexService::Search(const QuerySpec& q) const {
-  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k}, mode_,
-                           SpecFor(q), q.trace);
-  return {std::move(res.results), res.stats, 0.0};
+  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k, DeadlineFor(q)},
+                           mode_, SpecFor(q), q.trace);
+  QueryResult out{std::move(res.results), res.stats, 0.0};
+  NoteDeadline(&out);
+  return out;
 }
 
 void MemoryIndexService::SearchBatch(const QuerySpec* qs, size_t n,
@@ -28,24 +41,34 @@ void MemoryIndexService::SearchBatch(const QuerySpec* qs, size_t n,
     while (j < n && qs[j].k == qs[i].k &&
            qs[j].beam_width == qs[i].beam_width &&
            qs[j].rerank == qs[i].rerank &&
-           qs[j].rerank_mode == qs[i].rerank_mode) {
+           qs[j].rerank_mode == qs[i].rerank_mode &&
+           qs[j].deadline_us == qs[i].deadline_us) {
       ++j;
     }
     queries.clear();
     for (size_t t = i; t < j; ++t) queries.push_back(qs[t].query);
-    auto res = index_.SearchBatch(queries.data(), queries.size(), qs[i].k,
-                                  {qs[i].beam_width, qs[i].k}, mode_,
-                                  SpecFor(qs[i]), qs[i].trace);
+    auto res = index_.SearchBatch(
+        queries.data(), queries.size(), qs[i].k,
+        {qs[i].beam_width, qs[i].k, DeadlineFor(qs[i])}, mode_, SpecFor(qs[i]),
+        qs[i].trace);
     for (size_t t = i; t < j; ++t) {
       out[t] = {std::move(res[t - i].results), res[t - i].stats, 0.0};
+      NoteDeadline(&out[t]);
     }
     i = j;
   }
 }
 
 QueryResult DiskIndexService::Search(const QuerySpec& q) const {
-  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k}, q.trace);
-  return {std::move(res.results), res.stats, res.io.simulated_seconds};
+  auto res = index_.Search(q.query, q.k, {q.beam_width, q.k, DeadlineFor(q)},
+                           q.trace);
+  QueryResult out{std::move(res.results), res.stats,
+                  res.io.simulated_seconds};
+  // Degradation can come from the deadline OR from a block that stayed
+  // unreadable through retries; DiskSearchResult::degraded covers both.
+  out.degraded = res.degraded;
+  NoteDeadline(&out);
+  return out;
 }
 
 QueryResult FreshVamanaService::Search(const QuerySpec& q) const {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/topk.h"
 #include "core/memory_index.h"
 #include "data/dataset.h"
@@ -37,6 +38,11 @@ struct QuerySpec {
   /// pointee must outlive the query; batched execution accumulates a whole
   /// batch's spans into each query's trace only when they share one.
   obs::QueryTrace* trace = nullptr;
+  /// Per-query latency budget in microseconds (0 = none). Backends check it
+  /// at stage boundaries (per beam hop / probed cell) and return the best
+  /// partial answer found so far with QueryResult::degraded set — a late
+  /// query is truncated, never blocked on.
+  uint64_t deadline_us = 0;
 };
 
 /// What one served query returned, plus its costs.
@@ -44,7 +50,25 @@ struct QueryResult {
   std::vector<Neighbor> results;       ///< ascending by (distance, id)
   graph::SearchStats stats;
   double simulated_io_seconds = 0.0;   ///< hybrid-disk backends only
+  /// The answer is partial or approximate beyond the configured knobs: the
+  /// deadline fired, a block stayed unreadable, a shard was lost, or the
+  /// engine shed the query outright.
+  bool degraded = false;
+  bool deadline_exceeded = false;  ///< a stage stopped at the deadline
+  bool shed = false;               ///< refused by admission control (empty)
+  uint32_t shards_lost = 0;        ///< fan-out shards that missed the merge
+  bool hedged = false;             ///< a hedge request was issued
 };
+
+/// Builds the value-type deadline a backend threads through its stages.
+inline Deadline DeadlineFor(const QuerySpec& q) {
+  return Deadline::AfterMicros(q.deadline_us);
+}
+
+/// Folds SearchStats::deadline_hit into the result's degradation flags and
+/// the serve.deadline_exceeded counter; every service funnels through this
+/// after its index-level search returns.
+void NoteDeadline(QueryResult* r);
 
 /// Thread-safe search front end over one index backend.
 class SearchService {

@@ -24,6 +24,11 @@ namespace rpq::serve {
 struct Shard {
   const SearchService* service = nullptr;
   std::vector<uint32_t> global_ids;
+  /// Optional hedge target covering the same rows (same global_ids space).
+  /// In-process deployments may point it at `service` itself: injected
+  /// stalls are per-call, so a second request to the same backend is a
+  /// meaningful hedge against them.
+  const SearchService* replica = nullptr;
 };
 
 /// Shard fan-out knobs.
@@ -41,6 +46,20 @@ struct ShardedOptions {
   /// serial fan-out instead of deadlocking; give nested levels distinct
   /// pools if they should actually parallelize.
   ThreadPool* pool = nullptr;
+  /// Per-query cap on how long the parallel fan-out waits for its shards,
+  /// measured from fan-out start (0 = wait for every shard). Shards that
+  /// miss the cap are abandoned: the query returns a partial merge with
+  /// QueryResult::shards_lost set (and serve.shard_lost bumped) instead of
+  /// blocking on a stalled shard. Requires parallel_shards.
+  uint64_t shard_timeout_us = 0;
+  /// Hedging: when > 0 and a shard has not answered after this delay, a
+  /// second request is sent to its `replica` (if any); whichever copy
+  /// answers first wins, the loser's result is discarded. Requires
+  /// parallel_shards.
+  uint64_t hedge_delay_us = 0;
+  /// How long an injected fault::Point::kShardStall stalls a shard request
+  /// (the fault fires per primary request, never on hedges).
+  uint64_t injected_stall_us = 2000;
 };
 
 /// Fans each query out to every shard and merges top-k. Thread-safe exactly
@@ -51,13 +70,27 @@ class ShardedService : public SearchService {
                           const ShardedOptions& options = {})
       : shards_(std::move(shards)), options_(options) {}
 
+  /// Drains the fan-out pool: a timed-out query abandons its shard tasks,
+  /// which stay queued/running past the query's return while holding
+  /// pointers to the shard backends — those must finish before the
+  /// deployment that owns the backends is torn down.
+  ~ShardedService() override;
+
   size_t num_shards() const { return shards_.size(); }
   const ShardedOptions& options() const { return options_; }
 
   QueryResult Search(const QuerySpec& q) const override;
 
  private:
-  QueryResult Merge(const QuerySpec& q, std::vector<QueryResult>& per) const;
+  /// Deterministic (dist, global id) merge over the shards marked present;
+  /// absent shards count into QueryResult::shards_lost and degrade the
+  /// answer instead of failing it.
+  QueryResult Merge(const QuerySpec& q, std::vector<QueryResult>& per,
+                    const std::vector<uint8_t>& present) const;
+
+  /// Fan-out with per-shard timeout + hedging (parallel_shards deployments
+  /// with shard_timeout_us/hedge_delay_us set).
+  QueryResult SearchFaultTolerant(const QuerySpec& q, ThreadPool* pool) const;
 
   std::vector<Shard> shards_;
   ShardedOptions options_;

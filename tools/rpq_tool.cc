@@ -30,6 +30,10 @@
 //                         [--index memory|disk|ivf] [--mode adc|sdc|fastscan]
 //                         [--rerank N] [--rerank-mode adc|exact|linkcode]
 //                         [--nlist 64] [--nprobe 8] [--residual]
+//                         [--deadline-us 0] [--shed 0] [--brownout 0]
+//                         [--faults "point=rate,...,seed=N"] [--fault-seed N]
+//                         [--disk-error-rate 0] [--disk-spike-rate 0]
+//                         [--shard-timeout-us 0] [--hedge-us 0] [--stall-ms 2]
 //   rpq_tool metrics-validate --json out.json [--require name1,name2,...]
 //
 // Observability (src/obs/): search --trace threads a per-query obs::QueryTrace
@@ -89,6 +93,22 @@
 // latency. --shards S > 1 builds an S-shard in-memory deployment (per-shard
 // Vamana graphs; --graph is then unused).
 //
+// Fault tolerance (see README "Fault tolerance"): --deadline-us gives every
+// query a latency budget (late queries return partial results flagged
+// degraded); --shed / --brownout set the open-loop engine's admission
+// watermarks; --faults installs a seeded process-wide injection plan (same
+// syntax as RPQ_FAULTS: "disk_read_error=0.01,shard_stall=0.05,seed=7");
+// --disk-error-rate / --disk-spike-rate set the SSD simulator's own
+// transient-failure and tail-spike rates (--index disk); --shard-timeout-us
+// abandons shards that miss the cap (partial merge, shards_lost),
+// --hedge-us sends a hedge to the shard's replica after that delay, and
+// --stall-ms sizes the injected shard stall — the latter three imply
+// --parallel-shards. Any degradation prints an extra report line (answered
+// fraction, degraded %, shed / deadline / hedged / shards-lost counts), and
+// the same tallies land in --metrics-json as serve.shed,
+// serve.deadline_exceeded, serve.hedges, serve.shard_lost, disk.retries,
+// disk.io_errors, and fault.* counters.
+//
 // Every artifact is a documented binary format (see quant/serialize.h and
 // graph/graph.h), so stages can run on different machines.
 #include <algorithm>
@@ -98,6 +118,7 @@
 #include <map>
 #include <string>
 
+#include "common/fault.h"
 #include "common/timer.h"
 #include "core/rpq.h"
 #include "data/ground_truth.h"
@@ -845,12 +866,32 @@ int CmdServeBench(const Flags& flags) {
   opt.threads = flags.GetSize("threads", 4);
   opt.total_queries = flags.GetSize("total", 0);
   opt.batch = flags.GetSize("batch", 0);  // open-loop leg only
+  opt.deadline_us = flags.GetSize("deadline-us", 0);
   const size_t shards = flags.GetSize("shards", 1);
   const double rate = std::strtod(flags.Get("rate", "0"), nullptr);
   // --metrics-json turns the registry on for the whole run (index build
   // included) and writes the snapshot at the end.
   const char* metrics_json = flags.Get("metrics-json");
   if (metrics_json != nullptr) rpq::obs::SetMetricsEnabled(true);
+
+  // --faults installs a process-wide injection plan (same syntax as the
+  // RPQ_FAULTS environment variable, which it overrides); --fault-seed
+  // replaces just the seed. Installed before the backend is built so the
+  // SSD simulator's own injector merges it in at construction.
+  {
+    rpq::fault::Plan plan = rpq::fault::GlobalInjector().plan();
+    bool have_plan = false;
+    if (const char* spec = flags.Get("faults"); spec != nullptr) {
+      std::string err;
+      if (!rpq::fault::ParsePlan(spec, &plan, &err)) return Fail(err);
+      have_plan = true;
+    }
+    if (flags.Has("fault-seed")) {
+      plan.seed = flags.GetSize("fault-seed", 1);
+      have_plan = true;
+    }
+    if (have_plan) rpq::fault::SetGlobalPlan(plan);
+  }
   rpq::refine::RerankMode rmode = rpq::refine::RerankMode::kAuto;
   if (!GetRerankMode(flags, &rmode)) {
     return Fail("--rerank-mode must be adc, exact, or linkcode");
@@ -861,6 +902,13 @@ int CmdServeBench(const Flags& flags) {
   // configure the refinement pipeline uniformly across memory|disk|ivf (the
   // disk backend's exact-on-fetch rerank is inherent, so they are no-ops
   // there).
+  // Declaration order is destruction order in reverse, and it matters: the
+  // sharded deployment's destructor drains abandoned fan-out tasks that may
+  // still touch the shard backends AND what those borrow (the quantizer, the
+  // graph, the base rows) — so everything borrowed is declared BEFORE the
+  // service objects, outliving them.
+  std::unique_ptr<rpq::quant::PqQuantizer> model;
+  rpq::graph::ProximityGraph graph;
   std::unique_ptr<rpq::core::MemoryIndex> mem_index;
   std::unique_ptr<rpq::quant::LinkCodeIndex> linkcode;
   std::unique_ptr<rpq::disk::DiskIndex> disk_index;
@@ -869,7 +917,6 @@ int CmdServeBench(const Flags& flags) {
   std::unique_ptr<rpq::serve::SearchService> owned_service;
   rpq::serve::ShardedMemoryIndex sharded;
   const rpq::serve::SearchService* service = nullptr;
-  rpq::graph::ProximityGraph graph;
 
   std::string index_kind = flags.Get("index", "graph");
   if (index_kind == "memory") index_kind = "graph";  // alias
@@ -878,7 +925,6 @@ int CmdServeBench(const Flags& flags) {
 
   // Graph backends always need the model loaded here; the IVF backend
   // resolves --model itself (--residual can train one in-process).
-  std::unique_ptr<rpq::quant::PqQuantizer> model;
   if (index_kind != "ivf") {
     if (mpath == nullptr) return Fail("--model and --queries are required");
     auto loaded = rpq::quant::LoadQuantizer(mpath);
@@ -922,6 +968,13 @@ int CmdServeBench(const Flags& flags) {
     vopt.build_beam = flags.GetSize("build-beam", 64);
     rpq::serve::ShardedOptions sopt;
     sopt.parallel_shards = flags.Has("parallel-shards");
+    sopt.shard_timeout_us = flags.GetSize("shard-timeout-us", 0);
+    sopt.hedge_delay_us = flags.GetSize("hedge-us", 0);
+    sopt.injected_stall_us = flags.GetSize("stall-ms", 2) * 1000;
+    // Timeouts and hedging are properties of the parallel fan-out.
+    if (sopt.shard_timeout_us > 0 || sopt.hedge_delay_us > 0) {
+      sopt.parallel_shards = true;
+    }
     rpq::Timer build;
     sharded = rpq::serve::BuildShardedMemoryIndex(base.value(), *model,
                                                   shards, vopt, sopt);
@@ -939,7 +992,14 @@ int CmdServeBench(const Flags& flags) {
     if (use_disk) {
       auto mode_ok = CheckDiskRerankMode(rmode);
       if (!mode_ok.ok()) return Fail(mode_ok.ToString());
-      disk_index = rpq::disk::DiskIndex::Build(base.value(), graph, *model);
+      rpq::disk::DiskIndexOptions dopt;
+      dopt.ssd.transient_error_rate =
+          std::strtod(flags.Get("disk-error-rate", "0"), nullptr);
+      dopt.ssd.latency_spike_rate =
+          std::strtod(flags.Get("disk-spike-rate", "0"), nullptr);
+      dopt.ssd.fault_seed = flags.GetSize("fault-seed", 1);
+      disk_index =
+          rpq::disk::DiskIndex::Build(base.value(), graph, *model, dopt);
       owned_service =
           std::make_unique<rpq::serve::DiskIndexService>(*disk_index);
     } else {
@@ -972,7 +1032,11 @@ int CmdServeBench(const Flags& flags) {
   rpq::serve::PrintReport(label, closed);
 
   if (rate > 0) {
-    rpq::serve::ServingEngine engine(*service, {opt.threads});
+    rpq::serve::EngineOptions eopt;
+    eopt.threads = opt.threads;
+    eopt.shed_watermark = flags.GetSize("shed", 0);
+    eopt.brownout_watermark = flags.GetSize("brownout", 0);
+    rpq::serve::ServingEngine engine(*service, eopt);
     rpq::serve::LoadgenOptions oopt = opt;
     oopt.arrival_qps = rate;
     auto open = rpq::serve::RunOpenLoop(engine, queries.value(), oopt);
