@@ -14,6 +14,7 @@
 #include "graph/vamana.h"
 #include "ivf/ivf_index.h"
 #include "linalg/matexp.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "quant/adc.h"
@@ -699,6 +700,74 @@ void BM_TracedSearch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TracedSearch)->Arg(16)->Arg(64);
+
+// Flight-recorder hot path: the admission decision a healthy query pays when
+// the recorder is armed. Arg(0) = recorder disabled (one relaxed load);
+// Arg(1) = enabled but nothing admitted (policy checks only — the common
+// case); Arg(2) = enabled and every call admitted (mutex + ring write — the
+// policy-rare path, benchmarked to show what rarity is buying).
+void BM_FlightRecorderObserve(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  obs::FlightRecorder recorder;
+  obs::FlightRecorderOptions opt;
+  opt.capacity = 256;
+  opt.slow_us = mode == 2 ? 1 : 1000000000;  // admit-all vs admit-none
+  opt.admit_degraded = true;
+  recorder.Configure(opt);
+  recorder.SetEnabled(mode != 0);
+  state.SetLabel(mode == 0 ? "disabled"
+                           : (mode == 1 ? "armed-not-admitted" : "admit-all"));
+  obs::QueryObservation o;
+  o.latency_us = 50;
+  o.k = 10;
+  o.width = 64;
+  for (auto _ : state) {
+    recorder.Observe(o);
+    benchmark::DoNotOptimize(recorder);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderObserve)->Arg(0)->Arg(1)->Arg(2);
+
+// BM_TracedSearch with the flight recorder armed on top of metrics+trace:
+// the interleaved A/B against BM_TracedSearch at the same beam isolates the
+// recorder + windowed-view overhead (the acceptance bar is <2%; a healthy
+// query's added cost is one Observe() admission check, and snapshot diffing
+// happens on the scraper's thread, not here).
+void BM_TracedSearchRecorded(benchmark::State& state) {
+  FastScanQueryFixture& f = QueryFixture();
+  const size_t beam = state.range(0);
+  CalibrateTickClock();
+  obs::SetMetricsEnabled(true);
+  obs::FlightRecorder& recorder = obs::GlobalFlightRecorder();
+  obs::FlightRecorderOptions opt;
+  opt.capacity = 256;
+  opt.slow_us = 1000000;  // 1s: nothing here admits, the serving common case
+  recorder.Configure(opt);
+  recorder.SetEnabled(true);
+  size_t qi = 0;
+  state.SetLabel(simd::ActiveKernelName());
+  for (auto _ : state) {
+    obs::QueryTrace trace;
+    const uint64_t start = TickNow();
+    auto res = f.index->Search(f.queries[qi % f.queries.size()], 10,
+                               {beam, 10}, core::DistanceMode::kFastScan, {},
+                               &trace);
+    obs::QueryObservation o;
+    o.latency_us = TicksToNanos(TickNow() - start) / 1000;
+    o.k = 10;
+    o.width = static_cast<uint32_t>(beam);
+    o.trace = &trace;
+    recorder.Observe(o);
+    benchmark::DoNotOptimize(res);
+    benchmark::DoNotOptimize(trace);
+    ++qi;
+  }
+  recorder.SetEnabled(false);
+  obs::SetMetricsEnabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracedSearchRecorded)->Arg(16)->Arg(64);
 
 }  // namespace
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Collects the per-PR serving trajectory: runs two fixed serve-bench
+# scenarios (graph FastScan memory backend, IVF flat-scan backend) on a
+# deterministic synthetic fixture and parses the reports into a bench
+# summary JSON (schema: scenarios.<name>.{recall_at_10, closed_qps,
+# closed_p50_ms, ...}). The checked-in BENCH_serve.json is one such run;
+# CI re-runs this script and gates the result with
+#
+#   rpq_tool bench-diff BENCH_serve.json <fresh.json> \
+#       --max-regress <pct> --max-recall-regress <pct>
+#
+# so recall regressions fail tight and timing regressions fail past a
+# cross-machine-tolerant bound. Regenerate the baseline on a quiet box with:
+#   bench/run_serve.sh && cp BENCH_serve_new.json BENCH_serve.json
+#
+# Usage:
+#   bench/run_serve.sh
+# Env:
+#   BUILD_DIR  build directory     (default: build)
+#   OUT        output JSON path    (default: BENCH_serve_new.json)
+#   WORK       fixture directory   (default: fresh mktemp -d, removed on exit)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$repo_root/build}"
+OUT="${OUT:-$repo_root/BENCH_serve_new.json}"
+TOOL="$BUILD_DIR/rpq_tool"
+
+cmake -B "$BUILD_DIR" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target rpq_tool
+
+if [[ -z "${WORK:-}" ]]; then
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+fi
+
+# Deterministic fixture: same generator/seed as the CI smoke data, sized up
+# enough that QPS numbers mean something.
+N=20000
+QUERIES=100
+SEED=7
+if [[ ! -f "$WORK/base.fvecs" ]]; then
+  "$TOOL" gen --name sift --n "$N" --queries "$QUERIES" --seed "$SEED" \
+    --out "$WORK"
+fi
+"$TOOL" train --base "$WORK/base.fvecs" --method pq --m 16 --nbits 4 \
+  --out "$WORK/model.rpqq"
+"$TOOL" build-graph --base "$WORK/base.fvecs" --type vamana \
+  --out "$WORK/g.bin"
+
+run_scenario() {
+  local name="$1"; shift
+  "$TOOL" serve-bench "$@" | tee "$WORK/$name.log"
+}
+
+# Graph FastScan with an exact-rerank epilogue (the beam search fast path a
+# memory deployment serves) and residual IVFADC (the flagship recall
+# configuration from BENCH_ivf.json, residual model trained in-process).
+run_scenario memory_fastscan \
+  --base "$WORK/base.fvecs" --graph "$WORK/g.bin" \
+  --model "$WORK/model.rpqq" --queries "$WORK/queries.fvecs" \
+  --index memory --mode fastscan --rerank 50 --rerank-mode exact \
+  --threads 4 --k 10 --beam 64 --total 4000
+
+run_scenario ivf_residual_nprobe8 \
+  --base "$WORK/base.fvecs" --queries "$WORK/queries.fvecs" \
+  --index ivf --residual --nbits 8 --m 16 --nlist 256 --nprobe 8 \
+  --store-vectors --rerank 50 --rerank-mode exact \
+  --threads 4 --k 10 --total 4000
+
+# Parse one scenario log into its JSON fragment: the recall sanity line plus
+# the closed-loop report row (label-relative field scan, so the fixed-width
+# printf padding does not matter).
+parse_scenario() {
+  local log="$1"
+  awk '
+    /^recall@10 = / { recall = $3 }
+    /^closed-loop / {
+      for (i = 1; i <= NF; ++i) {
+        if ($i == "QPS") qps = $(i - 1)
+        if ($i == "mean") mean = $(i + 1)
+        if ($i == "p50") p50 = $(i + 1)
+        if ($i == "p95") p95 = $(i + 1)
+        if ($i == "p99") p99 = $(i + 1)
+      }
+    }
+    END {
+      printf "{\"recall_at_10\": %s, \"closed_qps\": %s, ", recall, qps
+      printf "\"closed_mean_ms\": %s, \"closed_p50_ms\": %s, ", mean, p50
+      printf "\"closed_p95_ms\": %s, \"closed_p99_ms\": %s}", p95, p99
+    }
+  ' "$log"
+}
+
+{
+  printf '{\n'
+  printf '  "description": "Per-PR serving trajectory: closed-loop serve-bench on the deterministic %s-vector sift fixture (seed %s). Regenerate with bench/run_serve.sh.",\n' "$N" "$SEED"
+  printf '  "version": 1,\n'
+  printf '  "date": "%s",\n' "$(date +%F)"
+  printf '  "fixture": {"generator": "rpq_tool gen --name sift --n %s --queries %s --seed %s", "n": %s, "queries": %s, "model": "pq m=16 nbits=4 (+ exact rerank 50 / residual ivf)", "graph": "vamana"},\n' \
+    "$N" "$QUERIES" "$SEED" "$N" "$QUERIES"
+  printf '  "scenarios": {\n'
+  printf '    "memory_fastscan": %s,\n' "$(parse_scenario "$WORK/memory_fastscan.log")"
+  printf '    "ivf_residual_nprobe8": %s\n' "$(parse_scenario "$WORK/ivf_residual_nprobe8.log")"
+  printf '  }\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,286 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+#include "obs/window.h"
+
+namespace rpq::obs {
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+/// "serve.latency_ns" -> "rpq_serve_latency_ns"; Prometheus names admit only
+/// [a-zA-Z0-9_:], everything else maps to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "rpq_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+}  // namespace
+
+std::string FormatPrometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string name = PromName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    AppendU64(&out, c.value);
+    out += '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string name = PromName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    // Cumulative le= series over the non-empty buckets; an upper bound of
+    // lo+width matches the registry's half-open [lo, lo+width) buckets.
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      if (h.data.buckets[b] == 0) continue;
+      cumulative += h.data.buckets[b];
+      out += name + "_bucket{le=\"";
+      AppendU64(&out, BucketLowerBound(b) + BucketWidth(b));
+      out += "\"} ";
+      AppendU64(&out, cumulative);
+      out += '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    AppendU64(&out, h.data.count);
+    out += '\n';
+    out += name + "_sum ";
+    AppendU64(&out, h.data.sum);
+    out += '\n';
+    out += name + "_count ";
+    AppendU64(&out, h.data.count);
+    out += '\n';
+  }
+  return out;
+}
+
+HttpExporter::HttpExporter(const HttpExporterOptions& options)
+    : options_(options) {
+  if (options_.window_seconds <= 0) options_.window_seconds = 5.0;
+}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("http exporter already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string msg = std::string("bind(127.0.0.1:") +
+                            std::to_string(options_.port) +
+                            "): " + std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(msg);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string msg = std::string("listen(): ") + std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(msg);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string msg =
+        std::string("getsockname(): ") + std::strerror(errno);
+    ::close(fd);
+    return Status::IOError(msg);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    window_base_ = TakeSnapshot();
+    uptime_.Reset();
+    window_base_elapsed_ = 0;
+  }
+  listen_fd_ = fd;
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+}
+
+void HttpExporter::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // Short poll timeout bounds how long Stop() waits on this thread.
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // Read one request head; scrape requests are tiny, so a single read
+    // almost always sees the whole "GET <path> HTTP/1.x" line.
+    char buf[2048];
+    std::string head;
+    while (head.find("\r\n") == std::string::npos && head.size() < 16384) {
+      const ssize_t n = ::read(conn, buf, sizeof(buf));
+      if (n <= 0) break;
+      head.append(buf, static_cast<size_t>(n));
+    }
+
+    HttpResponse resp;
+    const size_t sp1 = head.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : head.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos || head.compare(0, 4, "GET ") != 0) {
+      resp.status = 404;
+      resp.body = "only GET is supported\n";
+    } else {
+      std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      resp = HandleRequest(path);
+    }
+
+    std::string wire = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                       StatusText(resp.status) + "\r\n";
+    wire += "Content-Type: " + resp.content_type + "\r\n";
+    wire += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+    wire += "Connection: close\r\n\r\n";
+    wire += resp.body;
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::write(conn, wire.data() + sent, wire.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+HttpResponse HttpExporter::HandleRequest(const std::string& path) {
+  HttpResponse resp;
+  if (path == "/metrics") {
+    resp.body = FormatPrometheus(TakeSnapshot());
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/metrics.json") {
+    resp.body = DumpJson();
+    resp.content_type = "application/json";
+  } else if (path == "/health") {
+    resp = Health();
+  } else if (path == "/slow") {
+    resp.body = GlobalFlightRecorder().DumpJson();
+    resp.content_type = "application/json";
+  } else if (path == "/" || path.empty()) {
+    resp.body =
+        "rpq stats endpoint\n"
+        "  /metrics       Prometheus text exposition\n"
+        "  /metrics.json  registry snapshot (DumpJson v1)\n"
+        "  /health        windowed serving health (503 when degraded)\n"
+        "  /slow          flight-recorder dump (slow/degraded queries)\n";
+  } else {
+    resp.status = 404;
+    resp.body = "unknown path: " + path + "\n";
+  }
+  return resp;
+}
+
+HttpResponse HttpExporter::Health() {
+  WindowedView view;
+  {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    const double now = uptime_.ElapsedSeconds();
+    const Snapshot current = TakeSnapshot();
+    view = DiffSnapshots(window_base_, current, now - window_base_elapsed_);
+    if (now - window_base_elapsed_ >= options_.window_seconds) {
+      window_base_ = current;
+      window_base_elapsed_ = now;
+    }
+  }
+  const ServingWindow w = SummarizeServing(view);
+  const bool unhealthy = w.shed_ratio >= options_.unhealthy_shed_ratio ||
+                         w.deadline_ratio >= options_.unhealthy_deadline_ratio;
+
+  HttpResponse resp;
+  resp.status = unhealthy ? 503 : 200;
+  resp.content_type = "application/json";
+  std::string& out = resp.body;
+  out += "{\"healthy\":";
+  out += unhealthy ? "false" : "true";
+  out += ",\"window_seconds\":";
+  AppendDouble(&out, w.interval_seconds);
+  out += ",\"qps\":";
+  AppendDouble(&out, w.qps);
+  out += ",\"completed\":";
+  AppendU64(&out, w.completed);
+  out += ",\"shed_ratio\":";
+  AppendDouble(&out, w.shed_ratio);
+  out += ",\"deadline_ratio\":";
+  AppendDouble(&out, w.deadline_ratio);
+  out += ",\"brownout_ratio\":";
+  AppendDouble(&out, w.brownout_ratio);
+  out += ",\"shards_lost\":";
+  AppendU64(&out, w.shards_lost);
+  out += ",\"hedges\":";
+  AppendU64(&out, w.hedges);
+  out += ",\"p50_ms\":";
+  AppendDouble(&out, w.p50_ms);
+  out += ",\"p95_ms\":";
+  AppendDouble(&out, w.p95_ms);
+  out += ",\"p99_ms\":";
+  AppendDouble(&out, w.p99_ms);
+  out += "}\n";
+  return resp;
+}
+
+}  // namespace rpq::obs

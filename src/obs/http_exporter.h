@@ -1,0 +1,108 @@
+// Minimal HTTP/1.0 stats endpoint: one background thread, one port, four
+// routes — enough to point `curl` or a Prometheus scraper at a running
+// server and see what it is doing *right now*:
+//
+//   /metrics       Prometheus text exposition (counters + histogram buckets)
+//   /metrics.json  the registry's DumpJson v1 document
+//   /health        windowed serving summary (QPS, shed/deadline ratios,
+//                  windowed p50/p95/p99); HTTP 503 when the degradation
+//                  ratios exceed the configured thresholds
+//   /slow          the flight recorder's DumpJson (slow/degraded queries)
+//
+// Scope is deliberate: requests are served serially on the accept thread
+// (a scraper polls every few seconds; this is not a data-plane server), and
+// only GET is understood. This is the repo's first socket code — the
+// listen/accept/poll skeleton here is shaped to grow into the remote-shard
+// transport (ROADMAP item 2), where the same loop will frame query RPCs
+// instead of stat scrapes.
+//
+// Health windowing: the exporter keeps a baseline snapshot and diffs the
+// live registry against it on each request (obs/window.h); the baseline
+// rotates once it is older than `window_seconds`, so ratios and percentiles
+// describe roughly the last window rather than process lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace rpq::obs {
+
+struct HttpExporterOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// from port() after Start()).
+  uint16_t port = 0;
+  /// Width of the /health observation window, seconds.
+  double window_seconds = 5.0;
+  /// /health reports 503 when the windowed shed or deadline-exceeded ratio
+  /// meets either threshold (ratios in [0,1]).
+  double unhealthy_shed_ratio = 0.5;
+  double unhealthy_deadline_ratio = 0.5;
+};
+
+/// A formatted response, separated from the socket so tests can exercise
+/// routing and formatting without a network round trip.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpExporter {
+ public:
+  explicit HttpExporter(const HttpExporterOptions& options = {});
+  ~HttpExporter();  ///< Stops the server if still running.
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:<port>, starts the accept thread. Fails if already
+  /// running or the port is taken.
+  Status Start();
+
+  /// Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The actual bound port (resolves port=0 to the ephemeral choice); 0
+  /// before a successful Start().
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Routes `path` ("/metrics", "/health", ...) and formats the response
+  /// against the live registry / flight recorder. Pure with respect to the
+  /// socket; what the accept loop calls per request.
+  HttpResponse HandleRequest(const std::string& path);
+
+  const HttpExporterOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  HttpResponse Health();
+
+  HttpExporterOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint16_t> port_{0};
+  int listen_fd_ = -1;
+  std::thread thread_;
+
+  std::mutex window_mu_;        // guards the /health baseline rotation
+  Snapshot window_base_;        // baseline the live registry is diffed against
+  double window_base_elapsed_ = 0;  // uptime_ reading when baseline was taken
+  Timer uptime_;
+};
+
+/// Renders a snapshot in Prometheus text exposition format. Metric names are
+/// sanitized (dots -> underscores) and prefixed "rpq_"; histograms emit
+/// cumulative `_bucket{le="..."}` series over non-empty buckets plus +Inf,
+/// `_sum`, and `_count`.
+std::string FormatPrometheus(const Snapshot& snapshot);
+
+}  // namespace rpq::obs

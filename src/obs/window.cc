@@ -1,0 +1,160 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.h"
+
+namespace rpq::obs {
+namespace {
+
+uint64_t ClampedDelta(uint64_t newer, uint64_t older) {
+  return newer >= older ? newer - older : 0;
+}
+
+double Ratio(uint64_t part, uint64_t whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole)
+                   : 0.0;
+}
+
+}  // namespace
+
+const WindowedCounter* WindowedView::FindCounter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const WindowedHistogram* WindowedView::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+uint64_t WindowedView::Delta(const std::string& name) const {
+  const WindowedCounter* c = FindCounter(name);
+  return c != nullptr ? c->delta : 0;
+}
+
+double WindowedView::Rate(const std::string& name) const {
+  const WindowedCounter* c = FindCounter(name);
+  return c != nullptr ? c->rate : 0.0;
+}
+
+WindowedView DiffSnapshots(const Snapshot& older, const Snapshot& newer,
+                           double interval_seconds) {
+  WindowedView view;
+  view.interval_seconds = interval_seconds;
+  const double interval = std::max(interval_seconds, 1e-9);
+
+  view.counters.reserve(newer.counters.size());
+  for (const CounterSnapshot& c : newer.counters) {
+    const CounterSnapshot* base = older.FindCounter(c.name);
+    WindowedCounter wc;
+    wc.name = c.name;
+    wc.delta = ClampedDelta(c.value, base != nullptr ? base->value : 0);
+    wc.rate = static_cast<double>(wc.delta) / interval;
+    view.counters.push_back(std::move(wc));
+  }
+
+  view.histograms.reserve(newer.histograms.size());
+  for (const HistogramSnapshot& h : newer.histograms) {
+    const HistogramSnapshot* base = older.FindHistogram(h.name);
+    WindowedHistogram wh;
+    wh.name = h.name;
+    HistogramData& d = wh.interval;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      const uint64_t old_b = base != nullptr ? base->data.buckets[b] : 0;
+      d.buckets[b] = ClampedDelta(h.data.buckets[b], old_b);
+      d.count += d.buckets[b];
+      // The in-window max is only known to bucket resolution: the last
+      // value this window's percentile clamp can honestly claim is the top
+      // of the highest bucket that gained samples.
+      if (d.buckets[b] > 0) {
+        d.max = BucketLowerBound(b) + BucketWidth(b) - 1;
+      }
+    }
+    d.sum = ClampedDelta(h.data.sum, base != nullptr ? base->data.sum : 0);
+    view.histograms.push_back(std::move(wh));
+  }
+  return view;
+}
+
+ServingWindow SummarizeServing(const WindowedView& view) {
+  ServingWindow w;
+  w.interval_seconds = view.interval_seconds;
+  w.completed = view.Delta("serve.completed");
+  w.qps = view.Rate("serve.completed");
+  w.shed_ratio = Ratio(view.Delta("serve.shed"), w.completed);
+  w.deadline_ratio = Ratio(view.Delta("serve.deadline_exceeded"), w.completed);
+  w.brownout_ratio = Ratio(view.Delta("serve.brownout"), w.completed);
+  w.shards_lost = view.Delta("serve.shard_lost");
+  w.hedges = view.Delta("serve.hedges");
+  if (const WindowedHistogram* lat = view.FindHistogram("serve.latency_ns");
+      lat != nullptr && lat->interval.count > 0) {
+    w.p50_ms = lat->interval.Percentile(0.50) / 1e6;
+    w.p95_ms = lat->interval.Percentile(0.95) / 1e6;
+    w.p99_ms = lat->interval.Percentile(0.99) / 1e6;
+  }
+  return w;
+}
+
+bool SnapshotFromJson(const JsonValue& root, Snapshot* out,
+                      std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (!root.is_object()) return fail("snapshot is not an object");
+  const JsonValue* counters = root.Find("counters");
+  const JsonValue* histograms = root.Find("histograms");
+  if (counters == nullptr || !counters->is_object()) {
+    return fail("missing \"counters\" object");
+  }
+  if (histograms == nullptr || !histograms->is_object()) {
+    return fail("missing \"histograms\" object");
+  }
+  out->counters.clear();
+  out->histograms.clear();
+  for (const auto& [name, v] : counters->object) {
+    if (!v.is_number()) return fail("counter \"" + name + "\" is not numeric");
+    out->counters.push_back({name, static_cast<uint64_t>(v.number)});
+  }
+  for (const auto& [name, h] : histograms->object) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    const JsonValue* count = h.Find("count");
+    const JsonValue* sum = h.Find("sum");
+    const JsonValue* max = h.Find("max");
+    const JsonValue* buckets = h.Find("buckets");
+    if (count == nullptr || !count->is_number() || sum == nullptr ||
+        !sum->is_number() || max == nullptr || !max->is_number() ||
+        buckets == nullptr || !buckets->is_array()) {
+      return fail("histogram \"" + name + "\" missing count/sum/max/buckets");
+    }
+    hs.data.count = static_cast<uint64_t>(count->number);
+    hs.data.sum = static_cast<uint64_t>(sum->number);
+    hs.data.max = static_cast<uint64_t>(max->number);
+    for (const JsonValue& triple : buckets->array) {
+      if (!triple.is_array() || triple.array.size() != 3 ||
+          !triple.array[0].is_number() || !triple.array[2].is_number()) {
+        return fail("histogram \"" + name + "\": malformed bucket triple");
+      }
+      const uint64_t lo = static_cast<uint64_t>(triple.array[0].number);
+      const uint32_t idx = BucketIndexFor(lo);
+      if (BucketLowerBound(idx) != lo) {
+        return fail("histogram \"" + name + "\": bucket bound " +
+                    std::to_string(lo) + " is not a bucket boundary");
+      }
+      hs.data.buckets[idx] = static_cast<uint64_t>(triple.array[2].number);
+    }
+    out->histograms.push_back(std::move(hs));
+  }
+  return true;
+}
+
+}  // namespace rpq::obs

@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace rpq::serve {
@@ -33,6 +34,23 @@ void RegisterServingMetrics() {
   obs::GetCounter("disk.io_errors");
   obs::GetCounter("disk.retries");
   fault::RegisterFaultMetrics();
+}
+
+// What the flight recorder wants to know about a completed query.
+obs::QueryObservation MakeObservation(const QuerySpec& q, const QueryResult& r,
+                                      uint64_t latency_nanos) {
+  obs::QueryObservation o;
+  o.latency_us = latency_nanos / 1000 +
+                 static_cast<uint64_t>(r.simulated_io_seconds * 1e6);
+  o.k = static_cast<uint32_t>(q.k);
+  o.width = static_cast<uint32_t>(q.beam_width);
+  o.degraded = r.degraded;
+  o.deadline_exceeded = r.deadline_exceeded;
+  o.shed = r.shed;
+  o.hedged = r.hedged;
+  o.shards_lost = static_cast<uint32_t>(r.shards_lost);
+  o.trace = q.trace;
+  return o;
 }
 
 }  // namespace
@@ -76,6 +94,7 @@ std::future<QueryResult> ServingEngine::Submit(const QuerySpec& q) const {
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> fut = promise->get_future();
   const bool observed = q.trace != nullptr || obs::MetricsEnabled();
+  const bool recording = obs::GlobalFlightRecorder().enabled();
   if (observed) obs::Add(Metrics().submitted, 1);
 
   // Admission control: inspect the in-flight depth BEFORE enqueueing. A
@@ -97,6 +116,11 @@ std::future<QueryResult> ServingEngine::Submit(const QuerySpec& q) const {
     QueryResult refused;
     refused.shed = true;
     refused.degraded = true;
+    // Shed queries are degradation by definition — the recorder admits them
+    // with zero served latency (nothing ran).
+    if (recording) {
+      obs::GlobalFlightRecorder().Observe(MakeObservation(q, refused, 0));
+    }
     promise->set_value(std::move(refused));
     return fut;
   }
@@ -112,19 +136,28 @@ std::future<QueryResult> ServingEngine::Submit(const QuerySpec& q) const {
     if (observed) obs::Add(Metrics().brownout, 1);
   }
 
-  pool_.Submit([this, q = admitted, promise, observed, submit_ticks = observed ? TickNow() : 0] {
+  pool_.Submit([this, q = admitted, promise, observed, recording,
+                submit_ticks = (observed || recording) ? TickNow() : 0] {
     if (observed) {
       // Submit-to-start delay: the queueing component of tail latency, kept
       // separate from the service span that follows.
       obs::RecordSpan(obs::Stage::kQueueWait,
                       TicksToNanos(TickNow() - submit_ticks), q.trace);
     }
+    QueryResult result;
     {
       obs::ScopedStage span(obs::Stage::kService, q.trace);
-      promise->set_value(service_.Search(q));
+      result = service_.Search(q);
     }
     inflight_.fetch_sub(1, std::memory_order_relaxed);
     if (observed) obs::Add(Metrics().completed, 1);
+    // Recorded latency spans queue wait + service + simulated I/O — the
+    // latency the caller experienced, which is what makes a query "slow".
+    if (recording) {
+      obs::GlobalFlightRecorder().Observe(
+          MakeObservation(q, result, TicksToNanos(TickNow() - submit_ticks)));
+    }
+    promise->set_value(std::move(result));
   });
   return fut;
 }

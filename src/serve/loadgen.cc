@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "serve/batcher.h"
 
 namespace rpq::serve {
@@ -32,6 +33,26 @@ obs::HistogramId LatencyHistogram() {
 
 inline uint64_t SecondsToNanos(double seconds) {
   return seconds > 0 ? static_cast<uint64_t>(seconds * 1e9) : 0;
+}
+
+// Feeds one completed query to the flight recorder (loadgen paths that do
+// not route through ServingEngine::Submit — the closed loop calls the
+// service directly, and batched open-loop arrivals dispatch via Execute).
+void ObserveQuery(const QuerySpec& spec, const QueryResult& r,
+                  uint64_t latency_nanos) {
+  obs::FlightRecorder& recorder = obs::GlobalFlightRecorder();
+  if (!recorder.enabled()) return;
+  obs::QueryObservation o;
+  o.latency_us = latency_nanos / 1000;
+  o.k = static_cast<uint32_t>(spec.k);
+  o.width = static_cast<uint32_t>(spec.beam_width);
+  o.degraded = r.degraded;
+  o.deadline_exceeded = r.deadline_exceeded;
+  o.shed = r.shed;
+  o.hedged = r.hedged;
+  o.shards_lost = static_cast<uint32_t>(r.shards_lost);
+  o.trace = spec.trace;
+  recorder.Observe(o);
 }
 
 // Per-thread degradation tallies, summed into the report at the end.
@@ -98,6 +119,7 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
   const size_t total =
       options.total_queries > 0 ? options.total_queries : queries.size();
   const size_t threads = std::max<size_t>(1, options.threads);
+  const bool live_metrics = obs::MetricsEnabled();
 
   std::atomic<size_t> next{0};
   // Per-thread tallies: a fixed-size histogram each instead of every sample
@@ -120,8 +142,14 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
         spec.deadline_us = options.deadline_us;
         Timer lat;
         QueryResult r = service.Search(spec);
-        latencies[t].Record(
-            SecondsToNanos(lat.ElapsedSeconds() + r.simulated_io_seconds));
+        const uint64_t nanos =
+            SecondsToNanos(lat.ElapsedSeconds() + r.simulated_io_seconds);
+        latencies[t].Record(nanos);
+        // Live-record into the registry when metrics are on, so a scraper's
+        // window sees latency move DURING the run, not only after the final
+        // merge below.
+        if (live_metrics) obs::Record(LatencyHistogram(), nanos);
+        ObserveQuery(spec, r, nanos);
         hops[t] += r.stats.hops;
         io[t] += r.simulated_io_seconds;
         tallies[t].Count(r);
@@ -143,7 +171,9 @@ LoadReport RunClosedLoop(const SearchService& service, const Dataset& queries,
     tally.Merge(tallies[t]);
   }
   tally.FillReport(&report);
-  obs::MergeInto(LatencyHistogram(), all);
+  // Samples already went in live when metrics were on; merging again here
+  // would double-count them in the registry.
+  if (!live_metrics) obs::MergeInto(LatencyHistogram(), all);
   // Simulated device time is not wall time; charge it as if the device were
   // serving the threads in parallel, matching the eval harness convention.
   const double effective =
@@ -160,6 +190,8 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
   RPQ_CHECK(options.arrival_qps > 0);
   const size_t total =
       options.total_queries > 0 ? options.total_queries : queries.size();
+  const bool live_metrics = obs::MetricsEnabled();
+  const bool batched = options.batch > 1;
 
   std::mt19937_64 rng(options.seed);
   std::exponential_distribution<double> exp_gap(options.arrival_qps);
@@ -204,7 +236,18 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
         const double lat =
             std::chrono::duration<double>(Clock::now() - item.second).count() +
             r.simulated_io_seconds;
-        lat_hist.Record(SecondsToNanos(lat));
+        const uint64_t nanos = SecondsToNanos(lat);
+        lat_hist.Record(nanos);
+        if (live_metrics) obs::Record(LatencyHistogram(), nanos);
+        // Per-query submissions already fed the recorder inside
+        // ServingEngine::Submit; only the batched path (which dispatches
+        // via Execute, bypassing Submit) is observed here.
+        if (batched) {
+          QuerySpec spec;
+          spec.k = options.k;
+          spec.beam_width = options.beam_width;
+          ObserveQuery(spec, r, nanos);
+        }
       }
       total_hops += r.stats.hops;
       total_io += r.simulated_io_seconds;
@@ -243,7 +286,8 @@ LoadReport RunOpenLoop(const ServingEngine& engine, const Dataset& queries,
   cv.notify_one();
   collector.join();
   engine.WaitIdle();
-  obs::MergeInto(LatencyHistogram(), lat_hist);
+  // Same double-count guard as the closed loop: live-recorded when on.
+  if (!live_metrics) obs::MergeInto(LatencyHistogram(), lat_hist);
 
   LoadReport report;
   report.wall_seconds =

@@ -21,6 +21,19 @@ obs::HistogramId FanoutHistogram() {
   return id;
 }
 
+// Fan-out-start -> shard-result-available, one sample per shard that
+// actually answered (timed-out shards are censored, not recorded). This is
+// the distribution hedge_delay_us and shard_timeout_us race against: set the
+// hedge delay near its p95 and the timeout past its p99.
+obs::HistogramId ShardWaitHistogram() {
+  static const obs::HistogramId id = obs::GetHistogram("serve.shard_wait_ns");
+  return id;
+}
+
+void RecordShardWait(uint64_t fan_start_ticks) {
+  obs::Record(ShardWaitHistogram(), TicksToNanos(TickNow() - fan_start_ticks));
+}
+
 // Injected shard stall: the serving thread sleeps as if the shard's backend
 // (or its network path, one day) went unresponsive for `stall_us`. Fired
 // from the process-wide injector so RPQ_FAULTS reaches fan-outs that were
@@ -135,12 +148,18 @@ QueryResult ShardedService::SearchFaultTolerant(const QuerySpec& q,
   QuerySpec sub = q;
   sub.trace = nullptr;
   const uint64_t stall_us = options_.injected_stall_us;
+  const uint64_t fan_start = obs::MetricsEnabled() ? TickNow() : 0;
   for (size_t s = 0; s < n; ++s) {
     const SearchService* svc = shards_[s].service;
-    pool->Submit([st, svc, sub, stall_us, s] {
+    pool->Submit([st, svc, sub, stall_us, s, fan_start] {
       MaybeStall(stall_us);
       st->primary[s] = svc->Search(sub);
-      st->Claim(s, FanState::kPrimary);
+      // Wait samples only for shards whose result the query will use; a
+      // lost claim means the main thread already gave up (or a hedge won),
+      // so that wait is censored rather than recorded.
+      if (st->Claim(s, FanState::kPrimary) && fan_start != 0) {
+        RecordShardWait(fan_start);
+      }
     });
   }
 
@@ -165,9 +184,11 @@ QueryResult ShardedService::SearchFaultTolerant(const QuerySpec& q,
       const SearchService* replica = shards_[s].replica;
       if (replica == nullptr) continue;
       ++hedges;
-      pool->Submit([st, replica, sub, s] {
+      pool->Submit([st, replica, sub, s, fan_start] {
         st->hedge[s] = replica->Search(sub);
-        st->Claim(s, FanState::kHedge);
+        if (st->Claim(s, FanState::kHedge) && fan_start != 0) {
+          RecordShardWait(fan_start);
+        }
       });
     }
     if (hedges > 0) {
@@ -213,6 +234,7 @@ QueryResult ShardedService::Search(const QuerySpec& q) const {
   // inside the pool would deadlock once every worker is a waiter.
   if (!options_.parallel_shards || n < 2 || pool->CurrentThreadIsWorker()) {
     const Deadline deadline = DeadlineFor(q);
+    const uint64_t fan_start = obs::MetricsEnabled() ? TickNow() : 0;
     for (size_t s = 0; s < n; ++s) {
       // A spent budget skips the remaining shards (partial merge) rather
       // than starting searches whose results the caller is done waiting for.
@@ -222,6 +244,10 @@ QueryResult ShardedService::Search(const QuerySpec& q) const {
       }
       MaybeStall(options_.injected_stall_us);
       per[s] = shards_[s].service->Search(q);
+      // Serial shards queue behind each other, so each wait sample is the
+      // true fan-out-start-anchored availability time, same semantic as the
+      // parallel paths.
+      if (fan_start != 0) RecordShardWait(fan_start);
     }
     return Merge(q, per, present);
   }
@@ -243,16 +269,19 @@ QueryResult ShardedService::Search(const QuerySpec& q) const {
   // are per-thread-sharded, so those record from every shard regardless.
   QuerySpec sub = q;
   sub.trace = nullptr;
+  const uint64_t fan_start = obs::MetricsEnabled() ? TickNow() : 0;
   for (size_t s = 1; s < n; ++s) {
-    pool->Submit([this, &sub, &per, &mu, &cv, &pending, s] {
+    pool->Submit([this, &sub, &per, &mu, &cv, &pending, s, fan_start] {
       MaybeStall(options_.injected_stall_us);
       per[s] = shards_[s].service->Search(sub);
+      if (fan_start != 0) RecordShardWait(fan_start);
       std::lock_guard<std::mutex> lock(mu);
       if (--pending == 0) cv.notify_one();
     });
   }
   MaybeStall(options_.injected_stall_us);
   per[0] = shards_[0].service->Search(q);
+  if (fan_start != 0) RecordShardWait(fan_start);
   {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return pending == 0; });

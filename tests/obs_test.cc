@@ -7,9 +7,16 @@
 // stages the backends actually ran.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <random>
 #include <string>
 #include <thread>
@@ -19,9 +26,12 @@
 #include "data/synthetic.h"
 #include "graph/vamana.h"
 #include "ivf/ivf_index.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "quant/pq.h"
 #include "serve/loadgen.h"
 
@@ -448,6 +458,313 @@ TEST(SearchStatsTest, VisitedHitsPopulated) {
   auto out =
       index->Search(queries[0], 10, {64, 10}, core::DistanceMode::kFastScan);
   EXPECT_GT(out.stats.visited_hits, 0u);
+}
+
+// ------------------------------------------------------- windowed views ----
+
+TEST(WindowedViewTest, CounterDeltasAndRates) {
+  obs::Snapshot older, newer;
+  older.counters = {{"win.a", 100}, {"win.gone", 5}, {"win.back", 10}};
+  newer.counters = {{"win.a", 160}, {"win.fresh", 30}, {"win.back", 7}};
+  const obs::WindowedView view = obs::DiffSnapshots(older, newer, 2.0);
+  EXPECT_EQ(view.Delta("win.a"), 60u);
+  EXPECT_DOUBLE_EQ(view.Rate("win.a"), 30.0);
+  // Registered after the baseline: diffs against zero.
+  EXPECT_EQ(view.Delta("win.fresh"), 30u);
+  // Absent from the newer snapshot: dropped entirely.
+  EXPECT_EQ(view.FindCounter("win.gone"), nullptr);
+  // Went backwards (not really the same process): clamps, never wraps.
+  EXPECT_EQ(view.Delta("win.back"), 0u);
+  // Unknown name reads as zero.
+  EXPECT_EQ(view.Delta("win.never"), 0u);
+}
+
+TEST(WindowedViewTest, HistogramIntervalPercentiles) {
+  // Baseline: 1000 fast samples. Window: 100 slow ones. The cumulative view
+  // p50 stays fast; the interval view must see only the slow samples.
+  obs::HistogramData base_data;
+  for (int i = 0; i < 1000; ++i) base_data.Record(1000);
+  obs::HistogramData newer_data = base_data;
+  for (int i = 0; i < 100; ++i) newer_data.Record(1000000);
+
+  obs::Snapshot older, newer;
+  older.histograms.push_back({"win.lat", base_data});
+  newer.histograms.push_back({"win.lat", newer_data});
+  const obs::WindowedView view = obs::DiffSnapshots(older, newer, 1.0);
+  const obs::WindowedHistogram* h = view.FindHistogram("win.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->interval.count, 100u);
+  EXPECT_EQ(h->interval.sum, 100u * 1000000u);
+  // All interval mass sits at ~1ms; p50 must be within one bucket of it.
+  const uint32_t b = obs::BucketIndexFor(1000000);
+  EXPECT_GE(h->interval.Percentile(0.5), obs::BucketLowerBound(b));
+  EXPECT_LE(h->interval.Percentile(0.5),
+            obs::BucketLowerBound(b) + obs::BucketWidth(b));
+}
+
+TEST(WindowedViewTest, SummarizeServingRatios) {
+  obs::Snapshot older, newer;
+  older.counters = {{"serve.completed", 0}, {"serve.shed", 0},
+                    {"serve.deadline_exceeded", 0}};
+  newer.counters = {{"serve.completed", 200}, {"serve.shed", 20},
+                    {"serve.deadline_exceeded", 10}};
+  const obs::ServingWindow w =
+      obs::SummarizeServing(obs::DiffSnapshots(older, newer, 4.0));
+  EXPECT_EQ(w.completed, 200u);
+  EXPECT_DOUBLE_EQ(w.qps, 50.0);
+  EXPECT_DOUBLE_EQ(w.shed_ratio, 0.1);
+  EXPECT_DOUBLE_EQ(w.deadline_ratio, 0.05);
+  EXPECT_DOUBLE_EQ(w.p50_ms, 0.0);  // no latency histogram in the window
+}
+
+TEST(WindowedViewTest, SnapshotFromJsonRoundTrip) {
+  MetricsOn on;
+  const auto counter = obs::GetCounter("winjson.counter");
+  const auto hist = obs::GetHistogram("winjson.hist");
+  obs::Add(counter, 42);
+  for (uint64_t v : {10u, 500u, 70000u, 1000000u}) obs::Record(hist, v);
+
+  const obs::Snapshot live = obs::TakeSnapshot();
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::ParseJson(obs::DumpJson(live), &root, &err)) << err;
+  obs::Snapshot parsed;
+  ASSERT_TRUE(obs::SnapshotFromJson(root, &parsed, &err)) << err;
+
+  EXPECT_EQ(CounterValue(parsed, "winjson.counter"),
+            CounterValue(live, "winjson.counter"));
+  const obs::HistogramSnapshot* live_h = live.FindHistogram("winjson.hist");
+  const obs::HistogramSnapshot* parsed_h = parsed.FindHistogram("winjson.hist");
+  ASSERT_NE(live_h, nullptr);
+  ASSERT_NE(parsed_h, nullptr);
+  EXPECT_EQ(parsed_h->data.count, live_h->data.count);
+  EXPECT_EQ(parsed_h->data.sum, live_h->data.sum);
+  EXPECT_EQ(parsed_h->data.max, live_h->data.max);
+  for (uint32_t b = 0; b < obs::kNumBuckets; ++b) {
+    ASSERT_EQ(parsed_h->data.buckets[b], live_h->data.buckets[b]) << b;
+  }
+  // A diff of a snapshot against its own round trip is all zeros.
+  const obs::WindowedView view = obs::DiffSnapshots(parsed, live, 1.0);
+  EXPECT_EQ(view.Delta("winjson.counter"), 0u);
+  EXPECT_EQ(view.FindHistogram("winjson.hist")->interval.count, 0u);
+}
+
+// ------------------------------------------------------ flight recorder ----
+
+obs::QueryObservation HealthyObservation(uint64_t latency_us) {
+  obs::QueryObservation o;
+  o.latency_us = latency_us;
+  o.k = 10;
+  o.width = 64;
+  return o;
+}
+
+TEST(FlightRecorderTest, AdmissionPolicy) {
+  obs::FlightRecorder rec;
+  obs::FlightRecorderOptions opt;
+  opt.capacity = 16;
+  opt.slow_us = 1000;
+  rec.Configure(opt);
+  rec.SetEnabled(true);
+
+  rec.Observe(HealthyObservation(10));    // fast + healthy: not admitted
+  rec.Observe(HealthyObservation(5000));  // slow: admitted
+  obs::QueryObservation degraded = HealthyObservation(10);
+  degraded.deadline_exceeded = true;
+  degraded.degraded = true;
+  rec.Observe(degraded);                  // degraded: admitted despite speed
+
+  const auto records = rec.Dump();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].latency_us, 5000u);
+  EXPECT_STREQ(records[0].reason, "slow");
+  EXPECT_TRUE(records[1].deadline_exceeded);
+  EXPECT_STREQ(records[1].reason, "degraded");
+  EXPECT_EQ(rec.observed(), 3u);
+  EXPECT_EQ(rec.recorded(), 2u);
+
+  rec.SetEnabled(false);
+  rec.Observe(HealthyObservation(999999));  // disabled: invisible
+  EXPECT_EQ(rec.observed(), 3u);
+}
+
+TEST(FlightRecorderTest, SamplingAdmitsOneInN) {
+  obs::FlightRecorder rec;
+  obs::FlightRecorderOptions opt;
+  opt.capacity = 64;
+  opt.sample_every = 10;
+  rec.Configure(opt);
+  rec.SetEnabled(true);
+  for (int i = 0; i < 100; ++i) rec.Observe(HealthyObservation(5));
+  EXPECT_EQ(rec.recorded(), 10u);
+  for (const auto& r : rec.Dump()) EXPECT_STREQ(r.reason, "sample");
+}
+
+TEST(FlightRecorderTest, CapacityWrapKeepsNewest) {
+  obs::FlightRecorder rec;
+  obs::FlightRecorderOptions opt;
+  opt.capacity = 8;
+  opt.slow_us = 1;  // admit everything
+  rec.Configure(opt);
+  rec.SetEnabled(true);
+  for (uint64_t i = 1; i <= 20; ++i) rec.Observe(HealthyObservation(i));
+  const auto records = rec.Dump();
+  ASSERT_EQ(records.size(), 8u);
+  // Oldest-first order, holding exactly the last 8 admissions (13..20).
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].latency_us, 13u + i);
+    EXPECT_EQ(records[i].seq, 12u + i);
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+}
+
+TEST(FlightRecorderTest, DumpJsonParsesAndCarriesStages) {
+  obs::FlightRecorder rec;
+  obs::FlightRecorderOptions opt;
+  opt.capacity = 4;
+  opt.slow_us = 1;
+  rec.Configure(opt);
+  rec.SetEnabled(true);
+
+  obs::QueryTrace trace;
+  trace.AddSpan(obs::Stage::kScan, 12345);
+  obs::QueryObservation o = HealthyObservation(777);
+  o.trace = &trace;
+  rec.Observe(o);
+
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::ParseJson(rec.DumpJson(), &root, &err)) << err;
+  const obs::JsonValue* records = root.Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_TRUE(records->is_array());
+  ASSERT_EQ(records->array.size(), 1u);
+  const obs::JsonValue* latency = records->array[0].Find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->number, 777.0);
+  const obs::JsonValue* scan = records->array[0].FindPath("stages.scan_ns");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_DOUBLE_EQ(scan->number, 12345.0);
+}
+
+// Concurrent record-while-dump: writers admit on every call while a reader
+// dumps continuously. TSan (this file is in the CI TSan job) checks the
+// synchronization; the assertions check no dump ever sees a torn record.
+TEST(FlightRecorderTest, ConcurrentRecordWhileDump) {
+  obs::FlightRecorder rec;
+  obs::FlightRecorderOptions opt;
+  opt.capacity = 32;
+  opt.slow_us = 1;  // admit everything: maximum writer contention
+  rec.Configure(opt);
+  rec.SetEnabled(true);
+
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& r : rec.Dump()) {
+        // Every admitted record is internally consistent: the marker the
+        // writer stored in both fields must agree.
+        ASSERT_EQ(r.latency_us, static_cast<uint64_t>(r.k));
+      }
+      (void)rec.DumpJson();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        const uint64_t marker = static_cast<uint64_t>(w) * kPerWriter + i + 1;
+        obs::QueryObservation o;
+        o.latency_us = marker;
+        o.k = static_cast<uint32_t>(marker);
+        rec.Observe(o);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(rec.recorded(), kWriters * kPerWriter);
+  EXPECT_EQ(rec.Dump().size(), 32u);
+}
+
+// -------------------------------------------------------- http exporter ----
+
+TEST(HttpExporterTest, RoutesAndPrometheusFormat) {
+  MetricsOn on;
+  const auto counter = obs::GetCounter("httpx.requests");
+  obs::Add(counter, 7);
+  const auto hist = obs::GetHistogram("httpx.lat_ns");
+  obs::Record(hist, 1500);
+
+  obs::HttpExporter exporter;
+  const obs::HttpResponse metrics = exporter.HandleRequest("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# TYPE rpq_httpx_requests counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("rpq_httpx_requests 7"), std::string::npos);
+  EXPECT_NE(metrics.body.find("rpq_httpx_lat_ns_count 1"), std::string::npos);
+  EXPECT_NE(metrics.body.find("rpq_httpx_lat_ns_sum 1500"), std::string::npos);
+  EXPECT_NE(metrics.body.find("rpq_httpx_lat_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+
+  const obs::HttpResponse json = exporter.HandleRequest("/metrics.json");
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::ParseJson(json.body, &root, &err)) << err;
+  const obs::JsonValue* counters_obj = root.Find("counters");
+  ASSERT_NE(counters_obj, nullptr);
+  EXPECT_NE(counters_obj->Find("httpx.requests"), nullptr);
+
+  const obs::HttpResponse health = exporter.HandleRequest("/health");
+  EXPECT_EQ(health.status, 200);  // no degradation -> healthy
+  ASSERT_TRUE(obs::ParseJson(health.body, &root, &err)) << err;
+  const obs::JsonValue* healthy = root.Find("healthy");
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_TRUE(healthy->bool_value);
+
+  const obs::HttpResponse slow = exporter.HandleRequest("/slow");
+  ASSERT_TRUE(obs::ParseJson(slow.body, &root, &err)) << err;
+  EXPECT_NE(root.Find("records"), nullptr);
+
+  EXPECT_EQ(exporter.HandleRequest("/nope").status, 404);
+  EXPECT_EQ(exporter.HandleRequest("/").status, 200);
+}
+
+TEST(HttpExporterTest, LoopbackSocketRoundTrip) {
+  MetricsOn on;
+  obs::Add(obs::GetCounter("httpx.loopback"), 3);
+  obs::HttpExporterOptions opt;
+  opt.port = 0;  // ephemeral
+  obs::HttpExporter exporter(opt);
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_GT(exporter.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(exporter.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << strerror(errno);
+  const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("rpq_httpx_loopback 3"), std::string::npos);
+  exporter.Stop();
+  // Idempotent stop, and a second Start binds a fresh ephemeral port.
+  exporter.Stop();
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include "graph/fresh_vamana.h"
 #include "graph/vamana.h"
 #include "ivf/ivf_index.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
 #include "quant/pq.h"
 #include "serve/batcher.h"
 #include "serve/engine.h"
@@ -176,6 +178,41 @@ TEST(ShardedServiceTest, ParallelShardFanoutEqualsSerial) {
     EXPECT_EQ(a.results, b.results) << "query " << q;
     EXPECT_EQ(a.stats.dist_comps, b.stats.dist_comps);
   }
+}
+
+// Shard-wait satellite: both fan-out shapes populate serve.shard_wait_ns —
+// one sample per shard result a query's merge used — so hedge/timeout
+// tuning has a distribution to read.
+TEST(ShardedServiceTest, ShardWaitHistogramPopulated) {
+  Fixture f = MakeFixture(400, 6);
+  graph::VamanaOptions vopt;
+  vopt.degree = 8;
+  vopt.build_beam = 16;
+  auto serial_deploy = BuildShardedMemoryIndex(f.base, *f.pq, 3, vopt);
+  ShardedOptions popt;
+  popt.parallel_shards = true;
+  auto parallel_deploy = BuildShardedMemoryIndex(f.base, *f.pq, 3, vopt, popt);
+  const size_t n_serial = serial_deploy.shards.size();
+  const size_t n_parallel = parallel_deploy.shards.size();
+
+  obs::SetMetricsEnabled(true);
+  const obs::Snapshot before = obs::TakeSnapshot();
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    serial_deploy.service->Search({f.queries[q], 5, 32});
+    parallel_deploy.service->Search({f.queries[q], 5, 32});
+  }
+  const obs::Snapshot after = obs::TakeSnapshot();
+  obs::SetMetricsEnabled(false);
+
+  const obs::WindowedView view = obs::DiffSnapshots(before, after, 1.0);
+  const obs::WindowedHistogram* waits =
+      view.FindHistogram("serve.shard_wait_ns");
+  ASSERT_NE(waits, nullptr);
+  // Every shard of every query answered (no timeouts configured), so every
+  // fan-out contributed exactly one wait sample per shard.
+  EXPECT_EQ(waits->interval.count,
+            f.queries.size() * (n_serial + n_parallel));
+  EXPECT_GT(waits->interval.sum, 0u);
 }
 
 TEST(ShardedServiceTest, ShardedMemoryIndexRecallMatchesUnsharded) {

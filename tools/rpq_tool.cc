@@ -34,7 +34,12 @@
 //                         [--faults "point=rate,...,seed=N"] [--fault-seed N]
 //                         [--disk-error-rate 0] [--disk-spike-rate 0]
 //                         [--shard-timeout-us 0] [--hedge-us 0] [--stall-ms 2]
+//                         [--stats-port P] [--window-secs 5] [--slow-us 0]
+//                         [--slow-capacity 256] [--slow-json out.json]
+//   rpq_tool bench-diff   baseline.json candidate.json [--max-regress 10]
+//                         [--max-recall-regress 10]
 //   rpq_tool metrics-validate --json out.json [--require name1,name2,...]
+//                         [--diff older.json [--interval-secs 1]]
 //
 // Observability (src/obs/): search --trace threads a per-query obs::QueryTrace
 // through the backend and prints a per-stage time breakdown plus the search
@@ -45,7 +50,24 @@
 // given path; --batch N routes the open-loop leg through a MicroBatcher of
 // that size. metrics-validate parses such a snapshot with the in-repo JSON
 // reader, checks the schema, and fails if any --require'd metric is absent
-// (the CI smoke leg runs it against the serve-bench artifact).
+// (the CI smoke leg runs it against the serve-bench artifact);
+// --diff older.json additionally prints the windowed delta between two
+// snapshots (counter rates over --interval-secs, interval percentiles from
+// histogram bucket deltas).
+//
+// Live introspection (see README "Live introspection"): serve-bench
+// --stats-port P serves /metrics (Prometheus text), /metrics.json (DumpJson
+// v1), /health (windowed QPS + degradation ratios; 503 when degraded past
+// threshold), and /slow (flight-recorder dump) on 127.0.0.1:P for the whole
+// run (port 0 picks an ephemeral one, printed at startup). --slow-us T arms
+// the flight recorder's latency criterion (degraded/deadline/shed/hedged
+// queries are always admitted); --slow-capacity sizes its ring; --slow-json
+// writes the end-of-run dump for offline checks. bench-diff is the per-PR
+// regression gate over checked-in bench summaries (BENCH_serve.json,
+// BENCH_ivf.json): direction is inferred from metric names (recall/QPS must
+// not drop, latency/percentiles must not rise past tolerance) and the exit
+// code is non-zero on any regression, so CI turns red when the trajectory
+// moves.
 //
 // --nbits 4 trains a 4-bit model (K = 16); searching such a model with
 // --mode fastscan routes through the shuffle-kernel scan path with float-ADC
@@ -112,6 +134,7 @@
 // Every artifact is a documented binary format (see quant/serialize.h and
 // graph/graph.h), so stages can run on different machines.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -132,9 +155,12 @@
 #include "ivf/ivf_index.h"
 #include "graph/nsg.h"
 #include "graph/vamana.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "quant/kmeans.h"
 #include "quant/linkcode.h"
 #include "quant/opq.h"
@@ -571,31 +597,49 @@ std::vector<std::string> ParseStringList(const char* s) {
 
 // Accumulates --trace output across the search replay: per-query lines for
 // the first few queries, totals for the whole run. Shared by the three
-// backends so the printed shape is uniform (IVF reports lists probed in the
-// hops slot and codes scanned as distance evals, matching IvfService).
+// backends, but each names its own stat columns — the graph backends report
+// hops / distance evals / visited-table hits, while the IVF backend reports
+// lists probed / codes scanned (a nullptr label drops the column entirely),
+// so the printout no longer overloads graph terms for flat-scan stats.
 struct TraceAccumulator {
   static constexpr size_t kPerQueryLines = 8;
+  static constexpr size_t kStatColumns = 3;
+
+  // Column labels; the graph default matches SearchStats' field names.
+  const char* labels[kStatColumns] = {"hops", "dist", "visited-hits"};
 
   rpq::obs::QueryTrace totals;
-  size_t hops = 0, dist_comps = 0, visited_hits = 0, queries = 0;
+  size_t stats[kStatColumns] = {0, 0, 0};
+  size_t queries = 0;
   std::vector<std::string> lines;
 
-  void Note(size_t q, const rpq::obs::QueryTrace& trace, size_t h, size_t d,
-            size_t v) {
+  static TraceAccumulator ForIvf() {
+    TraceAccumulator t;
+    t.labels[0] = "lists-probed";
+    t.labels[1] = "codes-scanned";
+    t.labels[2] = nullptr;  // IVF has no visited table
+    return t;
+  }
+
+  void Note(size_t q, const rpq::obs::QueryTrace& trace, size_t s0, size_t s1,
+            size_t s2) {
     ++queries;
-    hops += h;
-    dist_comps += d;
-    visited_hits += v;
+    const size_t row[kStatColumns] = {s0, s1, s2};
+    for (size_t c = 0; c < kStatColumns; ++c) stats[c] += row[c];
     for (size_t s = 0; s < rpq::obs::kNumStages; ++s) {
       const auto stage = static_cast<rpq::obs::Stage>(s);
       const auto& t = trace.total(stage);
       if (t.spans > 0) totals.AddSpan(stage, t.nanos);
     }
     if (q < kPerQueryLines) {
-      char head[96];
-      std::snprintf(head, sizeof(head),
-                    "  q%-4zu hops %-6zu dist %-9zu visited-hits %-6zu  ", q,
-                    h, d, v);
+      char head[128];
+      int off = std::snprintf(head, sizeof(head), "  q%-4zu", q);
+      for (size_t c = 0; c < kStatColumns; ++c) {
+        if (labels[c] == nullptr) continue;
+        off += std::snprintf(head + off, sizeof(head) - off, " %s %-9zu",
+                             labels[c], row[c]);
+      }
+      std::snprintf(head + off, sizeof(head) - off, "  ");
       lines.push_back(std::string(head) + trace.Format());
     }
   }
@@ -609,10 +653,12 @@ struct TraceAccumulator {
     const double n = static_cast<double>(queries);
     std::printf("trace totals (%zu queries): %s\n", queries,
                 totals.Format().c_str());
-    std::printf("stats: hops %zu (%.1f/q)  dist_comps %zu (%.1f/q)  "
-                "visited_hits %zu (%.1f/q)\n",
-                hops, hops / n, dist_comps, dist_comps / n, visited_hits,
-                visited_hits / n);
+    std::printf("stats:");
+    for (size_t c = 0; c < kStatColumns; ++c) {
+      if (labels[c] == nullptr) continue;
+      std::printf("  %s %zu (%.1f/q)", labels[c], stats[c], stats[c] / n);
+    }
+    std::printf("\n");
   }
 };
 
@@ -777,7 +823,8 @@ int CmdSearch(const Flags& flags) {
   // the (small) tracing overhead — it measures what it ran.
   const bool trace_on = flags.Has("trace");
   if (trace_on) rpq::obs::SetMetricsEnabled(true);
-  TraceAccumulator tacc;
+  TraceAccumulator tacc =
+      use_ivf ? TraceAccumulator::ForIvf() : TraceAccumulator{};
 
   std::vector<std::vector<rpq::Neighbor>> results(queries.value().size());
   rpq::Timer timer;
@@ -873,6 +920,35 @@ int CmdServeBench(const Flags& flags) {
   // included) and writes the snapshot at the end.
   const char* metrics_json = flags.Get("metrics-json");
   if (metrics_json != nullptr) rpq::obs::SetMetricsEnabled(true);
+
+  // --stats-port / --slow-us arm the live-introspection layer: the flight
+  // recorder admits degraded queries always and slow ones past --slow-us,
+  // and --stats-port additionally serves /metrics, /metrics.json, /health,
+  // and /slow over HTTP for the whole run (index build included). Both imply
+  // metrics so the windowed /health summary has counters to diff.
+  const bool stats_server = flags.Has("stats-port");
+  if (stats_server || flags.Has("slow-us")) {
+    rpq::obs::SetMetricsEnabled(true);
+    rpq::obs::FlightRecorderOptions fopt;
+    fopt.capacity = flags.GetSize("slow-capacity", 256);
+    fopt.slow_us = flags.GetSize("slow-us", 0);
+    rpq::obs::FlightRecorder& recorder = rpq::obs::GlobalFlightRecorder();
+    recorder.Configure(fopt);
+    recorder.SetEnabled(true);
+  }
+  rpq::obs::HttpExporter exporter([&flags] {
+    rpq::obs::HttpExporterOptions hopt;
+    hopt.port = static_cast<uint16_t>(flags.GetSize("stats-port", 0));
+    hopt.window_seconds = std::strtod(flags.Get("window-secs", "5"), nullptr);
+    return hopt;
+  }());
+  if (stats_server) {
+    auto started = exporter.Start();
+    if (!started.ok()) return Fail(started.ToString());
+    std::printf("stats endpoint: http://127.0.0.1:%u  "
+                "(/metrics /metrics.json /health /slow)\n",
+                exporter.port());
+  }
 
   // --faults installs a process-wide injection plan (same syntax as the
   // RPQ_FAULTS environment variable, which it overrides); --fault-seed
@@ -1045,6 +1121,33 @@ int CmdServeBench(const Flags& flags) {
     rpq::serve::PrintReport(label, open);
   }
 
+  // Shard-wait distribution (fan-out start -> shard result available): the
+  // histogram hedge_delay_us / shard_timeout_us should be tuned against.
+  if (rpq::obs::MetricsEnabled() && shards > 1) {
+    const rpq::obs::Snapshot snap = rpq::obs::TakeSnapshot();
+    if (const rpq::obs::HistogramSnapshot* waits =
+            snap.FindHistogram("serve.shard_wait_ns");
+        waits != nullptr && waits->data.count > 0) {
+      std::printf("shard-wait ms: p50 %7.3f  p95 %7.3f  p99 %7.3f  "
+                  "max %7.3f  (%llu shard results)\n",
+                  waits->data.Percentile(0.50) / 1e6,
+                  waits->data.Percentile(0.95) / 1e6,
+                  waits->data.Percentile(0.99) / 1e6,
+                  static_cast<double>(waits->data.max) / 1e6,
+                  static_cast<unsigned long long>(waits->data.count));
+    }
+  }
+  {
+    const rpq::obs::FlightRecorder& recorder = rpq::obs::GlobalFlightRecorder();
+    if (recorder.enabled()) {
+      std::printf("flight recorder: %llu observed, %llu admitted "
+                  "(capacity %zu)\n",
+                  static_cast<unsigned long long>(recorder.observed()),
+                  static_cast<unsigned long long>(recorder.recorded()),
+                  recorder.options().capacity);
+    }
+  }
+
   if (metrics_json != nullptr) {
     const std::string json = rpq::obs::DumpJson();
     std::FILE* fp = std::fopen(metrics_json, "w");
@@ -1058,6 +1161,19 @@ int CmdServeBench(const Flags& flags) {
     }
     std::printf("wrote metrics snapshot to %s\n", metrics_json);
   }
+  // --slow-json: the end-of-run flight-recorder dump, for offline checks
+  // (CI verifies every deadline_exceeded query of a seeded run landed here).
+  if (const char* slow_json = flags.Get("slow-json")) {
+    const std::string json = rpq::obs::GlobalFlightRecorder().DumpJson();
+    std::FILE* fp = std::fopen(slow_json, "w");
+    if (fp == nullptr) return Fail(std::string("cannot write ") + slow_json);
+    std::fwrite(json.data(), 1, json.size(), fp);
+    std::fputc('\n', fp);
+    if (std::fclose(fp) != 0) {
+      return Fail(std::string(slow_json) + ": close failed");
+    }
+    std::printf("wrote flight-recorder dump to %s\n", slow_json);
+  }
   return 0;
 }
 
@@ -1067,22 +1183,36 @@ int CmdServeBench(const Flags& flags) {
 // metric name — counter or histogram — is absent. The CI smoke leg runs
 // this against the serve-bench artifact so a schema regression or a metric
 // that silently stopped being emitted fails the build, not a dashboard.
+bool ReadFileToString(const char* path, std::string* out) {
+  std::FILE* fp = std::fopen(path, "rb");
+  if (fp == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) out->append(buf, n);
+  std::fclose(fp);
+  return true;
+}
+
+bool ParseJsonFile(const char* path, rpq::obs::JsonValue* root,
+                   std::string* err) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    *err = std::string("cannot read ") + path;
+    return false;
+  }
+  if (!rpq::obs::ParseJson(text, root, err)) {
+    *err = std::string(path) + ": " + *err;
+    return false;
+  }
+  return true;
+}
+
 int CmdMetricsValidate(const Flags& flags) {
   const char* path = flags.Get("json");
   if (path == nullptr) return Fail("--json is required");
-  std::FILE* fp = std::fopen(path, "rb");
-  if (fp == nullptr) return Fail(std::string("cannot read ") + path);
-  std::string text;
-  char buf[4096];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) text.append(buf, n);
-  std::fclose(fp);
-
   rpq::obs::JsonValue root;
   std::string err;
-  if (!rpq::obs::ParseJson(text, &root, &err)) {
-    return Fail(std::string(path) + ": " + err);
-  }
+  if (!ParseJsonFile(path, &root, &err)) return Fail(err);
   if (!root.is_object()) return Fail("top-level value is not an object");
   const rpq::obs::JsonValue* version = root.Find("version");
   if (version == nullptr || !version->is_number()) {
@@ -1119,14 +1249,240 @@ int CmdMetricsValidate(const Flags& flags) {
   }
   std::printf("%s: valid metrics snapshot (%zu counters, %zu histograms)\n",
               path, counters->object.size(), histograms->object.size());
+
+  // --diff <older.json>: reconstruct both snapshots (buckets included) and
+  // print the windowed view between them — what moved, and at what rate over
+  // --interval-secs — the offline twin of the live /health computation.
+  if (const char* older_path = flags.Get("diff")) {
+    rpq::obs::JsonValue older_root;
+    if (!ParseJsonFile(older_path, &older_root, &err)) return Fail(err);
+    rpq::obs::Snapshot older, newer;
+    if (!rpq::obs::SnapshotFromJson(older_root, &older, &err)) {
+      return Fail(std::string(older_path) + ": " + err);
+    }
+    if (!rpq::obs::SnapshotFromJson(root, &newer, &err)) {
+      return Fail(std::string(path) + ": " + err);
+    }
+    const double interval =
+        std::strtod(flags.Get("interval-secs", "1"), nullptr);
+    const rpq::obs::WindowedView view =
+        rpq::obs::DiffSnapshots(older, newer, interval);
+    std::printf("diff %s -> %s over %.3gs:\n", older_path, path, interval);
+    for (const auto& c : view.counters) {
+      if (c.delta == 0) continue;
+      std::printf("  %-28s +%-10llu %10.1f/s\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.delta), c.rate);
+    }
+    for (const auto& h : view.histograms) {
+      if (h.interval.count == 0) continue;
+      std::printf("  %-28s %8llu samples  p50 %11.0f  p95 %11.0f  "
+                  "p99 %11.0f\n",
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.interval.count),
+                  h.interval.Percentile(0.50), h.interval.Percentile(0.95),
+                  h.interval.Percentile(0.99));
+    }
+  }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// bench-diff: the per-PR regression gate. Compares two bench summary JSONs
+// (BENCH_serve.json, BENCH_ivf.json) leaf by leaf and exits non-zero when a
+// gated metric moved past tolerance. Direction is inferred from the metric
+// name: recall/QPS/throughput must not DROP more than --max-recall-regress
+// percent; latency/percentile/cost keys must not RISE more than
+// --max-regress percent; any other numeric leaf is informational. Gated
+// metrics present in the baseline but missing from the candidate also fail
+// (a silently vanished metric must not read as "no regression").
+
+enum class BenchDirection { kHigherBetter, kLowerBetter, kInfo };
+
+BenchDirection ClassifyBenchKey(const std::string& key) {
+  std::string k;
+  k.reserve(key.size());
+  for (char c : key) k += static_cast<char>(std::tolower(c));
+  auto has = [&k](const char* s) { return k.find(s) != std::string::npos; };
+  if (has("recall") || has("qps") || has("items_per_second") ||
+      has("throughput")) {
+    return BenchDirection::kHigherBetter;
+  }
+  if (has("p50") || has("p95") || has("p99") || has("latency") ||
+      has("us_per") || has("ms_per") || has("ns_per") || has("mean_ms") ||
+      has("wall") || has("cost") || has("seconds")) {
+    return BenchDirection::kLowerBetter;
+  }
+  return BenchDirection::kInfo;
+}
+
+struct BenchDiffReport {
+  double max_regress = 10.0;         // % tolerance for lower-better keys
+  double max_recall_regress = 10.0;  // % tolerance for higher-better keys
+  size_t compared = 0;
+  size_t gated = 0;
+  std::vector<std::string> failures;
+
+  void CompareLeaf(const std::string& path, const std::string& key,
+                   double old_v, double new_v) {
+    ++compared;
+    const BenchDirection dir = ClassifyBenchKey(key);
+    if (dir == BenchDirection::kInfo) return;
+    ++gated;
+    if (old_v <= 0) return;  // no meaningful relative change from zero
+    char line[256];
+    if (dir == BenchDirection::kLowerBetter) {
+      const double pct = (new_v - old_v) / old_v * 100.0;
+      if (pct > max_regress) {
+        std::snprintf(line, sizeof(line),
+                      "%s: %.6g -> %.6g (+%.1f%%, tolerance +%.1f%%)",
+                      path.c_str(), old_v, new_v, pct, max_regress);
+        failures.emplace_back(line);
+      }
+    } else {
+      const double pct = (old_v - new_v) / old_v * 100.0;
+      if (pct > max_recall_regress) {
+        std::snprintf(line, sizeof(line),
+                      "%s: %.6g -> %.6g (-%.1f%%, tolerance -%.1f%%)",
+                      path.c_str(), old_v, new_v, pct, max_recall_regress);
+        failures.emplace_back(line);
+      }
+    }
+  }
+
+  void Missing(const std::string& path) {
+    failures.push_back(path + ": gated metric missing from candidate");
+  }
+};
+
+// The sweep-table convention (BENCH_ivf.json): an object holding
+// "columns": ["nprobe", "recall@10", ...] plus sibling arrays of rows,
+// each row one array of numbers. Rows are matched between baseline and
+// candidate by their first cell (the sweep axis), and each remaining cell
+// is gated under its column name.
+void DiffBenchTable(const std::string& path,
+                    const std::vector<rpq::obs::JsonValue>& columns,
+                    const rpq::obs::JsonValue& old_rows,
+                    const rpq::obs::JsonValue& new_rows,
+                    BenchDiffReport* report) {
+  auto row_ok = [](const rpq::obs::JsonValue& r) {
+    return r.is_array() && !r.array.empty() && r.array[0].is_number();
+  };
+  for (const rpq::obs::JsonValue& old_row : old_rows.array) {
+    if (!row_ok(old_row)) continue;
+    const double axis = old_row.array[0].number;
+    const rpq::obs::JsonValue* new_row = nullptr;
+    for (const rpq::obs::JsonValue& candidate : new_rows.array) {
+      if (row_ok(candidate) && candidate.array[0].number == axis) {
+        new_row = &candidate;
+        break;
+      }
+    }
+    char axis_buf[48];
+    std::snprintf(axis_buf, sizeof(axis_buf), "%.6g", axis);
+    const std::string row_path = path + "[" + axis_buf + "]";
+    if (new_row == nullptr) {
+      report->Missing(row_path);
+      continue;
+    }
+    const size_t cells =
+        std::min(old_row.array.size(), new_row->array.size());
+    for (size_t j = 1; j < cells; ++j) {
+      if (!old_row.array[j].is_number() || !new_row->array[j].is_number()) {
+        continue;
+      }
+      const std::string col =
+          j < columns.size() &&
+                  columns[j].type == rpq::obs::JsonValue::Type::kString
+              ? columns[j].string
+              : "col" + std::to_string(j);
+      report->CompareLeaf(row_path + "." + col, col, old_row.array[j].number,
+                          new_row->array[j].number);
+    }
+  }
+}
+
+void DiffBenchValues(const std::string& path, const std::string& key,
+                     const rpq::obs::JsonValue& old_v,
+                     const rpq::obs::JsonValue& new_v,
+                     BenchDiffReport* report) {
+  if (old_v.is_number() && new_v.is_number()) {
+    report->CompareLeaf(path, key, old_v.number, new_v.number);
+    return;
+  }
+  if (old_v.is_object() && new_v.is_object()) {
+    const rpq::obs::JsonValue* old_cols = old_v.Find("columns");
+    const bool is_table = old_cols != nullptr && old_cols->is_array();
+    for (const auto& [name, old_child] : old_v.object) {
+      const std::string child_path =
+          path.empty() ? name : path + "." + name;
+      const rpq::obs::JsonValue* new_child = new_v.Find(name);
+      if (new_child == nullptr) {
+        // A vanished subtree fails only if it held gated leaves; probe it
+        // against itself to find out without duplicating the walk.
+        BenchDiffReport probe;
+        DiffBenchValues(child_path, name, old_child, old_child, &probe);
+        if (probe.gated > 0) report->Missing(child_path);
+        continue;
+      }
+      if (is_table && name != "columns" && old_child.is_array() &&
+          new_child->is_array()) {
+        DiffBenchTable(child_path, old_cols->array, old_child, *new_child,
+                       report);
+      } else {
+        DiffBenchValues(child_path, name, old_child, *new_child, report);
+      }
+    }
+    return;
+  }
+  if (old_v.is_array() && new_v.is_array()) {
+    const size_t n = std::min(old_v.array.size(), new_v.array.size());
+    for (size_t i = 0; i < n; ++i) {
+      DiffBenchValues(path + "[" + std::to_string(i) + "]", key,
+                      old_v.array[i], new_v.array[i], report);
+    }
+  }
+  // Strings, bools, and type mismatches (dates, descriptions) are not gated.
+}
+
+int CmdBenchDiff(const std::vector<std::string>& positional,
+                 const Flags& flags) {
+  if (positional.size() != 2) {
+    return Fail("usage: rpq_tool bench-diff <baseline.json> <candidate.json> "
+                "[--max-regress pct] [--max-recall-regress pct]");
+  }
+  rpq::obs::JsonValue old_root, new_root;
+  std::string err;
+  if (!ParseJsonFile(positional[0].c_str(), &old_root, &err)) return Fail(err);
+  if (!ParseJsonFile(positional[1].c_str(), &new_root, &err)) return Fail(err);
+
+  BenchDiffReport report;
+  report.max_regress = std::strtod(flags.Get("max-regress", "10"), nullptr);
+  report.max_recall_regress = std::strtod(
+      flags.Get("max-recall-regress",
+                flags.Get("max-regress", "10")),
+      nullptr);
+  DiffBenchValues("", "", old_root, new_root, &report);
+
+  std::printf("bench-diff %s -> %s: %zu numeric leaves compared, %zu gated "
+              "(tolerance +%.1f%% / recall -%.1f%%)\n",
+              positional[0].c_str(), positional[1].c_str(), report.compared,
+              report.gated, report.max_regress, report.max_recall_regress);
+  if (report.failures.empty()) {
+    std::printf("no regressions past tolerance\n");
+    return 0;
+  }
+  for (const std::string& f : report.failures) {
+    std::fprintf(stderr, "REGRESSION %s\n", f.c_str());
+  }
+  return Fail(std::to_string(report.failures.size()) +
+              " regression(s) past tolerance");
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: rpq_tool <gen|stats|build-graph|train|encode|build-ivf|"
-               "search|serve-bench|metrics-validate> [--flags]\nsee the header "
-               "of tools/rpq_tool.cc for the full pipeline\n");
+               "search|serve-bench|bench-diff|metrics-validate> [--flags]\n"
+               "see the header of tools/rpq_tool.cc for the full pipeline\n");
   return 2;
 }
 
@@ -1144,6 +1500,19 @@ int main(int argc, char** argv) {
   if (cmd == "build-ivf") return CmdBuildIvf(flags);
   if (cmd == "search") return CmdSearch(flags);
   if (cmd == "serve-bench") return CmdServeBench(flags);
+  if (cmd == "bench-diff") {
+    // bench-diff takes its two files positionally; skip over flag values so
+    // "--max-regress 10" does not read as a file.
+    std::vector<std::string> positional;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) ++i;
+        continue;
+      }
+      positional.emplace_back(argv[i]);
+    }
+    return CmdBenchDiff(positional, flags);
+  }
   if (cmd == "metrics-validate") return CmdMetricsValidate(flags);
   return Usage();
 }
