@@ -10,6 +10,7 @@
 #include "core/diff_quantizer.h"
 #include "core/memory_index.h"
 #include "data/synthetic.h"
+#include "disk/disk_index.h"
 #include "graph/beam_search.h"
 #include "graph/vamana.h"
 #include "ivf/ivf_index.h"
@@ -768,6 +769,62 @@ void BM_TracedSearchRecorded(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TracedSearchRecorded)->Arg(16)->Arg(64);
+
+// Async disk search across the (queue_depth, io_width, readahead) grid. The
+// wall-clock rate measures CPU cost of the wave machinery (submission,
+// prefetch cache, rerank); the sim_io_us_per_q counter reports the simulated
+// overlapped device time that the serving metrics gate — at QD 8 / width 8
+// it should sit ~8x under the {1,1,0} sequential baseline.
+struct DiskAsyncFixture {
+  Dataset base, queries;
+  graph::ProximityGraph graph;
+  std::unique_ptr<quant::PqQuantizer> pq;
+};
+
+DiskAsyncFixture& DiskFixture() {
+  static DiskAsyncFixture f = [] {
+    DiskAsyncFixture x;
+    synthetic::MakeBaseAndQueries("sift", 20000, 50, 23, &x.base, &x.queries);
+    graph::VamanaOptions vopt;
+    vopt.degree = 24;
+    vopt.build_beam = 48;
+    x.graph = graph::BuildVamana(x.base, vopt);
+    quant::PqOptions popt;
+    popt.m = 16;
+    popt.nbits = 4;
+    popt.kmeans_iters = 6;
+    x.pq = quant::PqQuantizer::Train(x.base, popt);
+    return x;
+  }();
+  return f;
+}
+
+void BM_DiskSearchAsync(benchmark::State& state) {
+  DiskAsyncFixture& f = DiskFixture();
+  disk::DiskIndexOptions dopt;
+  dopt.ssd.queue_depth = static_cast<size_t>(state.range(0));
+  dopt.io_width = static_cast<size_t>(state.range(1));
+  dopt.readahead = static_cast<size_t>(state.range(2));
+  auto index = disk::DiskIndex::Build(f.base, f.graph, *f.pq, dopt);
+  size_t qi = 0;
+  double sim_io = 0;
+  for (auto _ : state) {
+    auto res = index->Search(f.queries[qi % f.queries.size()], 10, {64, 10});
+    sim_io += res.io.simulated_seconds;
+    benchmark::DoNotOptimize(res);
+    ++qi;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_io_us_per_q"] =
+      sim_io * 1e6 / static_cast<double>(std::max<int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_DiskSearchAsync)
+    ->Args({1, 1, 0})    // sequential baseline (QD cannot help width 1)
+    ->Args({8, 1, 0})
+    ->Args({8, 4, 0})
+    ->Args({8, 8, 0})
+    ->Args({8, 8, 4})    // full async: wide waves + readahead
+    ->Args({8, 1, 4});   // readahead-only: hits without wide waves
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Collects the per-PR serving trajectory: runs two fixed serve-bench
-# scenarios (graph FastScan memory backend, IVF flat-scan backend) on a
+# Collects the per-PR serving trajectory: runs four fixed serve-bench
+# scenarios (graph FastScan memory backend, IVF flat-scan backend, and the
+# hybrid disk backend sync vs async QD-8) on a
 # deterministic synthetic fixture and parses the reports into a bench
 # summary JSON (schema: scenarios.<name>.{recall_at_10, closed_qps,
 # closed_p50_ms, ...}). The checked-in BENCH_serve.json is one such run;
@@ -68,6 +69,22 @@ run_scenario ivf_residual_nprobe8 \
   --store-vectors --rerank 50 --rerank-mode exact \
   --threads 4 --k 10 --total 4000
 
+# Hybrid disk backend, sync baseline vs full-async (queue-depth submission +
+# beam-guided readahead). The disk_io_us_per_query key ("us_per" makes
+# bench-diff gate it lower-is-better) pins the async speedup per PR; recall
+# must stay equal between the two (same beam, same exact rerank).
+run_scenario disk_sync_qd1 \
+  --base "$WORK/base.fvecs" --graph "$WORK/g.bin" \
+  --model "$WORK/model.rpqq" --queries "$WORK/queries.fvecs" \
+  --index disk --queue-depth 1 --io-width 1 --readahead 0 \
+  --threads 4 --k 10 --beam 64 --total 2000
+
+run_scenario disk_async_qd8 \
+  --base "$WORK/base.fvecs" --graph "$WORK/g.bin" \
+  --model "$WORK/model.rpqq" --queries "$WORK/queries.fvecs" \
+  --index disk --queue-depth 8 --io-width 8 --readahead 4 \
+  --threads 4 --k 10 --beam 64 --total 2000
+
 # Parse one scenario log into its JSON fragment: the recall sanity line plus
 # the closed-loop report row (label-relative field scan, so the fixed-width
 # printf padding does not matter).
@@ -75,6 +92,7 @@ parse_scenario() {
   local log="$1"
   awk '
     /^recall@10 = / { recall = $3 }
+    /^disk-io us\/query = / { dio = $4 }
     /^closed-loop / {
       for (i = 1; i <= NF; ++i) {
         if ($i == "QPS") qps = $(i - 1)
@@ -87,7 +105,9 @@ parse_scenario() {
     END {
       printf "{\"recall_at_10\": %s, \"closed_qps\": %s, ", recall, qps
       printf "\"closed_mean_ms\": %s, \"closed_p50_ms\": %s, ", mean, p50
-      printf "\"closed_p95_ms\": %s, \"closed_p99_ms\": %s}", p95, p99
+      printf "\"closed_p95_ms\": %s, \"closed_p99_ms\": %s", p95, p99
+      if (dio != "") printf ", \"disk_io_us_per_query\": %s", dio
+      printf "}"
     }
   ' "$log"
 }
@@ -101,7 +121,9 @@ parse_scenario() {
     "$N" "$QUERIES" "$SEED" "$N" "$QUERIES"
   printf '  "scenarios": {\n'
   printf '    "memory_fastscan": %s,\n' "$(parse_scenario "$WORK/memory_fastscan.log")"
-  printf '    "ivf_residual_nprobe8": %s\n' "$(parse_scenario "$WORK/ivf_residual_nprobe8.log")"
+  printf '    "ivf_residual_nprobe8": %s,\n' "$(parse_scenario "$WORK/ivf_residual_nprobe8.log")"
+  printf '    "disk_sync_qd1": %s,\n' "$(parse_scenario "$WORK/disk_sync_qd1.log")"
+  printf '    "disk_async_qd8": %s\n' "$(parse_scenario "$WORK/disk_async_qd8.log")"
   printf '  }\n'
   printf '}\n'
 } > "$OUT"

@@ -5,6 +5,7 @@
 
 #include "common/distance.h"
 #include "common/logging.h"
+#include "disk/async_io.h"
 #include "quant/adc.h"
 #include "refine/refine.h"
 
@@ -14,6 +15,28 @@ namespace {
 // Node block layout: dim floats, then uint32 degree, then degree uint32 ids.
 size_t BlockPayloadBytes(size_t dim, size_t degree) {
   return dim * sizeof(float) + sizeof(uint32_t) + degree * sizeof(uint32_t);
+}
+
+// One slot of the in-flight demand wave.
+struct WaveSlot {
+  enum State : uint8_t { kPending, kReady, kFailed };
+  uint32_t id = 0;
+  State state = kPending;
+  std::vector<uint8_t> buf;
+};
+
+// Completion tags: demand reads carry their wave-slot index; speculative
+// readahead reads are tagged with kSpecTag so the two never collide.
+constexpr uint64_t kSpecTag = uint64_t{1} << 32;
+
+std::vector<uint8_t> TakeBuffer(std::vector<std::vector<uint8_t>>* spare,
+                                size_t bytes) {
+  if (!spare->empty()) {
+    std::vector<uint8_t> b = std::move(spare->back());
+    spare->pop_back();
+    return b;
+  }
+  return std::vector<uint8_t>(bytes);
 }
 
 }  // namespace
@@ -37,6 +60,8 @@ std::unique_ptr<DiskIndex> DiskIndex::Build(
       base.size(), BlockPayloadBytes(base.dim(), max_degree), options.ssd);
   index->max_read_retries_ = options.max_read_retries;
   index->retry_backoff_seconds_ = options.retry_backoff_seconds;
+  index->io_width_ = std::max<size_t>(1, options.io_width);
+  index->readahead_ = options.readahead;
 
   std::vector<uint8_t> block(index->ssd_->block_bytes(), 0);
   for (uint32_t v = 0; v < base.size(); ++v) {
@@ -62,26 +87,17 @@ std::unique_ptr<DiskIndex> DiskIndex::Build(
   return index;
 }
 
-bool DiskIndex::ReadBlockWithRetry(uint32_t v, uint8_t* block,
-                                   IoStats* io) const {
-  // Bounded linear backoff: each retry charges `retry_backoff_seconds` of
-  // simulated wait (a real driver would sleep before re-issuing) on top of
-  // the failed attempt's device time, which ReadBlock already charged.
-  for (size_t attempt = 0;; ++attempt) {
-    Status s = ssd_->ReadBlock(v, block, ssd_->block_bytes(), io);
-    if (s.ok()) return true;
-    if (attempt >= max_read_retries_) return false;
-    ++io->retries;
-    io->simulated_seconds += retry_backoff_seconds_;
-  }
-}
-
 DiskSearchResult DiskIndex::Search(const float* query, size_t k,
                                    const graph::BeamSearchOptions& options,
-                                   obs::QueryTrace* trace) const {
+                                   obs::QueryTrace* trace,
+                                   const DiskIoOptions& io_opt) const {
   DiskSearchResult out;
   const size_t beam_width = std::max(options.beam_width, k);
   const size_t code_size = quantizer_.code_size();
+  const size_t io_width =
+      std::max<size_t>(1, io_opt.io_width != 0 ? io_opt.io_width : io_width_);
+  const size_t readahead =
+      io_opt.readahead != 0 ? io_opt.readahead : readahead_;
 
   // Navigation estimator: float ADC by default, the FastScan u8 shuffle path
   // when packed neighbor blocks were built. Either way results are reranked
@@ -100,8 +116,11 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
     }
   }
 
-  // Same flat-beam hot loop as graph::BeamSearch (see detail::FlatBeam), with
-  // an SSD block read per expansion and an exact-distance rerank on the side.
+  // Same flat-beam hot loop as graph::BeamSearch (see detail::FlatBeam), now
+  // wave-structured: up to `io_width` best unexpanded entries are drained
+  // per iteration, their SSD reads overlap through AsyncIoContext, and the
+  // readahead prefetcher speculates on the next-best candidates while the
+  // wave is in flight. Exact-distance rerank still happens on the side.
   graph::VisitedTable& visited = *graph::TlsVisitedTable(num_vertices_);
   visited.NextEpoch();
   graph::detail::FlatBeam beam(beam_width);  // ascending by (est distance, id)
@@ -125,44 +144,25 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
   ++out.stats.dist_comps;
   visited.MarkVisited(entry_);
 
-  std::vector<uint8_t> block(ssd_->block_bytes());
-  {
-  obs::ScopedStage span(obs::Stage::kBeam, trace);
-  for (;;) {
-    const size_t next = beam.NextUnexpanded();
-    if (next == graph::detail::FlatBeam::kNone) break;
-    // The deadline covers simulated device time too: latency that would be
-    // real on the modeled hardware counts against the budget.
-    if (options.deadline.Expired(out.io.simulated_seconds)) {
-      out.stats.deadline_hit = true;
-      out.degraded = true;
-      break;
-    }
-    beam.MarkExpanded(next);
-    uint32_t v = beam.entries()[next].id;
-    ++out.stats.hops;
-
-    // One SSD read delivers v's full vector and adjacency; transient errors
-    // retry with bounded backoff, and a block that stays unreadable is
-    // skipped (degraded recall, never a crash).
-    if (!ReadBlockWithRetry(v, block.data(), &out.io)) {
-      out.degraded = true;
-      continue;
-    }
-    const float* vec = reinterpret_cast<const float*>(block.data());
+  // Scores one fetched node block: exact rerank of the node itself (counted
+  // as a distance computation, like the memory backends count their rerank)
+  // plus estimate-scored beam inserts for its adjacency.
+  const auto process_block = [&](uint32_t v, const uint8_t* blk) {
+    const float* vec = reinterpret_cast<const float*>(blk);
     uint32_t deg = 0;
-    std::memcpy(&deg, block.data() + dim_ * sizeof(float), sizeof(deg));
+    std::memcpy(&deg, blk + dim_ * sizeof(float), sizeof(deg));
     const uint32_t* nbrs = reinterpret_cast<const uint32_t*>(
-        block.data() + dim_ * sizeof(float) + sizeof(uint32_t));
+        blk + dim_ * sizeof(float) + sizeof(uint32_t));
 
     rerank.Push(SquaredL2(query, vec, dim_), v);
+    ++out.stats.dist_comps;
 
     if (fast.has_value()) {
       // Score the whole adjacency from the packed in-memory blocks (same
       // adjacency order as the on-disk lists); distance-first pruning skips
       // the visited table for candidates the beam could never keep (see the
       // neighbor-block branch of graph::BeamSearch).
-      if (deg == 0) continue;
+      if (deg == 0) return;
       cand_dists.resize(deg);
       fast->ScoreNeighbors(v, nbrs, deg, cand_dists.data());
       out.stats.dist_comps += deg;
@@ -178,13 +178,15 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
         beam.Insert(cand_dists[idx], u);
         worst = beam.WorstDist();
       }
-      continue;
+      return;
     }
 
     quant::AdcBatchOracle adc{*table, codes_.data(), code_size};
     cand_ids.clear();
     for (uint32_t idx = 0; idx < deg; ++idx) {
-      if (idx + 4 < deg) visited.Prefetch(nbrs[idx + 4]);
+      if (idx + graph::kVisitedPrefetchDistance < deg) {
+        visited.Prefetch(nbrs[idx + graph::kVisitedPrefetchDistance]);
+      }
       uint32_t u = nbrs[idx];
       if (visited.Visited(u)) {
         ++out.stats.visited_hits;
@@ -193,15 +195,146 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
       visited.MarkVisited(u);
       cand_ids.push_back(u);
     }
-    if (cand_ids.empty()) continue;
+    if (cand_ids.empty()) return;
     cand_dists.resize(cand_ids.size());
     adc(cand_ids.data(), cand_ids.size(), cand_dists.data());
     out.stats.dist_comps += cand_ids.size();
     for (size_t i = 0; i < cand_ids.size(); ++i) {
       beam.Insert(cand_dists[i], cand_ids[i]);
     }
+  };
+
+  AsyncIoContext aio(*ssd_, ssd_->options().queue_depth);
+  // The cache must be able to hold every still-unexpanded speculation: the
+  // loop only terminates once the whole beam is expanded, so a cached block
+  // that survives in the beam is a guaranteed (eventual) hit — evicting
+  // early would convert those hits into wasted reads. Bound by the beam
+  // width (plus slack for churn); per-query memory is ~beam_width blocks.
+  PrefetchCache cache(
+      readahead > 0 ? beam_width + 4 * readahead : 0);
+  std::vector<WaveSlot> wave;
+  wave.reserve(io_width);
+  std::vector<IoCompletion> completions;
+  std::vector<std::vector<uint8_t>> spare;  // recycled block buffers
+  std::unordered_map<uint32_t, std::vector<uint8_t>> spec_inflight;
+
+  {
+  obs::ScopedStage span(obs::Stage::kBeam, trace);
+  for (;;) {
+    if (beam.NextUnexpanded() == graph::detail::FlatBeam::kNone) break;
+    // The deadline covers simulated device time too: latency that would be
+    // real on the modeled hardware counts against the budget. Checked once
+    // per wave (per hop at io_width=1), so an expensive wave surfaces as a
+    // degraded partial answer at the next boundary.
+    if (options.deadline.Expired(out.io.simulated_seconds)) {
+      out.stats.deadline_hit = true;
+      out.degraded = true;
+      break;
+    }
+
+    // Drain up to io_width best unexpanded entries into this wave — the
+    // same (estimate, id) order the sequential path expands one at a time.
+    wave.clear();
+    while (wave.size() < io_width) {
+      const size_t next = beam.NextUnexpanded();
+      if (next == graph::detail::FlatBeam::kNone) break;
+      beam.MarkExpanded(next);
+      WaveSlot slot;
+      slot.id = beam.entries()[next].id;
+      wave.push_back(std::move(slot));
+      ++out.stats.hops;
+    }
+
+    // Demand submissions; a prefetch-cache hit already holds the block and
+    // costs no device time.
+    for (size_t i = 0; i < wave.size(); ++i) {
+      WaveSlot& s = wave[i];
+      if (readahead > 0 && cache.Take(s.id, &s.buf)) {
+        s.state = WaveSlot::kReady;
+        ++out.io.prefetch_hits;
+        continue;
+      }
+      s.buf = TakeBuffer(&spare, ssd_->block_bytes());
+      aio.SubmitRead(s.id, s.buf.data(), static_cast<uint64_t>(i));
+    }
+
+    // Beam-guided readahead: speculate on the next-best unexpanded
+    // candidates (the beam's estimate order IS the prediction) while the
+    // demand wave is in flight. Failed speculative reads are dropped, not
+    // retried — the block simply falls back to a demand read if expanded.
+    if (readahead > 0) {
+      size_t speculated = 0;
+      for (const auto& e : beam.entries()) {
+        if (speculated >= readahead) break;
+        if (e.expanded != 0) continue;
+        if (cache.Contains(e.id) ||
+            spec_inflight.find(e.id) != spec_inflight.end()) {
+          continue;
+        }
+        spec_inflight.emplace(e.id, TakeBuffer(&spare, ssd_->block_bytes()));
+        aio.SubmitRead(e.id, spec_inflight[e.id].data(), kSpecTag | e.id);
+        ++out.io.prefetch_issued;
+        ++speculated;
+      }
+    }
+
+    if (aio.pending() > 0) {
+      // One overlapped wave: demand + speculative reads complete together,
+      // charging max(slowest, serial/queue_depth) of simulated time.
+      aio.PollCompletions(&completions, &out.io);
+      for (IoCompletion& c : completions) {
+        if (c.user_data & kSpecTag) {
+          auto it = spec_inflight.find(c.block);
+          if (c.status.ok()) {
+            cache.Insert(c.block, std::move(it->second));
+          } else {
+            spare.push_back(std::move(it->second));
+          }
+          spec_inflight.erase(it);
+          continue;
+        }
+        WaveSlot& s = wave[c.user_data];
+        s.state = c.status.ok() ? WaveSlot::kReady : WaveSlot::kFailed;
+      }
+
+      // Bounded retry of failed DEMAND reads (PR 8 semantics): each round
+      // charges `retry_backoff_seconds` per block before re-issuing, and the
+      // retry wave overlaps on the device like any other.
+      for (size_t round = 0; round < max_read_retries_; ++round) {
+        bool any = false;
+        for (size_t i = 0; i < wave.size(); ++i) {
+          if (wave[i].state != WaveSlot::kFailed) continue;
+          ++out.io.retries;
+          out.io.simulated_seconds += retry_backoff_seconds_;
+          aio.SubmitRead(wave[i].id, wave[i].buf.data(),
+                         static_cast<uint64_t>(i));
+          any = true;
+        }
+        if (!any) break;
+        aio.PollCompletions(&completions, &out.io);
+        for (IoCompletion& c : completions) {
+          WaveSlot& s = wave[c.user_data];
+          s.state = c.status.ok() ? WaveSlot::kReady : WaveSlot::kFailed;
+        }
+      }
+    }
+
+    // Score fetched nodes in wave (estimate, id) order — identical to the
+    // sequential expansion order. A block that stayed unreadable through all
+    // retries is skipped (degraded recall, never a crash).
+    for (WaveSlot& s : wave) {
+      if (s.state == WaveSlot::kReady) {
+        process_block(s.id, s.buf.data());
+      } else {
+        out.degraded = true;
+      }
+      spare.push_back(std::move(s.buf));
+    }
   }
   }
+  // Speculated blocks never consumed by an expansion (still cached or still
+  // accounted in-flight) were wasted reads.
+  out.io.prefetch_wasted = out.io.prefetch_issued - out.io.prefetch_hits;
 
   {
     obs::ScopedStage span(obs::Stage::kMerge, trace);
@@ -223,6 +356,13 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
     static const obs::CounterId hits = obs::GetCounter("graph.visited_hits");
     static const obs::CounterId errors = obs::GetCounter("disk.io_errors");
     static const obs::CounterId retries = obs::GetCounter("disk.retries");
+    static const obs::CounterId spikes = obs::GetCounter("disk.latency_spikes");
+    static const obs::CounterId waves = obs::GetCounter("disk.io_waves");
+    static const obs::CounterId pf_issued =
+        obs::GetCounter("disk.prefetch_issued");
+    static const obs::CounterId pf_hits = obs::GetCounter("disk.prefetch_hits");
+    static const obs::CounterId pf_wasted =
+        obs::GetCounter("disk.prefetch_wasted");
     obs::Add(queries, 1);
     obs::Add(reads, out.io.reads);
     obs::Add(bytes, out.io.bytes);
@@ -231,6 +371,11 @@ DiskSearchResult DiskIndex::Search(const float* query, size_t k,
     obs::Add(hits, out.stats.visited_hits);
     obs::Add(errors, out.io.io_errors);
     obs::Add(retries, out.io.retries);
+    obs::Add(spikes, out.io.latency_spikes);
+    obs::Add(waves, out.io.io_waves);
+    obs::Add(pf_issued, out.io.prefetch_issued);
+    obs::Add(pf_hits, out.io.prefetch_hits);
+    obs::Add(pf_wasted, out.io.prefetch_wasted);
   }
   return out;
 }

@@ -36,12 +36,36 @@ struct DiskIndexOptions {
   /// Simulated backoff charged per retry, on top of the failed attempt's
   /// device time (both land in the io stage).
   double retry_backoff_seconds = 50e-6;
+  /// Async wave width: up to this many best unexpanded beam entries are
+  /// drained per iteration and their block reads submitted together through
+  /// AsyncIoContext, overlapping on the device up to `ssd.queue_depth`.
+  /// io_width=1 (with readahead=0) reproduces the sequential path
+  /// bit-for-bit — same hops, same results, same simulated time.
+  size_t io_width = 1;
+  /// Beam-guided readahead: alongside each demand wave, submit speculative
+  /// reads for up to this many next-best unexpanded candidates (ranked by
+  /// the same FastScan/ADC estimates that order the beam) into a small
+  /// prefetch cache. A later expansion of a speculated block is a zero-cost
+  /// hit; a wrong guess is counted (`IoStats::prefetch_wasted`), not fatal.
+  /// 0 disables speculation.
+  size_t readahead = 0;
+};
+
+/// Per-query async I/O overrides; 0 means "use the index's build-time
+/// default". (An explicit per-query opt-out of a configured readahead is
+/// not expressible — build with readahead=0 to disable speculation.)
+struct DiskIoOptions {
+  size_t io_width = 0;
+  size_t readahead = 0;
 };
 
 /// Result of one hybrid query.
 struct DiskSearchResult {
   std::vector<Neighbor> results;  ///< ascending by EXACT distance (reranked)
-  graph::SearchStats stats;       ///< hops == block reads
+  /// hops == beam expansions; with readahead=0 also == block reads (each
+  /// expansion is one demand read), while speculative readahead decouples
+  /// the two (prefetch hits skip the read, wrong guesses add reads).
+  graph::SearchStats stats;
   IoStats io;                     ///< simulated device accounting
   /// True when the answer is partial: the deadline fired mid-beam or a block
   /// stayed unreadable through all retries.
@@ -65,10 +89,12 @@ class DiskIndex {
 
   /// Beam search with ADC navigation + full-precision rerank. `trace`, when
   /// set, receives per-stage spans (lut_build / beam / merge, plus the
-  /// simulated device time as the io stage).
+  /// simulated device time as the io stage). `io` overrides the build-time
+  /// wave/readahead knobs for this query (0 = keep the index default).
   DiskSearchResult Search(const float* query, size_t k,
                           const graph::BeamSearchOptions& options,
-                          obs::QueryTrace* trace = nullptr) const;
+                          obs::QueryTrace* trace = nullptr,
+                          const DiskIoOptions& io = {}) const;
 
   /// Bytes resident in memory: codes + codebook/transform model (+ packed
   /// FastScan neighbor blocks when routing with them).
@@ -83,13 +109,11 @@ class DiskIndex {
  private:
   DiskIndex(const quant::VectorQuantizer& quantizer) : quantizer_(quantizer) {}
 
-  /// ReadBlock with bounded retry on transient errors; false when the block
-  /// stayed unreadable (caller skips the node and flags degradation).
-  bool ReadBlockWithRetry(uint32_t v, uint8_t* block, IoStats* io) const;
-
   const quant::VectorQuantizer& quantizer_;
   size_t max_read_retries_ = 3;
   double retry_backoff_seconds_ = 50e-6;
+  size_t io_width_ = 1;
+  size_t readahead_ = 0;
   std::unique_ptr<SsdSimulator> ssd_;
   std::vector<uint8_t> codes_;  // in-memory compact codes, n * code_size
   std::optional<quant::PackedNeighborBlocks> fastscan_;

@@ -33,10 +33,14 @@ namespace rpq::disk {
 struct IoStats {
   size_t reads = 0;              ///< block reads issued (successful)
   size_t bytes = 0;              ///< bytes transferred
-  double simulated_seconds = 0;  ///< reads * per-read latency (+ bandwidth)
+  double simulated_seconds = 0;  ///< overlapped device time (see AsyncIoContext)
   size_t io_errors = 0;          ///< transient read failures observed
   size_t retries = 0;            ///< re-issued reads after a transient error
   size_t latency_spikes = 0;     ///< reads that hit an injected tail spike
+  size_t io_waves = 0;           ///< async submission waves polled
+  size_t prefetch_issued = 0;    ///< speculative readahead reads submitted
+  size_t prefetch_hits = 0;      ///< expansions served from the prefetch cache
+  size_t prefetch_wasted = 0;    ///< speculated blocks never consumed
 };
 
 /// Configuration of the simulated device.
@@ -48,6 +52,11 @@ struct SsdOptions {
   double latency_spike_rate = 0;     ///< P(read costs multiplier x) in [0,1]
   double latency_spike_multiplier = 20;  ///< spike cost factor (~2 ms @ 100 us)
   uint64_t fault_seed = 1;           ///< seed for the device's injector
+  /// Reads the device serves concurrently: an async wave of D submissions
+  /// charges max(slowest read, serial_sum / queue_depth) of simulated time
+  /// (disk/async_io.h). Purely a device property — single-read waves cost
+  /// their serial latency regardless, so it cannot change sync-path timing.
+  size_t queue_depth = 8;
 };
 
 /// Flat block device: fixed-size node blocks, counted sector reads.
@@ -76,6 +85,9 @@ class SsdSimulator {
 
   /// The device's effective fault plan (own knobs merged with RPQ_FAULTS).
   fault::Plan fault_plan() const { return injector_.plan(); }
+
+  /// The device's configuration (queue depth, latency, fault knobs).
+  const SsdOptions& options() const { return opt_; }
 
  private:
   size_t num_blocks_;

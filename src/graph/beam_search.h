@@ -41,6 +41,11 @@ struct BeamSearchOptions {
   Deadline deadline;
 };
 
+/// How many ids ahead the neighbor-gather loops prefetch the visited-table
+/// stamp. One constant shared by graph::BeamSearch and the hybrid
+/// disk::DiskIndex::Search so the two hot loops cannot drift.
+inline constexpr size_t kVisitedPrefetchDistance = 4;
+
 /// Optional per-step observer: receives the ranked global candidate set
 /// (ascending estimated distance, <= beam_width entries) right before each
 /// expansion. Used by the routing-feature extractor (Alg. 2).
@@ -247,7 +252,9 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& g, uint32_t entry,
       // can.
       cand_ids.clear();
       for (size_t i = 0; i < deg; ++i) {
-        if (i + 4 < deg) visited->Prefetch(nbrs[i + 4]);
+        if (i + kVisitedPrefetchDistance < deg) {
+          visited->Prefetch(nbrs[i + kVisitedPrefetchDistance]);
+        }
         uint32_t u = nbrs[i];
         if (visited->Visited(u)) {
           if (stats != nullptr) ++stats->visited_hits;

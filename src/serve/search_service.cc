@@ -61,7 +61,7 @@ void MemoryIndexService::SearchBatch(const QuerySpec* qs, size_t n,
 
 QueryResult DiskIndexService::Search(const QuerySpec& q) const {
   auto res = index_.Search(q.query, q.k, {q.beam_width, q.k, DeadlineFor(q)},
-                           q.trace);
+                           q.trace, {q.io_width, q.readahead});
   QueryResult out{std::move(res.results), res.stats,
                   res.io.simulated_seconds};
   // Degradation can come from the deadline OR from a block that stayed

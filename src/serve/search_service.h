@@ -43,6 +43,11 @@ struct QuerySpec {
   /// partial answer found so far with QueryResult::degraded set — a late
   /// query is truncated, never blocked on.
   uint64_t deadline_us = 0;
+  /// Async disk knobs (hybrid backend only; others ignore them): beam
+  /// expansions submitted per I/O wave and speculative readahead reads per
+  /// wave. 0 defers to the index's build-time defaults (disk/disk_index.h).
+  size_t io_width = 0;
+  size_t readahead = 0;
 };
 
 /// What one served query returned, plus its costs.

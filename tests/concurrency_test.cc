@@ -17,6 +17,7 @@
 #include "graph/fresh_vamana.h"
 #include "graph/vamana.h"
 #include "quant/pq.h"
+#include "serve/search_service.h"
 
 namespace rpq {
 namespace {
@@ -101,6 +102,46 @@ TEST(ConcurrencyTest, DiskIndexConcurrentSearchMatchesSerial) {
     workers.emplace_back([&] {
       for (size_t q = 0; q < f.queries.size(); ++q) {
         auto res = disk->Search(f.queries[q], 10, opt).results;
+        if (res != serial[q]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// Async disk path under concurrency: each query drives its own
+// AsyncIoContext + prefetch cache over the shared const device, so in-flight
+// wide waves with speculation from many threads must stay coherent
+// (TSan-checked) and deterministic. Exercised through DiskIndexService so
+// the QuerySpec knob plumbing is on the tested path.
+TEST(ConcurrencyTest, DiskServiceConcurrentAsyncQueriesMatchSerial) {
+  MemoryFixture f = MakeMemoryFixture(600, 12);
+  disk::DiskIndexOptions dopt;
+  dopt.ssd.queue_depth = 8;
+  auto disk = disk::DiskIndex::Build(f.base, f.graph, *f.pq, dopt);
+  serve::DiskIndexService service(*disk);
+  const auto make_spec = [&](size_t q) {
+    serve::QuerySpec spec;
+    spec.query = f.queries[q];
+    spec.k = 10;
+    spec.beam_width = 32;
+    spec.io_width = 8;
+    spec.readahead = 4;
+    return spec;
+  };
+
+  std::vector<std::vector<Neighbor>> serial(f.queries.size());
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    serial[q] = service.Search(make_spec(q)).results;
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (size_t q = 0; q < f.queries.size(); ++q) {
+        auto res = service.Search(make_spec(q)).results;
         if (res != serial[q]) mismatches.fetch_add(1);
       }
     });

@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
+#include "common/deadline.h"
 #include "common/distance.h"
 #include "data/ground_truth.h"
 #include "data/synthetic.h"
+#include "disk/async_io.h"
 #include "disk/disk_index.h"
 #include "disk/ssd_simulator.h"
 #include "eval/recall.h"
 #include "graph/vamana.h"
 #include "quant/pq.h"
+#include "serve/search_service.h"
 
 namespace rpq::disk {
 namespace {
@@ -109,6 +112,183 @@ TEST_F(DiskIndexTest, WiderBeamMoreIo) {
   auto narrow = index_->Search(queries_[2], 10, {16, 10});
   auto wide = index_->Search(queries_[2], 10, {128, 10});
   EXPECT_GT(wide.io.reads, narrow.io.reads);
+}
+
+// ---- Async DiskIndex v2 (queue-depth submission + readahead) ----
+
+TEST(AsyncIoContextTest, WaveChargesOverlappedTime) {
+  SsdOptions opt;
+  opt.read_latency_seconds = 1e-4;
+  opt.bandwidth_bytes_per_s = 1e12;  // cost ~= pure latency
+  opt.queue_depth = 4;
+  SsdSimulator ssd(8, 4096, opt);
+  const double c = 1e-4 + ssd.block_bytes() / 1e12;
+
+  AsyncIoContext aio(ssd, opt.queue_depth);
+  std::vector<std::vector<uint8_t>> bufs(
+      8, std::vector<uint8_t>(ssd.block_bytes()));
+  std::vector<IoCompletion> done;
+  IoStats stats;
+
+  // A wave of 8 uniform reads at QD 4 charges sum/QD, not the serial sum.
+  for (uint32_t i = 0; i < 8; ++i) aio.SubmitRead(i, bufs[i].data(), i);
+  EXPECT_EQ(aio.PollCompletions(&done, &stats), 8u);
+  EXPECT_EQ(done.size(), 8u);
+  EXPECT_EQ(stats.reads, 8u);
+  EXPECT_EQ(stats.io_waves, 1u);
+  EXPECT_NEAR(stats.simulated_seconds, 8 * c / 4, 1e-12);
+
+  // A wave of one read charges exactly its serial cost — the property that
+  // keeps io_width=1 bit-identical to the synchronous path.
+  IoStats one;
+  aio.SubmitRead(0, bufs[0].data(), 0);
+  aio.PollCompletions(&done, &one);
+  EXPECT_DOUBLE_EQ(one.simulated_seconds, c);
+}
+
+TEST(PrefetchCacheTest, FifoEvictionAndTake) {
+  PrefetchCache cache(2);
+  cache.Insert(1, std::vector<uint8_t>{1});
+  cache.Insert(2, std::vector<uint8_t>{2});
+  cache.Insert(3, std::vector<uint8_t>{3});  // evicts 1 (FIFO)
+  EXPECT_FALSE(cache.Contains(1));
+  std::vector<uint8_t> buf;
+  EXPECT_TRUE(cache.Take(2, &buf));
+  EXPECT_EQ(buf, std::vector<uint8_t>{2});
+  EXPECT_FALSE(cache.Contains(2));  // Take removes
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST_F(DiskIndexTest, AsyncWidthOneMatchesSequentialBitForBit) {
+  // The device queue depth cannot change a width-1 search: every wave holds
+  // one read, which charges exactly its serial cost. Results, hops, reads,
+  // and simulated time must match across queue depths bit for bit.
+  DiskIndexOptions dopt;
+  dopt.ssd.queue_depth = 1;
+  auto qd1 = DiskIndex::Build(base_, graph_, *pq_, dopt);
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    auto a = index_->Search(queries_[q], 10, {32, 10});  // default QD 8
+    auto b = qd1->Search(queries_[q], 10, {32, 10});
+    EXPECT_EQ(a.results, b.results) << "query " << q;
+    EXPECT_EQ(a.stats.hops, b.stats.hops);
+    EXPECT_EQ(a.io.reads, b.io.reads);
+    EXPECT_DOUBLE_EQ(a.io.simulated_seconds, b.io.simulated_seconds);
+  }
+}
+
+TEST_F(DiskIndexTest, ReadaheadKeepsResultsIdenticalAndEarnsItsReads) {
+  // At io_width=1 speculation cannot change what gets expanded or scored —
+  // a hit only removes a future demand wave — so results stay identical
+  // while simulated time can only shrink (uniform read costs, QD 8 absorbs
+  // the speculative reads inside each wave).
+  DiskIndexOptions dopt;
+  dopt.readahead = 4;
+  auto ra = DiskIndex::Build(base_, graph_, *pq_, dopt);
+  size_t issued = 0, hits = 0, wasted = 0;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    auto plain = index_->Search(queries_[q], 10, {32, 10});
+    auto spec = ra->Search(queries_[q], 10, {32, 10});
+    EXPECT_EQ(plain.results, spec.results) << "query " << q;
+    EXPECT_EQ(plain.stats.hops, spec.stats.hops);
+    EXPECT_EQ(spec.io.prefetch_hits + spec.io.prefetch_wasted,
+              spec.io.prefetch_issued);
+    EXPECT_LE(spec.io.simulated_seconds, plain.io.simulated_seconds + 1e-12);
+    issued += spec.io.prefetch_issued;
+    hits += spec.io.prefetch_hits;
+    wasted += spec.io.prefetch_wasted;
+  }
+  ASSERT_GT(issued, 0u);
+  EXPECT_EQ(hits + wasted, issued);
+  // Acceptance pin: the beam-rank predictor earns its speculative reads.
+  EXPECT_GE(static_cast<double>(hits), 0.5 * static_cast<double>(issued));
+}
+
+TEST_F(DiskIndexTest, WideWavesCutSimulatedTimeRecallNeutral) {
+  // Same index, per-query knob override: 8-wide waves at QD 8 overlap what
+  // the sequential path serializes.
+  double sync_io = 0, async_io = 0;
+  std::vector<std::vector<Neighbor>> sync_res(queries_.size());
+  std::vector<std::vector<Neighbor>> async_res(queries_.size());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    auto a = index_->Search(queries_[q], 10, {64, 10}, nullptr, {1, 0});
+    auto b = index_->Search(queries_[q], 10, {64, 10}, nullptr, {8, 0});
+    sync_io += a.io.simulated_seconds;
+    async_io += b.io.simulated_seconds;
+    sync_res[q] = std::move(a.results);
+    async_res[q] = std::move(b.results);
+  }
+  EXPECT_LT(async_io, sync_io / 3.0);
+  const double r_sync = eval::MeanRecallAtK(sync_res, gt_, 10);
+  const double r_async = eval::MeanRecallAtK(async_res, gt_, 10);
+  EXPECT_GE(r_async, r_sync - 0.02);  // recall-neutral within tolerance
+}
+
+TEST_F(DiskIndexTest, PrefetchAccountingStaysConsistentUnderFaults) {
+  // Seeded errors and latency spikes fire on demand AND speculative reads;
+  // demand reads retry (PR 8 semantics), failed speculation is dropped, and
+  // the hit/waste ledger still balances.
+  DiskIndexOptions dopt;
+  dopt.ssd.transient_error_rate = 0.05;
+  dopt.ssd.latency_spike_rate = 0.05;
+  dopt.ssd.fault_seed = 9;
+  dopt.io_width = 4;
+  dopt.readahead = 4;
+  auto idx = DiskIndex::Build(base_, graph_, *pq_, dopt);
+  IoStats total;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    auto res = idx->Search(queries_[q], 10, {48, 10});
+    EXPECT_EQ(res.results.size(), 10u) << "query " << q;
+    EXPECT_EQ(res.io.prefetch_hits + res.io.prefetch_wasted,
+              res.io.prefetch_issued);
+    total.io_errors += res.io.io_errors;
+    total.retries += res.io.retries;
+    total.latency_spikes += res.io.latency_spikes;
+    total.prefetch_issued += res.io.prefetch_issued;
+    total.prefetch_hits += res.io.prefetch_hits;
+  }
+  EXPECT_GT(total.io_errors, 0u);
+  EXPECT_GT(total.retries, 0u);
+  EXPECT_GT(total.latency_spikes, 0u);
+  EXPECT_GT(total.prefetch_issued, 0u);
+  EXPECT_GT(total.prefetch_hits, 0u);
+}
+
+TEST_F(DiskIndexTest, DeadlineExpiresMidWaveReturnsDegradedPartial) {
+  // QD 2 with 8-wide waves makes one neighbor wave cost ~8*100us/2 = 400us
+  // of simulated time — past a 300us budget, so the search must stop at the
+  // next wave boundary with a degraded partial answer.
+  DiskIndexOptions dopt;
+  dopt.ssd.queue_depth = 2;
+  dopt.io_width = 8;
+  auto idx = DiskIndex::Build(base_, graph_, *pq_, dopt);
+  graph::BeamSearchOptions bopt;
+  bopt.beam_width = 64;
+  bopt.k = 10;
+  bopt.deadline = Deadline::AfterMicros(300);
+  auto res = idx->Search(queries_[0], 10, bopt);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_TRUE(res.stats.deadline_hit);
+  EXPECT_FALSE(res.results.empty());
+  // Entry wave (1 read) + one 8-wide wave at most before the budget check.
+  EXPECT_LE(res.stats.hops, 9u);
+  EXPECT_LT(res.results.size(), 10u);
+}
+
+TEST_F(DiskIndexTest, ServiceForwardsAsyncKnobs) {
+  // QuerySpec.io_width/readahead reach the index: the service's degraded
+  // flags and results match a direct call with the same DiskIoOptions.
+  serve::DiskIndexService service(*index_);
+  for (size_t q = 0; q < 5; ++q) {
+    serve::QuerySpec spec;
+    spec.query = queries_[q];
+    spec.k = 10;
+    spec.beam_width = 48;
+    spec.io_width = 8;
+    spec.readahead = 4;
+    auto via_service = service.Search(spec);
+    auto direct = index_->Search(queries_[q], 10, {48, 10}, nullptr, {8, 4});
+    EXPECT_EQ(via_service.results, direct.results) << "query " << q;
+  }
 }
 
 }  // namespace

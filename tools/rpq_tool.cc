@@ -21,6 +21,7 @@
 //                         [--index memory|disk|ivf] [--ivf ivf.bin]
 //                         [--nlist 64] [--nprobe 8] [--residual]
 //                         [--sweep-nprobe 1,2,4,...] [--sweep-csv out.csv]
+//                         [--queue-depth 8] [--io-width 1] [--readahead 0]
 //                         [--trace]
 //   rpq_tool serve-bench  --base data/base.fvecs --graph g.bin
 //                         --model model.rpqq --queries data/queries.fvecs
@@ -33,6 +34,7 @@
 //                         [--deadline-us 0] [--shed 0] [--brownout 0]
 //                         [--faults "point=rate,...,seed=N"] [--fault-seed N]
 //                         [--disk-error-rate 0] [--disk-spike-rate 0]
+//                         [--queue-depth 8] [--io-width 1] [--readahead 0]
 //                         [--shard-timeout-us 0] [--hedge-us 0] [--stall-ms 2]
 //                         [--stats-port P] [--window-secs 5] [--slow-us 0]
 //                         [--slow-capacity 256] [--slow-json out.json]
@@ -603,13 +605,15 @@ std::vector<std::string> ParseStringList(const char* s) {
 // so the printout no longer overloads graph terms for flat-scan stats.
 struct TraceAccumulator {
   static constexpr size_t kPerQueryLines = 8;
-  static constexpr size_t kStatColumns = 3;
+  static constexpr size_t kStatColumns = 4;
 
-  // Column labels; the graph default matches SearchStats' field names.
-  const char* labels[kStatColumns] = {"hops", "dist", "visited-hits"};
+  // Column labels; the graph default matches SearchStats' field names. The
+  // fourth column is nullptr (dropped) except for the disk backend, which
+  // reports injected latency spikes next to its traversal stats.
+  const char* labels[kStatColumns] = {"hops", "dist", "visited-hits", nullptr};
 
   rpq::obs::QueryTrace totals;
-  size_t stats[kStatColumns] = {0, 0, 0};
+  size_t stats[kStatColumns] = {0, 0, 0, 0};
   size_t queries = 0;
   std::vector<std::string> lines;
 
@@ -621,10 +625,16 @@ struct TraceAccumulator {
     return t;
   }
 
+  static TraceAccumulator ForDisk() {
+    TraceAccumulator t;
+    t.labels[3] = "spikes";
+    return t;
+  }
+
   void Note(size_t q, const rpq::obs::QueryTrace& trace, size_t s0, size_t s1,
-            size_t s2) {
+            size_t s2, size_t s3 = 0) {
     ++queries;
-    const size_t row[kStatColumns] = {s0, s1, s2};
+    const size_t row[kStatColumns] = {s0, s1, s2, s3};
     for (size_t c = 0; c < kStatColumns; ++c) stats[c] += row[c];
     for (size_t s = 0; s < rpq::obs::kNumStages; ++s) {
       const auto stage = static_cast<rpq::obs::Stage>(s);
@@ -823,8 +833,9 @@ int CmdSearch(const Flags& flags) {
   // the (small) tracing overhead — it measures what it ran.
   const bool trace_on = flags.Has("trace");
   if (trace_on) rpq::obs::SetMetricsEnabled(true);
-  TraceAccumulator tacc =
-      use_ivf ? TraceAccumulator::ForIvf() : TraceAccumulator{};
+  TraceAccumulator tacc = use_ivf    ? TraceAccumulator::ForIvf()
+                          : use_disk ? TraceAccumulator::ForDisk()
+                                     : TraceAccumulator{};
 
   std::vector<std::vector<rpq::Neighbor>> results(queries.value().size());
   rpq::Timer timer;
@@ -842,18 +853,37 @@ int CmdSearch(const Flags& flags) {
   } else if (use_disk) {
     auto mode_ok = CheckDiskRerankMode(rmode);
     if (!mode_ok.ok()) return Fail(mode_ok.ToString());
-    auto index = rpq::disk::DiskIndex::Build(base.value(), graph, *model);
+    rpq::disk::DiskIndexOptions dopt;
+    dopt.ssd.queue_depth = flags.GetSize("queue-depth", dopt.ssd.queue_depth);
+    dopt.io_width = flags.GetSize("io-width", dopt.io_width);
+    dopt.readahead = flags.GetSize("readahead", dopt.readahead);
+    auto index = rpq::disk::DiskIndex::Build(base.value(), graph, *model, dopt);
+    rpq::disk::IoStats io_total;
     for (size_t q = 0; q < queries.value().size(); ++q) {
       rpq::obs::QueryTrace trace;
       auto out = index->Search(queries.value()[q], k, {beam, k},
                                trace_on ? &trace : nullptr);
       results[q] = std::move(out.results);
       io_seconds += out.io.simulated_seconds;
+      io_total.reads += out.io.reads;
+      io_total.io_waves += out.io.io_waves;
+      io_total.prefetch_issued += out.io.prefetch_issued;
+      io_total.prefetch_hits += out.io.prefetch_hits;
+      io_total.prefetch_wasted += out.io.prefetch_wasted;
       if (trace_on) {
         tacc.Note(q, trace, out.stats.hops, out.stats.dist_comps,
-                  out.stats.visited_hits);
+                  out.stats.visited_hits, out.io.latency_spikes);
       }
     }
+    const double nq = std::max<double>(1.0, queries.value().size());
+    std::printf(
+        "disk-io us/query = %.1f (qd %zu, io-width %zu, readahead %zu; "
+        "%.1f reads/q, %.1f waves/q, prefetch %zu issued / %zu hits / "
+        "%zu wasted)\n",
+        io_seconds * 1e6 / nq, dopt.ssd.queue_depth, dopt.io_width,
+        dopt.readahead, io_total.reads / nq, io_total.io_waves / nq,
+        io_total.prefetch_issued, io_total.prefetch_hits,
+        io_total.prefetch_wasted);
   } else {
     auto made = MakeMemoryBackend(flags, base.value(), graph, *model, rmode);
     if (!made.ok()) return Fail(made.status().ToString());
@@ -1074,6 +1104,9 @@ int CmdServeBench(const Flags& flags) {
       dopt.ssd.latency_spike_rate =
           std::strtod(flags.Get("disk-spike-rate", "0"), nullptr);
       dopt.ssd.fault_seed = flags.GetSize("fault-seed", 1);
+      dopt.ssd.queue_depth = flags.GetSize("queue-depth", dopt.ssd.queue_depth);
+      dopt.io_width = flags.GetSize("io-width", dopt.io_width);
+      dopt.readahead = flags.GetSize("readahead", dopt.readahead);
       disk_index =
           rpq::disk::DiskIndex::Build(base.value(), graph, *model, dopt);
       owned_service =
@@ -1101,6 +1134,16 @@ int CmdServeBench(const Flags& flags) {
   std::printf("recall@%zu = %.4f (beam %zu, %zu shards)\n", opt.k,
               rpq::eval::MeanRecallAtK(results, gt, opt.k), opt.beam_width,
               std::max<size_t>(shards, 1));
+  if (use_disk && !outcomes.empty()) {
+    // Simulated device time per query from the serial replay — the honest
+    // "disk I/O" number (wall-clock QPS above excludes simulated latency).
+    // run_serve.sh parses this line into BENCH_serve.json so bench-diff
+    // gates the async-submission speedup per PR.
+    double io_sum = 0;
+    for (const auto& o : outcomes) io_sum += o.simulated_io_seconds;
+    std::printf("disk-io us/query = %.1f (serial replay)\n",
+                io_sum * 1e6 / static_cast<double>(outcomes.size()));
+  }
 
   auto closed = rpq::serve::RunClosedLoop(*service, queries.value(), opt);
   char label[64];
